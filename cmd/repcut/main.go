@@ -1,0 +1,146 @@
+// Command repcut partitions and simulates one design: either a textual IR
+// file or a named built-in benchmark design. It prints the partition
+// report (replication cost, imbalance), runs the requested number of
+// cycles on the real parallel engine, and reports both measured host
+// throughput and modeled throughput on the paper's reference machine.
+//
+// Usage:
+//
+//	repcut -design MegaBOOM-4C -threads 8 -cycles 1000
+//	repcut -file mydesign.fir -threads 4 -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	repcut "repro"
+	"repro/internal/designs"
+	"repro/internal/firrtl"
+	"repro/internal/hostmodel"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		designName = flag.String("design", "", "built-in design, e.g. RocketChip-1C, SmallBOOM-2C, MegaBOOM-4C")
+		file       = flag.String("file", "", "textual IR file to simulate")
+		scale      = flag.Float64("scale", 1.0, "built-in design size scale")
+		threads    = flag.Int("threads", 4, "partition/thread count")
+		cycles     = flag.Int("cycles", 1000, "cycles to simulate")
+		uw         = flag.Bool("uw", false, "disable the simulation cost model (RepCut UW)")
+		opt        = flag.Int("opt", 2, "backend optimization level (0..2)")
+		seed       = flag.Int64("seed", 1, "partitioning seed")
+		statsOnly  = flag.Bool("stats", false, "print design statistics and partition report, do not simulate")
+		vcdPath    = flag.String("vcd", "", "dump register/output waveforms to this VCD file")
+	)
+	flag.Parse()
+
+	circ, name, err := loadDesign(*designName, *file, *scale)
+	if err != nil {
+		fatal(err)
+	}
+	d, err := repcut.Elaborate(circ)
+	if err != nil {
+		fatal(err)
+	}
+	st := d.Stats()
+	fmt.Printf("%s: %d IR nodes, %d edges, %d sinks (%.2f%%), %d reg writes\n",
+		name, st.IRNodes, st.Edges, st.SinkVtx, st.SinkPct, st.RegWrites)
+
+	opts := repcut.Options{Threads: *threads, Unweighted: *uw, OptLevel: *opt, Seed: *seed}
+	start := time.Now()
+	s, err := d.CompileParallel(opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("partitioned + compiled for %d threads in %v\n", *threads, time.Since(start).Round(time.Millisecond))
+	if r := s.Report; r != nil && *threads > 1 {
+		fmt.Printf("replication cost: %s   imbalance (excl/incl): %.3f / %.3f   replicated vertices: %d\n",
+			report.Pct(r.ReplicationCost), r.ImbalanceExcl, r.ImbalanceIncl, r.ReplicatedVertices)
+	}
+
+	// Modeled throughput on the paper's (scaled) reference host.
+	cpu := hostmodel.ScaledXeon8260()
+	ev := hostmodel.Evaluate(cpu, hostmodel.WorkFromProgram(s.Program()), hostmodel.SameSocket)
+	fmt.Printf("modeled on %s: %.1f KHz (cycle %.0f ns, IPC %.2f)\n",
+		cpu.Name, ev.KHz, ev.CycleNs, ev.Counters.IPC)
+
+	if *statsOnly {
+		return
+	}
+	start = time.Now()
+	if *vcdPath != "" {
+		f, err := os.Create(*vcdPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		vw := sim.NewVCDWriter(f, s.Engine)
+		if err := vw.RunSampled(*cycles); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote waveforms to %s\n", *vcdPath)
+	} else {
+		s.Run(*cycles)
+	}
+	el := time.Since(start)
+	fmt.Printf("simulated %d cycles in %v (%.1f KHz on this host, %d instrs retired)\n",
+		*cycles, el.Round(time.Millisecond), float64(*cycles)/el.Seconds()/1000, s.InstrsRetired())
+	for _, o := range s.Program().Outputs {
+		if !o.Wide {
+			v, _ := s.PeekOutput(o.Name)
+			fmt.Printf("  output %s = %#x\n", o.Name, v)
+		}
+	}
+}
+
+// loadDesign resolves the -design/-file flags into a checked circuit.
+func loadDesign(designName, file string, scale float64) (*firrtl.Circuit, string, error) {
+	switch {
+	case designName != "" && file != "":
+		return nil, "", fmt.Errorf("use either -design or -file, not both")
+	case file != "":
+		c, err := repcut.LoadCircuit(file)
+		if err != nil {
+			return nil, "", err
+		}
+		return c, file, nil
+	case designName != "":
+		kind, cores, err := parseDesignName(designName)
+		if err != nil {
+			return nil, "", err
+		}
+		cfg := designs.Config{Kind: kind, Cores: cores, Scale: scale}
+		return designs.BuildCircuit(cfg), cfg.Name(), nil
+	}
+	return nil, "", fmt.Errorf("specify -design <name> or -file <path>")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "repcut:", err)
+	os.Exit(1)
+}
+
+// parseDesignName splits "SmallBOOM-2C" into kind and core count.
+func parseDesignName(s string) (designs.Kind, int, error) {
+	i := strings.LastIndex(s, "-")
+	if i < 0 || !strings.HasSuffix(s, "C") {
+		return "", 0, fmt.Errorf("bad design name %q (want e.g. MegaBOOM-4C)", s)
+	}
+	n, err := strconv.Atoi(strings.TrimSuffix(s[i+1:], "C"))
+	if err != nil {
+		return "", 0, err
+	}
+	kind := designs.Kind(s[:i])
+	switch kind {
+	case designs.Rocket, designs.SmallBoom, designs.LargeBoom, designs.MegaBoom:
+		return kind, n, nil
+	}
+	return "", 0, fmt.Errorf("unknown design family %q", s[:i])
+}

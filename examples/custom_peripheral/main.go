@@ -1,0 +1,129 @@
+// custom_peripheral builds a design programmatically with the firrtl
+// Builder API (no textual IR): a small DMA-style peripheral with a command
+// FIFO backed by a memory, a checksum unit, and a busy/irq interface —
+// then simulates a transfer through it.
+//
+//	go run ./examples/custom_peripheral
+package main
+
+import (
+	"fmt"
+	"log"
+
+	repcut "repro"
+	"repro/internal/firrtl"
+)
+
+// buildPeripheral constructs the circuit with the builder.
+func buildPeripheral() *firrtl.Circuit {
+	b := firrtl.NewBuilder("Dma")
+	mb := b.Module("Dma")
+
+	// Interface.
+	cmdValid := mb.Input("cmd_valid", firrtl.UInt(1))
+	cmdAddr := mb.Input("cmd_addr", firrtl.UInt(8))
+	cmdData := mb.Input("cmd_data", firrtl.UInt(32))
+	busy := mb.Output("busy", firrtl.UInt(1))
+	irq := mb.Output("irq", firrtl.UInt(1))
+	csum := mb.Output("checksum", firrtl.UInt(32))
+
+	// Command FIFO: a memory plus head/tail pointers.
+	fifo := mb.Mem("fifo", firrtl.UInt(32), 16)
+	head := mb.Reg("head", firrtl.UInt(4), 0)
+	tail := mb.Reg("tail", firrtl.UInt(4), 0)
+	count := mb.Reg("count", firrtl.UInt(5), 0)
+
+	notFull := mb.Node("not_full", firrtl.Lt(count, firrtl.U(5, 16)))
+	notEmpty := mb.Node("not_empty", firrtl.Neq(count, firrtl.U(5, 0)))
+	push := mb.Node("push", firrtl.And(cmdValid, notFull))
+	pop := notEmpty // drain one element per cycle when available
+
+	fifo.Write(tail, cmdData, firrtl.Trunc(1, push))
+	mb.Connect(tail, firrtl.Mux(firrtl.Trunc(1, push),
+		firrtl.Trunc(4, firrtl.Add(tail, firrtl.U(4, 1))), tail))
+	mb.Connect(head, firrtl.Mux(firrtl.Trunc(1, pop),
+		firrtl.Trunc(4, firrtl.Add(head, firrtl.U(4, 1))), head))
+	delta := mb.Node("", firrtl.Sub(firrtl.PadE(5, firrtl.Trunc(1, push)),
+		firrtl.PadE(5, firrtl.Trunc(1, pop))))
+	mb.Connect(count, firrtl.Trunc(5, firrtl.Add(count, firrtl.P(firrtl.OpAsUInt, delta))))
+
+	// Transfer engine: drains the FIFO into a scratch memory at a write
+	// pointer (seeded by the first command's address), folding a
+	// rotating-XOR checksum.
+	scratch := mb.Mem("scratch", firrtl.UInt(32), 256)
+	word := mb.Node("fifo_head", fifo.Read(head))
+	wptr := mb.Reg("wptr", firrtl.UInt(8), 0)
+	seeded := mb.Reg("seeded", firrtl.UInt(1), 0)
+	firstPush := mb.Node("", firrtl.And(firrtl.Trunc(1, push), firrtl.Not(seeded)))
+	mb.Connect(seeded, firrtl.Trunc(1, firrtl.Or(seeded, firrtl.Trunc(1, push))))
+	wptrNext := mb.Node("", firrtl.Mux(firrtl.Trunc(1, pop),
+		firrtl.Trunc(8, firrtl.Add(wptr, firrtl.U(8, 1))), wptr))
+	mb.Connect(wptr, firrtl.Mux(firrtl.Trunc(1, firstPush), cmdAddr, wptrNext))
+	scratch.Write(wptr, word, firrtl.Trunc(1, pop))
+	sum := mb.Reg("sum", firrtl.UInt(32), 0)
+	rot := mb.Node("", firrtl.Trunc(32, firrtl.CatE(firrtl.BitsE(sum, 30, 0), firrtl.BitE(sum, 31))))
+	mb.Connect(sum, firrtl.Mux(firrtl.Trunc(1, pop), firrtl.Xor(rot, word), sum))
+
+	// Status: done latches when the last element drains (and clears on a
+	// new push).
+	done := mb.Reg("done", firrtl.UInt(1), 0)
+	lastDrain := mb.Node("", firrtl.And(firrtl.Trunc(1, pop), firrtl.Eq(count, firrtl.U(5, 1))))
+	mb.Connect(done, firrtl.Mux(firrtl.Trunc(1, push), firrtl.U(1, 0),
+		firrtl.Trunc(1, firrtl.Or(done, lastDrain))))
+	mb.Connect(busy, notEmpty)
+	mb.Connect(irq, done)
+	mb.Connect(csum, sum)
+	return b.Circuit()
+}
+
+func main() {
+	d, err := repcut.Elaborate(buildPeripheral())
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := d.CompileParallel(repcut.Options{Threads: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Push four words, one per cycle.
+	words := []uint64{0xdeadbeef, 0x01020304, 0xcafebabe, 0x55aa55aa}
+	for i, w := range words {
+		must(s.PokeInput("cmd_valid", 1))
+		must(s.PokeInput("cmd_addr", uint64(16+i)))
+		must(s.PokeInput("cmd_data", w))
+		s.Run(1)
+	}
+	must(s.PokeInput("cmd_valid", 0))
+
+	// Drain until the engine raises irq.
+	for i := 0; i < 20; i++ {
+		if v, _ := s.PeekOutput("irq"); v == 1 {
+			break
+		}
+		s.Run(1)
+	}
+	irq, _ := s.PeekOutput("irq")
+	busy, _ := s.PeekOutput("busy")
+	sum, _ := s.PeekOutput("checksum")
+	fmt.Printf("irq=%d busy=%d checksum=%#x\n", irq, busy, sum)
+
+	// The words landed in the scratch memory.
+	for i := range words {
+		v, err := s.PeekMem("scratch", 16+i)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("scratch[%d] = %#x\n", 16+i, v)
+	}
+	if irq != 1 || busy != 0 {
+		log.Fatal("transfer did not complete")
+	}
+	fmt.Println("transfer complete; FIFO, memories, and checksum all behaved")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,78 @@
+// Quickstart: parse a small design from the textual IR, compile it with
+// the RepCut parallel backend, and simulate it.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	repcut "repro"
+)
+
+const src = `
+; A 16-bit accumulator with an enable and a saturating flag.
+circuit Accumulator {
+  module Accumulator {
+    input  en   : UInt<1>
+    input  step : UInt<8>
+    output sum  : UInt<16>
+    output sat  : UInt<1>
+
+    reg acc : UInt<16> init 0
+    node next = tail(add(acc, pad(step, 16)), 1)
+    acc <= mux(en, next, acc)
+    sum <= acc
+    sat <= geq(acc, UInt<16>(60000))
+  }
+}
+`
+
+func main() {
+	circ, err := repcut.ParseCircuit(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	design, err := repcut.Elaborate(circ)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := design.Stats()
+	fmt.Printf("design: %d IR nodes, %d sinks, %d registers written per cycle\n",
+		st.IRNodes, st.SinkVtx, st.RegWrites)
+
+	// Two threads is overkill for a toy design, but it demonstrates the
+	// full pipeline: cone analysis, hypergraph partitioning, replication,
+	// and the two-phase parallel runtime.
+	s, err := design.CompileParallel(repcut.Options{Threads: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("partitioned with %.2f%% replication cost\n", 100*s.Report.ReplicationCost)
+
+	if err := s.PokeInput("en", 1); err != nil {
+		log.Fatal(err)
+	}
+	if err := s.PokeInput("step", 250); err != nil {
+		log.Fatal(err)
+	}
+	s.Run(100)
+	// Combinational outputs reflect the state the last evaluation saw;
+	// the register itself holds the post-edge value.
+	sum, _ := s.PeekOutput("sum")
+	acc, _ := s.PeekReg("acc")
+	fmt.Printf("after 100 cycles of +250: output sum = %d (99 increments visible), reg acc = %d\n",
+		sum, acc.Uint64())
+
+	// Keep going until the saturating flag trips.
+	cycles := 100
+	for {
+		s.Run(10)
+		cycles += 10
+		if sat, _ := s.PeekOutput("sat"); sat == 1 {
+			break
+		}
+	}
+	fmt.Printf("saturation flag raised after ~%d cycles\n", cycles)
+}

@@ -1,0 +1,348 @@
+package bitvec
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWordsFor(t *testing.T) {
+	cases := []struct{ w, n int }{{0, 0}, {1, 1}, {63, 1}, {64, 1}, {65, 2}, {128, 2}, {129, 3}}
+	for _, c := range cases {
+		if got := WordsFor(c.w); got != c.n {
+			t.Errorf("WordsFor(%d) = %d, want %d", c.w, got, c.n)
+		}
+	}
+}
+
+func TestFromUint64Masks(t *testing.T) {
+	x := FromUint64(4, 0xff)
+	if x.Uint64() != 0xf {
+		t.Errorf("width-4 of 0xff = %#x, want 0xf", x.Uint64())
+	}
+	y := FromUint64(64, ^uint64(0))
+	if y.Uint64() != ^uint64(0) {
+		t.Errorf("width-64 all-ones lost bits")
+	}
+}
+
+func TestBigRoundTrip(t *testing.T) {
+	v := new(big.Int).Lsh(big.NewInt(0xdeadbeef), 100)
+	x := FromBig(200, v)
+	if x.Big().Cmp(v) != 0 {
+		t.Errorf("round trip: got %v want %v", x.Big(), v)
+	}
+}
+
+func TestNegativeFromBig(t *testing.T) {
+	x := FromBig(8, big.NewInt(-1))
+	if x.Uint64() != 0xff {
+		t.Errorf("-1 at width 8 = %#x, want 0xff", x.Uint64())
+	}
+	if x.SignedBig().Int64() != -1 {
+		t.Errorf("SignedBig = %v, want -1", x.SignedBig())
+	}
+}
+
+func TestSignedBig(t *testing.T) {
+	x := FromUint64(4, 0x8)
+	if got := x.SignedBig().Int64(); got != -8 {
+		t.Errorf("signed 4'h8 = %d, want -8", got)
+	}
+	y := FromUint64(4, 0x7)
+	if got := y.SignedBig().Int64(); got != 7 {
+		t.Errorf("signed 4'h7 = %d, want 7", got)
+	}
+}
+
+func TestBitSetBit(t *testing.T) {
+	x := New(130)
+	x.SetBit(129, 1)
+	x.SetBit(0, 1)
+	if x.Bit(129) != 1 || x.Bit(0) != 1 || x.Bit(64) != 0 {
+		t.Errorf("SetBit/Bit mismatch: %v", x)
+	}
+	x.SetBit(129, 0)
+	if x.Bit(129) != 0 {
+		t.Errorf("clearing bit failed")
+	}
+	// Out-of-range accesses are safe no-ops.
+	x.SetBit(500, 1)
+	if x.Bit(500) != 0 {
+		t.Errorf("out of range bit should read 0")
+	}
+}
+
+func TestCatBits(t *testing.T) {
+	a := FromUint64(8, 0xab)
+	b := FromUint64(4, 0xc)
+	c := Cat(a, b)
+	if c.Width != 12 || c.Uint64() != 0xabc {
+		t.Errorf("Cat = %v, want 12'habc", c)
+	}
+	hi := Bits(c, 11, 4)
+	if hi.Width != 8 || hi.Uint64() != 0xab {
+		t.Errorf("Bits[11:4] = %v, want 8'hab", hi)
+	}
+}
+
+func TestShifts(t *testing.T) {
+	x := FromUint64(8, 0x81)
+	if got := Shl(12, x, 4).Uint64(); got != 0x810 {
+		t.Errorf("Shl = %#x, want 0x810", got)
+	}
+	if got := Shr(8, x, 4).Uint64(); got != 0x8 {
+		t.Errorf("Shr = %#x, want 0x8", got)
+	}
+	if got := Asr(8, x, 4).Uint64(); got != 0xf8 {
+		t.Errorf("Asr = %#x, want 0xf8", got)
+	}
+	// Cross-word shifts.
+	w := FromBig(130, new(big.Int).Lsh(big.NewInt(1), 129))
+	if got := Shr(130, w, 129); got.Uint64() != 1 {
+		t.Errorf("cross-word Shr = %v, want 1", got)
+	}
+}
+
+func TestReductions(t *testing.T) {
+	if AndR(FromUint64(4, 0xf)).Uint64() != 1 {
+		t.Errorf("AndR(4'hf) should be 1")
+	}
+	if AndR(FromUint64(4, 0xe)).Uint64() != 0 {
+		t.Errorf("AndR(4'he) should be 0")
+	}
+	if OrR(New(77)).Uint64() != 0 {
+		t.Errorf("OrR(0) should be 0")
+	}
+	if XorR(FromUint64(8, 0xf0)).Uint64() != 0 {
+		t.Errorf("XorR(0xf0) should be 0 (4 set bits)")
+	}
+	if XorR(FromUint64(8, 0x70)).Uint64() != 1 {
+		t.Errorf("XorR(0x70) should be 1 (3 set bits)")
+	}
+}
+
+func TestDivRemByZero(t *testing.T) {
+	x := FromUint64(16, 1234)
+	z := New(16)
+	if !Div(16, x, z).IsZero() {
+		t.Errorf("div by zero should be 0")
+	}
+	if Rem(16, x, z).Uint64() != 1234 {
+		t.Errorf("rem by zero should be x")
+	}
+}
+
+func TestSignExtend(t *testing.T) {
+	x := FromUint64(4, 0x9)
+	if got := SignExtend(8, x).Uint64(); got != 0xf9 {
+		t.Errorf("SignExtend = %#x, want 0xf9", got)
+	}
+	y := FromUint64(4, 0x5)
+	if got := SignExtend(8, y).Uint64(); got != 0x05 {
+		t.Errorf("SignExtend = %#x, want 0x05", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	x := FromUint64(12, 0xabc)
+	if got := x.String(); got != "12'habc" {
+		t.Errorf("String = %q", got)
+	}
+	if got := New(8).String(); got != "8'h0" {
+		t.Errorf("zero String = %q", got)
+	}
+}
+
+func TestParseDec(t *testing.T) {
+	x, err := ParseDec(8, "255")
+	if err != nil || x.Uint64() != 255 {
+		t.Errorf("ParseDec(255) = %v, %v", x, err)
+	}
+	if _, err := ParseDec(8, "zz"); err == nil {
+		t.Errorf("ParseDec should reject garbage")
+	}
+	n, err := ParseDec(8, "-2")
+	if err != nil || n.Uint64() != 0xfe {
+		t.Errorf("ParseDec(-2) = %v, %v", n, err)
+	}
+}
+
+// randVec produces a random vector with width in [1, 200].
+func randVec(r *rand.Rand) Vec {
+	w := 1 + r.Intn(200)
+	x := New(w)
+	for i := range x.Words {
+		x.Words[i] = r.Uint64()
+	}
+	x.normalize()
+	return x
+}
+
+func mask(w int) *big.Int {
+	return new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), uint(w)), big.NewInt(1))
+}
+
+// Property: arithmetic agrees with math/big at every width.
+func TestQuickArithAgainstBig(t *testing.T) {
+	r := rand.New(rand.NewSource(12345))
+	f := func(_ uint32) bool {
+		x, y := randVec(r), randVec(r)
+		w := 1 + r.Intn(220)
+		m := mask(w)
+		type oneOp struct {
+			name string
+			got  Vec
+			want *big.Int
+		}
+		ops := []oneOp{
+			{"add", Add(w, x, y), new(big.Int).And(new(big.Int).Add(x.Big(), y.Big()), m)},
+			{"sub", Sub(w, x, y), new(big.Int).And(new(big.Int).Sub(x.Big(), y.Big()), m)},
+			{"mul", Mul(w, x, y), new(big.Int).And(new(big.Int).Mul(x.Big(), y.Big()), m)},
+			{"and", And(w, x, y), new(big.Int).And(new(big.Int).And(x.Big(), y.Big()), m)},
+			{"or", Or(w, x, y), new(big.Int).And(new(big.Int).Or(x.Big(), y.Big()), m)},
+			{"xor", Xor(w, x, y), new(big.Int).And(new(big.Int).Xor(x.Big(), y.Big()), m)},
+		}
+		for _, op := range ops {
+			want := op.want
+			if want.Sign() < 0 {
+				want = new(big.Int).And(want, m) // already masked, defensive
+			}
+			if op.got.Big().Cmp(want) != 0 {
+				t.Logf("%s: x=%v y=%v w=%d got=%v want=%v", op.name, x, y, w, op.got.Big(), want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: shifts agree with math/big.
+func TestQuickShiftsAgainstBig(t *testing.T) {
+	r := rand.New(rand.NewSource(999))
+	f := func(_ uint32) bool {
+		x := randVec(r)
+		n := r.Intn(2 * x.Width)
+		w := 1 + r.Intn(250)
+		m := mask(w)
+		wantShl := new(big.Int).And(new(big.Int).Lsh(x.Big(), uint(n)), m)
+		wantShr := new(big.Int).And(new(big.Int).Rsh(x.Big(), uint(n)), m)
+		if Shl(w, x, n).Big().Cmp(wantShl) != 0 {
+			return false
+		}
+		if Shr(w, x, n).Big().Cmp(wantShr) != 0 {
+			return false
+		}
+		// Asr on the signed value.
+		sv := x.SignedBig()
+		wantAsr := new(big.Int).And(new(big.Int).Rsh(sv, uint(n)), m)
+		// Note: big.Rsh on negative does arithmetic shift; mask result.
+		gotAsr := Asr(w, x, n)
+		if w <= x.Width {
+			// Asr semantics defined only up to source width extension; check
+			// by comparing the low min(w, x.Width) bits.
+			lw := w
+			lm := mask(lw)
+			if new(big.Int).And(gotAsr.Big(), lm).Cmp(new(big.Int).And(wantAsr, lm)) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Cmp is consistent with big.Int comparison, CmpSigned with
+// SignedBig comparison.
+func TestQuickCompare(t *testing.T) {
+	r := rand.New(rand.NewSource(777))
+	f := func(_ uint32) bool {
+		x, y := randVec(r), randVec(r)
+		if Cmp(x, y) != x.Big().Cmp(y.Big()) {
+			return false
+		}
+		if CmpSigned(x, y) != x.SignedBig().Cmp(y.SignedBig()) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Cat/Bits round trip.
+func TestQuickCatBitsRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(31415))
+	f := func(_ uint32) bool {
+		x, y := randVec(r), randVec(r)
+		c := Cat(x, y)
+		gx := Bits(c, c.Width-1, y.Width)
+		gy := Bits(c, y.Width-1, 0)
+		return Eq(gx, x) && Eq(gy, y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Div/Rem identity x = q*y + r, r < y.
+func TestQuickDivRem(t *testing.T) {
+	r := rand.New(rand.NewSource(2718))
+	f := func(_ uint32) bool {
+		x, y := randVec(r), randVec(r)
+		if y.IsZero() {
+			return true
+		}
+		w := x.Width + 1
+		q := Div(w, x, y)
+		rem := Rem(w, x, y)
+		if Cmp(rem, y) >= 0 {
+			return false
+		}
+		back := Add(w, Mul(w, q, y), rem)
+		return back.Big().Cmp(x.Big()) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNegNotIdentity(t *testing.T) {
+	// -x == ^x + 1 at same width.
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		x := randVec(r)
+		n := Neg(x.Width, x)
+		alt := Add(x.Width, Not(x), FromUint64(x.Width, 1))
+		if !Eq(n, alt) {
+			t.Fatalf("neg identity failed for %v", x)
+		}
+	}
+}
+
+func BenchmarkAdd256(b *testing.B) {
+	x := FromBig(256, new(big.Int).Lsh(big.NewInt(1), 255))
+	y := FromUint64(256, 12345)
+	dst := New(256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		AddInto(&dst, x, y)
+	}
+}
+
+func BenchmarkMul256(b *testing.B) {
+	x := FromBig(256, new(big.Int).Lsh(big.NewInt(12345), 100))
+	y := FromBig(256, big.NewInt(987654321))
+	dst := New(256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MulInto(&dst, x, y)
+	}
+}

@@ -1,0 +1,327 @@
+package cgraph
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/firrtl"
+)
+
+// mustGraph parses, checks, flattens, lowers, and builds.
+func mustGraph(t *testing.T, src string) *Graph {
+	t.Helper()
+	c, err := firrtl.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := firrtl.Check(c); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	fc, err := firrtl.Flatten(c)
+	if err != nil {
+		t.Fatalf("flatten: %v", err)
+	}
+	lc, err := firrtl.Lower(fc)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	g, err := Build(lc)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return g
+}
+
+func TestRegisterSplitting(t *testing.T) {
+	g := mustGraph(t, `
+circuit C {
+  module C {
+    input  i : UInt<8>
+    output o : UInt<8>
+    reg r : UInt<8> init 5
+    node nx = tail(add(r, i), 1)
+    r <= nx
+    o <= r
+  }
+}
+`)
+	if len(g.Regs) != 1 {
+		t.Fatalf("want 1 reg, got %d", len(g.Regs))
+	}
+	reg := g.Regs[0]
+	if reg.Read == None || reg.Write == None {
+		t.Fatalf("register not split: %+v", reg)
+	}
+	if g.Vs[reg.Read].Kind != KindRegRead || g.Vs[reg.Write].Kind != KindRegWrite {
+		t.Fatalf("wrong kinds for split register")
+	}
+	if reg.Init.Uint64() != 5 {
+		t.Fatalf("init = %d, want 5", reg.Init.Uint64())
+	}
+	// The read vertex must have no predecessors, the write no successors.
+	if len(g.Preds[reg.Read]) != 0 {
+		t.Errorf("RegRead has predecessors")
+	}
+	if len(g.Succs[reg.Write]) != 0 {
+		t.Errorf("RegWrite has successors")
+	}
+	// No path read -> ... -> read within a cycle: write's cone contains read.
+	st := g.Stats()
+	if st.RegWrites != 1 || st.SinkVtx != 2 { // regwrite + output
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestUndrivenRegisterHolds(t *testing.T) {
+	g := mustGraph(t, `
+circuit C {
+  module C {
+    output o : UInt<4>
+    reg r : UInt<4> init 9
+    o <= r
+  }
+}
+`)
+	reg := g.Regs[0]
+	w := g.Vs[reg.Write]
+	if len(w.Args) != 1 || w.Args[0].V != reg.Read {
+		t.Fatalf("undriven register should feed back its own read vertex")
+	}
+}
+
+func TestMemorySplitting(t *testing.T) {
+	g := mustGraph(t, `
+circuit C {
+  module C {
+    input  a : UInt<4>
+    input  d : UInt<8>
+    output o : UInt<8>
+    mem m : UInt<8>[16]
+    node rd = read(m, a)
+    write(m, a, d, UInt<1>(1))
+    o <= rd
+  }
+}
+`)
+	if len(g.Mems) != 1 {
+		t.Fatalf("want 1 mem")
+	}
+	mi := g.Mems[0]
+	if g.Vs[mi.Source].Kind != KindMemSource {
+		t.Fatalf("mem source missing")
+	}
+	if len(mi.Reads) != 1 || len(mi.Writes) != 1 {
+		t.Fatalf("reads/writes = %d/%d", len(mi.Reads), len(mi.Writes))
+	}
+	// Read depends on the memory source and on the address input.
+	preds := g.Preds[mi.Reads[0]]
+	foundSrc, foundAddr := false, false
+	for _, p := range preds {
+		if p == mi.Source {
+			foundSrc = true
+		}
+		if g.Vs[p].Kind == KindInput && g.Vs[p].Name == "a" {
+			foundAddr = true
+		}
+	}
+	if !foundSrc || !foundAddr {
+		t.Fatalf("memread preds wrong: src=%v addr=%v", foundSrc, foundAddr)
+	}
+	// Write is a sink with 3 operands.
+	wv := g.Vs[mi.Writes[0]]
+	if !wv.Kind.IsSink() || len(wv.Args) != 3 {
+		t.Fatalf("memwrite vertex malformed: %+v", wv)
+	}
+}
+
+func TestAliasElimination(t *testing.T) {
+	g := mustGraph(t, `
+circuit C {
+  module C {
+    input  i : UInt<8>
+    output o : UInt<8>
+    wire w : UInt<8>
+    node a = w
+    node b = not(a)
+    w <= i
+    o <= b
+  }
+}
+`)
+	// w and a are aliases: only input, not-gate, output sink remain.
+	var logic int
+	for _, v := range g.Vs {
+		if v.Kind == KindLogic {
+			logic++
+		}
+	}
+	if logic != 1 {
+		t.Fatalf("want 1 logic vertex after alias elimination, got %d", logic)
+	}
+	// The not-gate's operand must resolve to the input vertex.
+	nb, ok := g.VertexByName("b")
+	if !ok {
+		t.Fatalf("node b missing")
+	}
+	in, _ := g.VertexByName("i")
+	if g.Vs[nb].Args[0].V != in {
+		t.Fatalf("alias not resolved to input")
+	}
+}
+
+func TestDeadCodePruned(t *testing.T) {
+	g := mustGraph(t, `
+circuit C {
+  module C {
+    input  i : UInt<8>
+    output o : UInt<8>
+    node dead1 = not(i)
+    node dead2 = xor(dead1, i)
+    o <= i
+  }
+}
+`)
+	if g.DeadRemoved != 2 {
+		t.Fatalf("DeadRemoved = %d, want 2", g.DeadRemoved)
+	}
+	for _, v := range g.Vs {
+		if v.Kind == KindLogic {
+			t.Fatalf("dead logic survived: %s", v.Name)
+		}
+	}
+}
+
+func TestCombinationalCycleRejected(t *testing.T) {
+	src := `
+circuit C {
+  module C {
+    input  i : UInt<1>
+    output o : UInt<1>
+    wire a : UInt<1>
+    wire b : UInt<1>
+    node x = and(a, i)
+    node y = or(b, i)
+    a <= y
+    b <= x
+    o <= x
+  }
+}
+`
+	c, err := firrtl.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := firrtl.Check(c); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	fc, err := firrtl.Flatten(c)
+	if err != nil {
+		t.Fatalf("flatten: %v", err)
+	}
+	lc, err := firrtl.Lower(fc)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	if _, err := Build(lc); err == nil {
+		t.Fatalf("expected combinational cycle error")
+	} else if !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("error %q should mention cycle", err)
+	}
+}
+
+func TestTopoOrderValid(t *testing.T) {
+	g := mustGraph(t, `
+circuit C {
+  module C {
+    input  i : UInt<8>
+    output o : UInt<8>
+    reg r1 : UInt<8> init 0
+    reg r2 : UInt<8> init 0
+    node s = tail(add(r1, r2), 1)
+    node p = xor(s, i)
+    r1 <= p
+    r2 <= s
+    o <= p
+  }
+}
+`)
+	if len(g.Topo) != len(g.Vs) {
+		t.Fatalf("topo incomplete: %d/%d", len(g.Topo), len(g.Vs))
+	}
+	pos := make([]int, len(g.Vs))
+	for i, v := range g.Topo {
+		pos[v] = i
+	}
+	for v := range g.Vs {
+		for _, s := range g.Succs[v] {
+			if pos[v] >= pos[s] {
+				t.Fatalf("topo violates edge %s -> %s", g.Vs[v].Name, g.Vs[s].Name)
+			}
+		}
+	}
+}
+
+func TestSinksAndSources(t *testing.T) {
+	g := mustGraph(t, `
+circuit C {
+  module C {
+    input  i : UInt<8>
+    output o : UInt<8>
+    reg r : UInt<8> init 0
+    mem m : UInt<8>[4]
+    node rd = read(m, bits(i, 1, 0))
+    write(m, bits(i, 1, 0), r, UInt<1>(1))
+    r <= rd
+    o <= r
+  }
+}
+`)
+	sinks := g.Sinks()
+	sources := g.Sources()
+	// Sinks: regwrite, memwrite, output = 3. Sources: input, regread,
+	// memsource = 3.
+	if len(sinks) != 3 || len(sources) != 3 {
+		t.Fatalf("sinks=%d sources=%d, want 3/3", len(sinks), len(sources))
+	}
+	for _, s := range sinks {
+		if len(g.Succs[s]) != 0 {
+			t.Errorf("sink %s has successors", g.Vs[s].Name)
+		}
+	}
+	for _, s := range sources {
+		if len(g.Preds[s]) != 0 {
+			t.Errorf("source %s has predecessors", g.Vs[s].Name)
+		}
+	}
+}
+
+func TestOutputReadAsValue(t *testing.T) {
+	// Reading an output port from inside the module.
+	g := mustGraph(t, `
+circuit C {
+  module C {
+    input  i : UInt<8>
+    output a : UInt<8>
+    output b : UInt<8>
+    a <= not(i)
+    b <= a
+  }
+}
+`)
+	if len(g.Outputs) != 2 {
+		t.Fatalf("want 2 outputs")
+	}
+	// b's driver should resolve to the same not-gate driving a.
+	var aDrv, bDrv VID
+	for _, o := range g.Outputs {
+		switch g.Vs[o].Name {
+		case "a":
+			aDrv = g.Vs[o].Args[0].V
+		case "b":
+			bDrv = g.Vs[o].Args[0].V
+		}
+	}
+	if aDrv != bDrv {
+		t.Fatalf("output alias not resolved: a<-%d b<-%d", aDrv, bDrv)
+	}
+}

@@ -1,0 +1,170 @@
+// Package cone implements the cone traversal and clustering steps of
+// RepCut's replication-aided partitioning (§4.2 of the paper, Figure 3a-b).
+//
+// The cone of a sink vertex is the set of its ancestors plus itself: the
+// vertices that can determine its value within a cycle. Every non-source
+// vertex is annotated with the set of cones (sinks) it can reach; vertices
+// with identical cone sets form a cluster. Clusters are the unit of
+// replication: if a cluster's cones land in k distinct partitions, the
+// cluster is instantiated k times.
+//
+// Source vertices (register reads, memory state, inputs) are not
+// partitioned and belong to no cone.
+package cone
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cgraph"
+)
+
+// NoCluster marks source vertices, which belong to no cluster.
+const NoCluster int32 = -1
+
+// Cluster is a maximal set of vertices sharing one cone set.
+type Cluster struct {
+	ID      int32
+	Members []cgraph.VID
+	// Cones holds the sorted cone IDs (== sink indices in Analysis.Sinks)
+	// every member reaches.
+	Cones []int32
+	// Sink is true if the cluster contains a sink vertex; a sink cluster's
+	// cone set is exactly its own cone. Sink clusters become hypergraph
+	// vertices; non-sink clusters become hyperedges.
+	Sink bool
+}
+
+// Analysis is the result of cone traversal and clustering.
+type Analysis struct {
+	// Sinks lists the sink vertices; cone ID i is the cone of Sinks[i].
+	Sinks []cgraph.VID
+	// ConeSets[v] is the sorted set of cone IDs vertex v belongs to
+	// (nil for sources).
+	ConeSets [][]int32
+	// Clusters are the cone-set equivalence classes.
+	Clusters []Cluster
+	// ClusterOf[v] is the cluster of v, or NoCluster for sources.
+	ClusterOf []int32
+	// SinkCluster[coneID] is the index of the sink cluster for that cone.
+	SinkCluster []int32
+}
+
+// Analyze runs cone traversal (Algorithm 1) and clustering over g.
+func Analyze(g *cgraph.Graph) (*Analysis, error) {
+	n := g.NumVertices()
+	a := &Analysis{
+		Sinks:     g.Sinks(),
+		ConeSets:  make([][]int32, n),
+		ClusterOf: make([]int32, n),
+	}
+
+	// Traverse each cone bottom-up from its sink (Algorithm 1). The stamp
+	// array replaces a per-traversal visited set.
+	stamp := make([]int32, n)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	fringe := make([]cgraph.VID, 0, 1024)
+	for cid, seed := range a.Sinks {
+		id := int32(cid)
+		a.ConeSets[seed] = append(a.ConeSets[seed], id)
+		stamp[seed] = id
+		fringe = append(fringe[:0], g.Preds[seed]...)
+		for len(fringe) > 0 {
+			v := fringe[len(fringe)-1]
+			fringe = fringe[:len(fringe)-1]
+			if stamp[v] == id {
+				continue
+			}
+			stamp[v] = id
+			if g.Vs[v].Kind.IsSource() {
+				continue // sources are not partitioned
+			}
+			a.ConeSets[v] = append(a.ConeSets[v], id)
+			fringe = append(fringe, g.Preds[v]...)
+		}
+	}
+
+	// Cone sets were appended in increasing cone ID order only for the
+	// seed; BFS order is arbitrary, so sort each set.
+	for v := range a.ConeSets {
+		sort.Slice(a.ConeSets[v], func(i, j int) bool {
+			return a.ConeSets[v][i] < a.ConeSets[v][j]
+		})
+	}
+
+	// Cluster vertices by cone set.
+	type bucket struct {
+		cluster int32
+	}
+	byHash := make(map[uint64][]bucket)
+	equal := func(a, b []int32) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	hash := func(s []int32) uint64 {
+		h := uint64(1469598103934665603)
+		for _, x := range s {
+			h ^= uint64(uint32(x))
+			h *= 1099511628211
+		}
+		return h
+	}
+	for vi := 0; vi < n; vi++ {
+		v := cgraph.VID(vi)
+		if g.Vs[v].Kind.IsSource() {
+			a.ClusterOf[v] = NoCluster
+			continue
+		}
+		cs := a.ConeSets[v]
+		if len(cs) == 0 {
+			return nil, fmt.Errorf("cone: vertex %s reaches no sink (dead code not pruned?)", g.Vs[v].Name)
+		}
+		h := hash(cs)
+		found := int32(-1)
+		for _, b := range byHash[h] {
+			if equal(a.Clusters[b.cluster].Cones, cs) {
+				found = b.cluster
+				break
+			}
+		}
+		if found < 0 {
+			found = int32(len(a.Clusters))
+			a.Clusters = append(a.Clusters, Cluster{ID: found, Cones: cs})
+			byHash[h] = append(byHash[h], bucket{cluster: found})
+		}
+		a.ClusterOf[v] = found
+		cl := &a.Clusters[found]
+		cl.Members = append(cl.Members, v)
+		if g.Vs[v].Kind.IsSink() {
+			cl.Sink = true
+		}
+	}
+
+	// Map each cone to its sink cluster.
+	a.SinkCluster = make([]int32, len(a.Sinks))
+	for cid, s := range a.Sinks {
+		a.SinkCluster[cid] = a.ClusterOf[s]
+	}
+
+	// Sanity: a sink cluster's cone set must be exactly its own cone
+	// (sinks have no descendants, so they reach only themselves).
+	for cid, ci := range a.SinkCluster {
+		cl := &a.Clusters[ci]
+		if !cl.Sink || len(cl.Cones) != 1 || cl.Cones[0] != int32(cid) {
+			return nil, fmt.Errorf("cone: sink cluster invariant violated for cone %d (cones=%v)", cid, cl.Cones)
+		}
+	}
+	return a, nil
+}
+
+// NumSinkClusters returns the number of sink clusters (== number of cones).
+func (a *Analysis) NumSinkClusters() int { return len(a.Sinks) }

@@ -1,0 +1,159 @@
+package costmodel
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cgraph"
+	"repro/internal/firrtl"
+)
+
+func logicVertex(op firrtl.PrimOp, width int) cgraph.Vertex {
+	return cgraph.Vertex{Kind: cgraph.KindLogic, Op: op, Type: firrtl.UInt(width)}
+}
+
+func TestClassOf(t *testing.T) {
+	cases := []struct {
+		v    cgraph.Vertex
+		want Class
+	}{
+		{logicVertex(firrtl.OpAdd, 8), ClassAddSub},
+		{logicVertex(firrtl.OpMul, 8), ClassMul},
+		{logicVertex(firrtl.OpDiv, 8), ClassDiv},
+		{logicVertex(firrtl.OpXor, 8), ClassALU},
+		{logicVertex(firrtl.OpMux, 8), ClassALU},
+		{logicVertex(firrtl.OpDshl, 8), ClassDynShift},
+		{logicVertex(firrtl.OpXorR, 8), ClassReduce},
+		{cgraph.Vertex{Kind: cgraph.KindMemRead, Type: firrtl.UInt(8)}, ClassMemRead},
+		{cgraph.Vertex{Kind: cgraph.KindMemWrite, Type: firrtl.UInt(8)}, ClassMemWrite},
+		{cgraph.Vertex{Kind: cgraph.KindRegWrite, Type: firrtl.UInt(8)}, ClassCopy},
+		{cgraph.Vertex{Kind: cgraph.KindOutput, Type: firrtl.UInt(8)}, ClassCopy},
+		{cgraph.Vertex{Kind: cgraph.KindConst, Type: firrtl.UInt(8)}, ClassConst},
+	}
+	for _, c := range cases {
+		if got := ClassOf(&c.v); got != c.want {
+			t.Errorf("ClassOf(%v/%v) = %v, want %v", c.v.Kind, c.v.Op, got, c.want)
+		}
+	}
+}
+
+func TestVertexCostScalesWithWidth(t *testing.T) {
+	m := Default()
+	narrow := logicVertex(firrtl.OpAdd, 32)
+	wide := logicVertex(firrtl.OpAdd, 256) // 4 words
+	cn := m.VertexCost(&narrow)
+	cw := m.VertexCost(&wide)
+	if cw <= cn {
+		t.Fatalf("wide add (%d) should cost more than narrow (%d)", cw, cn)
+	}
+	// Sources cost zero.
+	src := cgraph.Vertex{Kind: cgraph.KindRegRead, Type: firrtl.UInt(32)}
+	if m.VertexCost(&src) != 0 {
+		t.Fatalf("source cost must be 0")
+	}
+}
+
+func TestUnweightedModel(t *testing.T) {
+	m := Unweighted()
+	a := logicVertex(firrtl.OpDiv, 512)
+	b := logicVertex(firrtl.OpNot, 1)
+	if m.VertexCost(&a) != 1 || m.VertexCost(&b) != 1 {
+		t.Fatalf("unweighted model must cost 1 per vertex")
+	}
+}
+
+func TestRelativeOrder(t *testing.T) {
+	m := Default()
+	div := logicVertex(firrtl.OpDiv, 32)
+	mul := logicVertex(firrtl.OpMul, 32)
+	add := logicVertex(firrtl.OpAdd, 32)
+	xor := logicVertex(firrtl.OpXor, 32)
+	if !(m.VertexCost(&div) > m.VertexCost(&mul) &&
+		m.VertexCost(&mul) > m.VertexCost(&add) &&
+		m.VertexCost(&add) > m.VertexCost(&xor)) {
+		t.Fatalf("cost order should be div > mul > add > xor")
+	}
+}
+
+// Fit must recover known weights from synthetic noiseless samples.
+func TestFitRecoversWeights(t *testing.T) {
+	truth := Default()
+	rng := rand.New(rand.NewSource(1))
+	var samples []Sample
+	for i := 0; i < 200; i++ {
+		var s Sample
+		// A random mix of vertices.
+		nv := 10 + rng.Intn(100)
+		for j := 0; j < nv; j++ {
+			var v cgraph.Vertex
+			switch rng.Intn(6) {
+			case 0:
+				v = logicVertex(firrtl.OpAdd, 1+rng.Intn(128))
+			case 1:
+				v = logicVertex(firrtl.OpXor, 1+rng.Intn(64))
+			case 2:
+				v = logicVertex(firrtl.OpMul, 1+rng.Intn(32))
+			case 3:
+				v = cgraph.Vertex{Kind: cgraph.KindMemRead, Type: firrtl.UInt(32)}
+			case 4:
+				v = cgraph.Vertex{Kind: cgraph.KindRegWrite, Type: firrtl.UInt(16)}
+			case 5:
+				v = logicVertex(firrtl.OpXorR, 1+rng.Intn(64))
+			}
+			f := Features(&v)
+			for c := 0; c < int(NumClasses); c++ {
+				s.Features[c] += f[c]
+			}
+			s.Time += float64(truth.VertexCost(&v))
+		}
+		samples = append(samples, s)
+	}
+	fitted, err := Fit(samples)
+	if err != nil {
+		t.Fatalf("fit: %v", err)
+	}
+	// Classes present in the data should be recovered within a few
+	// percent (integer truncation in VertexCost adds small bias).
+	for _, c := range []Class{ClassALU, ClassAddSub, ClassMul, ClassMemRead, ClassCopy, ClassReduce, ClassDispatch} {
+		got, want := fitted.Weights[c], truth.Weights[c]
+		if want == 0 {
+			continue
+		}
+		rel := (got - want) / want
+		if rel < -0.15 || rel > 0.15 {
+			t.Errorf("class %v: fitted %.1f vs truth %.1f", c, got, want)
+		}
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil); err == nil {
+		t.Fatalf("fit with no samples must error")
+	}
+}
+
+func TestFitClampsNegative(t *testing.T) {
+	// Construct adversarial samples where a class would fit negative.
+	var samples []Sample
+	for i := 0; i < 20; i++ {
+		var s Sample
+		s.Features[ClassALU] = float64(i + 1)
+		s.Features[ClassDispatch] = float64(i + 1)
+		s.Time = float64(i+1) * 50
+		samples = append(samples, s)
+		var s2 Sample
+		s2.Features[ClassMul] = float64(i + 1)
+		s2.Features[ClassDispatch] = float64(i + 1)
+		s2.Time = 0 // impossible: forces negative mul weight
+		samples = append(samples, s2)
+	}
+	m, err := Fit(samples)
+	if err != nil {
+		t.Fatalf("fit: %v", err)
+	}
+	for c := 0; c < int(NumClasses); c++ {
+		if m.Weights[c] < 0 {
+			t.Fatalf("class %d fitted negative", c)
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package designs
+
+import (
+	"fmt"
+
+	"repro/internal/firrtl"
+)
+
+// BoomParams size the out-of-order core.
+type BoomParams struct {
+	XLen        int
+	FetchWidth  int // decode/issue/writeback width
+	RobEntries  int
+	IQEntries   int // issue queue (wakeup CAM) entries
+	PhysRegs    int
+	LSQEntries  int
+	BPDEntries  int // branch predictor table
+	DCacheLines int
+	BrSnapshots int // branch-mask snapshot registers
+}
+
+// Boom configuration families, mirroring SmallBoomConfig (1-wide, 32 ROB),
+// LargeBoomConfig (3-wide, 96 ROB) and MegaBoomConfig (4-wide, 128 ROB),
+// with structure counts scaled to this reproduction's size budget.
+func scaledBoom(family string, scale float64) BoomParams {
+	s := func(n int) int {
+		v := int(float64(n)*scale + 0.5)
+		if v < 2 {
+			v = 2
+		}
+		return v
+	}
+	switch family {
+	case "small":
+		return BoomParams{XLen: 32, FetchWidth: 1, RobEntries: s(64),
+			IQEntries: s(20), PhysRegs: s(64), LSQEntries: s(16),
+			BPDEntries: s(64), DCacheLines: s(64), BrSnapshots: s(32)}
+	case "large":
+		return BoomParams{XLen: 32, FetchWidth: 3, RobEntries: s(128),
+			IQEntries: s(28), PhysRegs: s(96), LSQEntries: s(24),
+			BPDEntries: s(96), DCacheLines: s(96), BrSnapshots: s(48)}
+	case "mega":
+		return BoomParams{XLen: 32, FetchWidth: 4, RobEntries: s(160),
+			IQEntries: s(36), PhysRegs: s(128), LSQEntries: s(32),
+			BPDEntries: s(128), DCacheLines: s(128), BrSnapshots: s(64)}
+	}
+	panic("designs: unknown BOOM family " + family)
+}
+
+// buildBoomCore emits a superscalar out-of-order core: W-wide fetch with a
+// branch predictor table, register renaming (map table + free counter), a
+// reorder buffer with per-entry state and W-wide completion CAM, an issue
+// queue with W-wide wakeup CAM, W ALUs with a full bypass network, a
+// physical register file with W write ports, and a load/store queue backed
+// by a direct-mapped D$.
+func buildBoomCore(b *firrtl.Builder, name string, p BoomParams, seed uint64) *firrtl.ModuleBuilder {
+	mb := b.Module(name)
+	c := &comp{mb: mb}
+	w := p.XLen
+	W := p.FetchWidth
+
+	ioIn := mb.Input("io_in", firrtl.UInt(w))
+	ioOut := mb.Output("io_out", firrtl.UInt(w))
+
+	// ---------- Fetch: W instruction streams + branch predictor ----------
+	pc := mb.Reg("pc", firrtl.UInt(w), 0x8000+seed)
+	instrs := make([]firrtl.Expr, W)
+	for i := 0; i < W; i++ {
+		l := c.lfsr(fmt.Sprintf("f%d_lfsr", i), w, seed+uint64(i)*13+1)
+		instrs[i] = mb.Node(fmt.Sprintf("f%d_instr", i), firrtl.Xor(l, ioIn))
+	}
+	bpd := mb.Mem("bpd_table", firrtl.UInt(2), p.BPDEntries)
+	bpdIdxW := log2Up(p.BPDEntries)
+	bpdIdx := mb.Node("", firrtl.Trunc(bpdIdxW, firrtl.PadE(bpdIdxW, firrtl.BitsE(pc, bpdIdxW+1, 2))))
+	bpdCtr := mb.Node("bpd_ctr", bpd.Read(bpdIdx))
+	taken := mb.Node("bpd_taken", firrtl.BitE(bpdCtr, 1))
+	// Counter update (saturating-ish).
+	ctrUp := mb.Node("", firrtl.Trunc(2, firrtl.Add(bpdCtr, firrtl.U(2, 1))))
+	bpd.Write(bpdIdx, ctrUp, firrtl.BitE(instrs[0], 4))
+	mb.Connect(pc, firrtl.Mux(taken,
+		firrtl.AddW(w, pc, firrtl.PadE(w, firrtl.BitsE(instrs[0], 11, 0))),
+		firrtl.AddW(w, pc, firrtl.U(w, uint64(4*W)))))
+
+	// ---------- Rename: map table + allocation counter ----------
+	physW := log2Up(p.PhysRegs)
+	mapTable := c.regArray("map", 16, physW, seed+0x31)
+	allocPtr := mb.Reg("alloc_ptr", firrtl.UInt(physW), 0)
+	mb.Connect(allocPtr, firrtl.Trunc(physW, firrtl.Add(allocPtr, firrtl.U(physW, uint64(W)))))
+	renamed := make([]firrtl.Expr, W)
+	for i := 0; i < W; i++ {
+		arch := mb.Node("", firrtl.Trunc(4, firrtl.PadE(4, firrtl.BitsE(instrs[i], 11, 7))))
+		renamed[i] = mb.Node(fmt.Sprintf("ren%d", i), c.muxTree(arch, refsToExprs(mapTable)))
+	}
+	mapIdx := mb.Node("", firrtl.Trunc(4, firrtl.PadE(4, firrtl.BitsE(instrs[0], 19, 15))))
+	mapNext := c.writePort(mapTable, mapIdx, allocPtr, firrtl.BitE(instrs[0], 7), holdOf(mapTable))
+	connectAll(mb, mapTable, mapNext)
+
+	// ---------- Issue queue: per-entry source tags + W-wide wakeup CAM --
+	iqSrc1 := c.regArray("iq_src1", p.IQEntries, physW, seed+0x41)
+	iqSrc2 := c.regArray("iq_src2", p.IQEntries, physW, seed+0x42)
+	iqReady := c.regArray("iq_rdy", p.IQEntries, 1, 0)
+	wbTags := make([]firrtl.Expr, W)
+	for i := 0; i < W; i++ {
+		wbTags[i] = mb.Node(fmt.Sprintf("wb_tag%d", i),
+			firrtl.Trunc(physW, firrtl.Add(allocPtr, firrtl.U(physW, uint64(i)))))
+	}
+	iqReadyNext := make([]firrtl.Expr, p.IQEntries)
+	var grants []firrtl.Expr
+	for e := 0; e < p.IQEntries; e++ {
+		var wake firrtl.Expr = firrtl.U(1, 0)
+		for i := 0; i < W; i++ {
+			m1 := mb.Node("", firrtl.Eq(iqSrc1[e], wbTags[i]))
+			m2 := mb.Node("", firrtl.Eq(iqSrc2[e], wbTags[i]))
+			wake = mb.Node("", firrtl.Or(wake, firrtl.And(m1, m2)))
+		}
+		iqReadyNext[e] = mb.Node("", firrtl.Or(iqReady[e], firrtl.Trunc(1, wake)))
+		grants = append(grants, iqReadyNext[e])
+		// Entry tag refill from rename.
+		mb.Connect(iqSrc1[e], firrtl.Mux(firrtl.Trunc(1, wake), wbTags[e%W],
+			mb.Node("", firrtl.Trunc(physW, firrtl.PadE(physW, renamed[e%W])))))
+		mb.Connect(iqSrc2[e], firrtl.Mux(firrtl.BitE(instrs[e%W], 8),
+			wbTags[(e+1)%W], iqSrc2[e]))
+	}
+	connectAll(mb, iqReady, iqReadyNext)
+	grantCount := mb.Node("iq_grants", c.popcountTree(grants))
+
+	// ---------- Physical register file: memory macro, 2W read ports ----
+	// (FIRRTL register files are Mem constructs with combinational reads,
+	// not flop mux trees — this matches the cone structure of the real
+	// BOOM, where a read port is one node.)
+	prf := mb.Mem("prf", firrtl.UInt(w), p.PhysRegs)
+	aluOuts := make([]firrtl.Expr, W)
+	readVals := make([]firrtl.Expr, 2*W)
+	for i := 0; i < 2*W; i++ {
+		sel := mb.Node("", firrtl.Trunc(physW, firrtl.PadE(physW,
+			firrtl.BitsE(instrs[i%W], 19+i%3, 12))))
+		readVals[i] = mb.Node(fmt.Sprintf("prf_rd%d", i), prf.Read(sel))
+	}
+
+	// ---------- Execute: W ALUs + full bypass network ----------
+	for i := 0; i < W; i++ {
+		a, bb := readVals[2*i], readVals[2*i+1]
+		// Bypass from every older ALU in the same group.
+		for j := 0; j < i; j++ {
+			byp := mb.Node("", firrtl.Eq(wbTags[j], wbTags[i]))
+			a = mb.Node("", firrtl.Mux(byp, aluOuts[j], a))
+			bb = mb.Node("", firrtl.Mux(byp, aluOuts[j], bb))
+		}
+		fn := mb.Node("", firrtl.BitsE(instrs[i], 14, 12))
+		aluOuts[i] = mb.Node(fmt.Sprintf("alu%d", i), c.alu(a, bb, fn))
+	}
+	// EX/WB pipeline registers: results are registered before writeback,
+	// so the wide-fanout consumers below (PRF ports, ROB, LSQ) anchor
+	// their cones at these registers instead of replicating the whole
+	// read-tree/ALU complex.
+	wbData := make([]firrtl.Expr, W)
+	wbTagR := make([]firrtl.Expr, W)
+	for i := 0; i < W; i++ {
+		dr := mb.Reg(fmt.Sprintf("ex_wb_d%d", i), firrtl.UInt(w), 0)
+		mb.Connect(dr, aluOuts[i])
+		wbData[i] = dr
+		tr := mb.Reg(fmt.Sprintf("ex_wb_t%d", i), firrtl.UInt(physW), 0)
+		mb.Connect(tr, wbTags[i])
+		wbTagR[i] = tr
+	}
+	stData := mb.Reg("ex_wb_st", firrtl.UInt(w), 0)
+	mb.Connect(stData, readVals[0])
+
+	// W write ports into the PRF.
+	for i := 0; i < W; i++ {
+		prf.Write(mb.Node("", firrtl.Trunc(physW, firrtl.PadE(physW, wbTagR[i]))),
+			wbData[i], firrtl.BitE(instrs[i], 9))
+	}
+
+	// ---------- ROB: per-entry valid+data, W-wide completion CAM --------
+	robValid := c.regArray("rob_v", p.RobEntries, 1, 0)
+	robData := c.regArray("rob_d", p.RobEntries, 16, seed+0x61)
+	robW := log2Up(p.RobEntries)
+	head := mb.Reg("rob_head", firrtl.UInt(robW), 0)
+	tail := mb.Reg("rob_tail", firrtl.UInt(robW), 0)
+	mb.Connect(head, firrtl.Trunc(robW, firrtl.Add(head, firrtl.PadE(robW, firrtl.BitE(instrs[0], 2)))))
+	mb.Connect(tail, firrtl.Trunc(robW, firrtl.Add(tail, firrtl.U(robW, uint64(W)))))
+	var commitBits []firrtl.Expr
+	for e := 0; e < p.RobEntries; e++ {
+		var done firrtl.Expr = firrtl.U(1, 0)
+		for i := 0; i < W; i++ {
+			slot := mb.Node("", firrtl.Eq(
+				firrtl.Trunc(robW, firrtl.Add(tail, firrtl.U(robW, uint64(i)))),
+				firrtl.U(robW, uint64(e))))
+			done = mb.Node("", firrtl.Or(done, slot))
+		}
+		isHead := mb.Node("", firrtl.Eq(head, firrtl.U(robW, uint64(e))))
+		vNext := mb.Node("", firrtl.Mux(firrtl.Trunc(1, isHead), firrtl.U(1, 0),
+			mb.Node("", firrtl.Or(robValid[e], firrtl.Trunc(1, done)))))
+		mb.Connect(robValid[e], firrtl.Trunc(1, vNext))
+		mb.Connect(robData[e], firrtl.Mux(firrtl.Trunc(1, done),
+			firrtl.Trunc(16, wbData[e%W]), robData[e]))
+		commitBits = append(commitBits, robValid[e])
+	}
+	robOcc := mb.Node("rob_occ", c.popcountTree(commitBits))
+
+	// ---------- Mul/Div unit: a pipelined multiplier and an iterative
+	// divider per issue slot. These are few vertices but expensive ones —
+	// the op-cost skew the simulation cost model (§4.3) exists to balance.
+	mdAcc := make([]firrtl.Expr, W)
+	for i := 0; i < W; i++ {
+		m := mb.Node("", firrtl.Trunc(w, firrtl.Mul(wbData[i], readVals[2*i])))
+		q := m
+		for st := 0; st < 4; st++ {
+			q = mb.Node("", firrtl.P(firrtl.OpDiv, q,
+				mb.Node("", firrtl.Or(readVals[2*i+1], firrtl.U(w, 3)))))
+			q = mb.Node("", firrtl.Trunc(w, firrtl.Mul(q, firrtl.U(4, uint64(st+3)))))
+		}
+		r := mb.Reg(fmt.Sprintf("md_out%d", i), firrtl.UInt(w), 0)
+		mb.Connect(r, firrtl.Trunc(w, q))
+		mdAcc[i] = r
+	}
+
+	// ---------- LSQ + D$ ----------
+	lsqAddr := c.regArray("lsq_a", p.LSQEntries, w, seed+0x71)
+	for e := 0; e < p.LSQEntries; e++ {
+		mb.Connect(lsqAddr[e], firrtl.Mux(firrtl.BitE(instrs[e%W], 10),
+			wbData[e%W], lsqAddr[e]))
+	}
+	_, lsqHit := c.cam(lsqAddr, wbData[0])
+	dmem := mb.Mem("dcache_data", firrtl.UInt(w), p.DCacheLines)
+	daddrW := log2Up(p.DCacheLines)
+	daddr := mb.Node("", firrtl.Trunc(daddrW, firrtl.PadE(daddrW, firrtl.BitsE(wbData[0], daddrW+1, 2))))
+	loaded := mb.Node("lsu_load", dmem.Read(daddr))
+	dmem.Write(daddr, stData, firrtl.BitE(instrs[0], 11))
+
+	// ---------- ROB exception bits + branch snapshots (register-dense) --
+	robExc := c.regArray("rob_e", p.RobEntries, 1, 0)
+	for e := range robExc {
+		mb.Connect(robExc[e], mb.Node("", firrtl.Xor(robExc[e], firrtl.BitE(instrs[e%W], e%w))))
+	}
+	excFold := c.xorFold(4, refsToExprs(robExc[:minInt(16, len(robExc))]))
+	snap := c.regArray("br_snap", p.BrSnapshots, 4, 0)
+	for e := range snap {
+		mb.Connect(snap[e], firrtl.Mux(firrtl.BitE(instrs[e%W], (e+3)%w),
+			firrtl.BitsE(wbData[e%W], 3, 0), snap[e]))
+	}
+	snapFold := c.xorFold(4, refsToExprs(snap[:minInt(16, len(snap))]))
+
+	// ---------- Observability ----------
+	// Each digest is registered separately so no single output sink owns a
+	// giant exclusive cone (an artifact real designs do not have: their
+	// outputs are narrow and shallow).
+	cycle := mb.Reg("csr_cycle", firrtl.UInt(w), 0)
+	mb.Connect(cycle, firrtl.AddW(w, cycle, firrtl.U(w, 1)))
+	obs := func(name string, e firrtl.Expr) firrtl.Expr {
+		r := mb.Reg(name, firrtl.UInt(w), 0)
+		mb.Connect(r, firrtl.Trunc(w, firrtl.PadE(w, e)))
+		return r
+	}
+	occR := obs("obs_occ", robOcc)
+	grantR := obs("obs_grant", grantCount)
+	excR := obs("obs_exc", excFold)
+	snapR := obs("obs_snap", snapFold)
+	renR := obs("obs_ren", c.xorFold(w, renamed))
+	wbR := obs("obs_wb", c.xorFold(w, wbData))
+	mdR := obs("obs_md", c.xorFold(w, mdAcc))
+	out := c.xorFold(w, []firrtl.Expr{
+		cycle, loaded, occR, grantR, firrtl.PadE(w, lsqHit), wbR, renR,
+		pc, excR, snapR, mdR,
+	})
+	mb.Connect(ioOut, firrtl.Trunc(w, out))
+	return mb
+}

@@ -1,0 +1,174 @@
+// Package designs generates the synthetic benchmark circuits of the
+// evaluation: in-order (Rocket-like) and out-of-order (BOOM-like) cores
+// assembled into 1/2/4-core SoCs, at Table-1-like relative sizes.
+//
+// The paper's designs come from Chisel generators; this package plays the
+// same role directly at the IR level. The circuits are self-stimulating
+// (LFSRs drive every input path) so simulators can run without a
+// testbench, and all state feeds the outputs so nothing is dead code.
+// Structural traits that matter to the partitioner are preserved: many
+// registers (so splitting yields many sinks), a mostly-connected
+// combinational core per CPU, narrow inter-core links, and per-core
+// independence that grows with core count.
+package designs
+
+import (
+	"fmt"
+
+	"repro/internal/firrtl"
+)
+
+// comp builds reusable hardware idioms into one module.
+type comp struct {
+	mb *firrtl.ModuleBuilder
+}
+
+// lfsr creates a maximal-ish LFSR register of width w seeded with seed,
+// returning its current value. It is the stimulus source.
+func (c *comp) lfsr(name string, w int, seed uint64) *firrtl.Ref {
+	if seed == 0 {
+		seed = 1
+	}
+	r := c.mb.Reg(name, firrtl.UInt(w), seed)
+	// feedback = xor of a few taps.
+	fb := firrtl.Xor(firrtl.BitE(r, w-1), firrtl.BitE(r, w/2))
+	fb = firrtl.Xor(fb, firrtl.BitE(r, w/3))
+	next := firrtl.Trunc(w, firrtl.CatE(firrtl.BitsE(r, w-2, 0), firrtl.Trunc(1, fb)))
+	c.mb.Connect(r, c.mb.Node("", next))
+	return r
+}
+
+// muxTree builds a balanced mux tree selecting items[sel]; items must be
+// non-empty and share a type.
+func (c *comp) muxTree(sel firrtl.Expr, items []firrtl.Expr) firrtl.Expr {
+	n := len(items)
+	if n == 1 {
+		return items[0]
+	}
+	selW := sel.Type().Width
+	var level []firrtl.Expr
+	level = append(level, items...)
+	bit := 0
+	for len(level) > 1 {
+		var next []firrtl.Expr
+		var s firrtl.Expr
+		if bit < selW {
+			s = c.mb.Node("", firrtl.BitE(sel, bit))
+		} else {
+			s = firrtl.U(1, 0)
+		}
+		for i := 0; i < len(level); i += 2 {
+			if i+1 < len(level) {
+				next = append(next, c.mb.Node("", firrtl.Mux(s, level[i+1], level[i])))
+			} else {
+				next = append(next, level[i])
+			}
+		}
+		level = next
+		bit++
+	}
+	return level[0]
+}
+
+// regArray declares n registers of width w and returns the refs.
+func (c *comp) regArray(prefix string, n, w int, seed uint64) []*firrtl.Ref {
+	out := make([]*firrtl.Ref, n)
+	for i := 0; i < n; i++ {
+		out[i] = c.mb.Reg(fmt.Sprintf("%s_%d", prefix, i), firrtl.UInt(w), seed+uint64(i)*0x9e37)
+	}
+	return out
+}
+
+// writePort drives each register in regs with data when (en && addr==i),
+// else with holdNext[i] (or itself if holdNext is nil). Returns the next-
+// value expressions so callers can chain additional write ports.
+func (c *comp) writePort(regs []*firrtl.Ref, addr, data, en firrtl.Expr, holdNext []firrtl.Expr) []firrtl.Expr {
+	next := make([]firrtl.Expr, len(regs))
+	aw := addr.Type().Width
+	for i := range regs {
+		hit := c.mb.Node("", firrtl.And(en, firrtl.Eq(addr, firrtl.U(aw, uint64(i)))))
+		prev := holdNext[i]
+		fitted := firrtl.Trunc(regs[i].Type().Width, firrtl.PadE(regs[i].Type().Width, data))
+		next[i] = c.mb.Node("", firrtl.Mux(firrtl.OrrE(hit), fitted, prev))
+	}
+	return next
+}
+
+// alu builds a small word ALU over a and b selected by fn, ~12 vertices.
+func (c *comp) alu(a, b, fn firrtl.Expr) firrtl.Expr {
+	w := a.Type().Width
+	sum := c.mb.Node("", firrtl.AddW(w, a, b))
+	diff := c.mb.Node("", firrtl.Trunc(w, firrtl.Sub(a, b)))
+	band := c.mb.Node("", firrtl.And(a, b))
+	bor := c.mb.Node("", firrtl.Or(a, b))
+	bxor := c.mb.Node("", firrtl.Xor(a, b))
+	slt := c.mb.Node("", firrtl.PadE(w, firrtl.Lt(a, b)))
+	sll := c.mb.Node("", firrtl.Trunc(w, firrtl.P(firrtl.OpDshl, a, firrtl.Trunc(5, firrtl.PadE(5, fn)))))
+	srl := c.mb.Node("", firrtl.P(firrtl.OpDshr, a, firrtl.Trunc(5, firrtl.PadE(5, fn))))
+	return c.muxTree(fn, []firrtl.Expr{sum, diff, band, bor, bxor, slt, sll, srl})
+}
+
+// decoder expands an opcode into n one-hot-ish control signals (~2n
+// vertices).
+func (c *comp) decoder(op firrtl.Expr, n int) []firrtl.Expr {
+	w := op.Type().Width
+	out := make([]firrtl.Expr, n)
+	for i := 0; i < n; i++ {
+		hit := c.mb.Node("", firrtl.Eq(firrtl.BitsE(op, minInt(w-1, 2+i%w), i%w),
+			firrtl.U(minInt(w-1, 2+i%w)-i%w+1, uint64(i)&0x7)))
+		out[i] = hit
+	}
+	return out
+}
+
+// cam matches key against each tag, returning per-entry hit bits and the
+// any-hit OR (~3 vertices per entry).
+func (c *comp) cam(tags []*firrtl.Ref, key firrtl.Expr) ([]firrtl.Expr, firrtl.Expr) {
+	hits := make([]firrtl.Expr, len(tags))
+	var any firrtl.Expr = firrtl.U(1, 0)
+	for i, t := range tags {
+		h := c.mb.Node("", firrtl.Eq(t, firrtl.Trunc(t.Type().Width, firrtl.PadE(t.Type().Width, key))))
+		hits[i] = h
+		any = c.mb.Node("", firrtl.Or(any, h))
+	}
+	return hits, firrtl.Trunc(1, any)
+}
+
+// popcountTree sums 1-bit signals (~n vertices).
+func (c *comp) popcountTree(bits []firrtl.Expr) firrtl.Expr {
+	if len(bits) == 0 {
+		return firrtl.U(1, 0)
+	}
+	level := make([]firrtl.Expr, len(bits))
+	copy(level, bits)
+	for len(level) > 1 {
+		var next []firrtl.Expr
+		for i := 0; i < len(level); i += 2 {
+			if i+1 < len(level) {
+				next = append(next, c.mb.Node("", firrtl.Add(level[i], level[i+1])))
+			} else {
+				next = append(next, level[i])
+			}
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// xorFold reduces a list of values to one w-bit digest (~n vertices); used
+// to keep state observable at outputs.
+func (c *comp) xorFold(w int, vals []firrtl.Expr) firrtl.Expr {
+	var acc firrtl.Expr = firrtl.U(w, 0)
+	for _, v := range vals {
+		fitted := firrtl.Trunc(w, firrtl.PadE(w, v))
+		acc = c.mb.Node("", firrtl.Xor(acc, fitted))
+	}
+	return acc
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

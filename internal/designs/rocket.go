@@ -1,0 +1,236 @@
+package designs
+
+import (
+	"fmt"
+
+	"repro/internal/firrtl"
+)
+
+// RocketParams size the in-order core. Zero values take scaled defaults.
+type RocketParams struct {
+	XLen        int // data width
+	NRegs       int // architectural register file entries
+	BTBEntries  int
+	ICacheLines int
+	DCacheLines int
+	TLBEntries  int
+	NDecode     int // decoded control signals
+	SBEntries   int // scoreboard / status register bank
+}
+
+// scaledRocket returns the default Rocket-class parameters at a size scale.
+func scaledRocket(scale float64) RocketParams {
+	s := func(n int) int {
+		v := int(float64(n)*scale + 0.5)
+		if v < 2 {
+			v = 2
+		}
+		return v
+	}
+	return RocketParams{
+		XLen:        32,
+		NRegs:       s(32),
+		BTBEntries:  s(16),
+		ICacheLines: s(32),
+		DCacheLines: s(32),
+		TLBEntries:  s(8),
+		NDecode:     s(16),
+		SBEntries:   s(192),
+	}
+}
+
+// buildRocketCore emits a five-stage in-order pipeline: fetch with BTB,
+// decode, register read, execute (ALU + branch resolution), memory
+// (direct-mapped D$ with tag CAM), and writeback, plus CSR counters. The
+// core is self-stimulating: instruction bits come from an LFSR mixed with
+// the io_in port so SoC-level traffic affects control flow.
+func buildRocketCore(b *firrtl.Builder, name string, p RocketParams, seed uint64) *firrtl.ModuleBuilder {
+	mb := b.Module(name)
+	c := &comp{mb: mb}
+	w := p.XLen
+
+	ioIn := mb.Input("io_in", firrtl.UInt(w))
+	ioOut := mb.Output("io_out", firrtl.UInt(w))
+
+	// ---------- Fetch ----------
+	pc := mb.Reg("pc", firrtl.UInt(w), 0x1000+seed)
+	instrSrc := c.lfsr("ifetch_lfsr", w, seed|1)
+	imem := mb.Mem("icache_data", firrtl.UInt(w), p.ICacheLines)
+	iaddrW := log2Up(p.ICacheLines)
+	iaddr := mb.Node("", firrtl.Trunc(iaddrW, firrtl.PadE(iaddrW, firrtl.BitsE(pc, minInt(w-1, iaddrW+1), 2))))
+	icLine := mb.Node("", imem.Read(iaddr))
+	// Refill the I$ from the stimulus stream (models miss traffic).
+	imem.Write(iaddr, firrtl.Xor(instrSrc, ioIn), firrtl.BitE(instrSrc, 3))
+	instr := mb.Node("if_instr", firrtl.Xor(icLine, instrSrc))
+
+	// BTB: tag CAM over registers + target memory.
+	btbTags := c.regArray("btb_tag", p.BTBEntries, 14, seed+7)
+	btbHits, btbHit := c.cam(btbTags, firrtl.BitsE(pc, 15, 2))
+	btbTgt := mb.Mem("btb_target", firrtl.UInt(w), p.BTBEntries)
+	btbIdxW := log2Up(p.BTBEntries)
+	btbIdx := mb.Node("", firrtl.Trunc(btbIdxW, firrtl.PadE(btbIdxW, firrtl.BitsE(pc, btbIdxW+1, 2))))
+	btbTarget := mb.Node("", btbTgt.Read(btbIdx))
+	// Train the BTB continuously.
+	btbTgt.Write(btbIdx, firrtl.AddW(w, pc, firrtl.U(w, 8)), firrtl.BitE(instr, 5))
+	tagNext := c.writePort(btbTags, btbIdx,
+		firrtl.BitsE(pc, 15, 2), firrtl.BitE(instr, 6), holdOf(btbTags))
+	connectAll(mb, btbTags, tagNext)
+	pcPlus4 := mb.Node("", firrtl.AddW(w, pc, firrtl.U(w, 4)))
+	predPC := mb.Node("", firrtl.Mux(btbHit, btbTarget, pcPlus4))
+
+	// IF/ID pipeline registers.
+	ifIdInstr := mb.Reg("if_id_instr", firrtl.UInt(w), 0)
+	ifIdPC := mb.Reg("if_id_pc", firrtl.UInt(w), 0)
+	mb.Connect(ifIdInstr, instr)
+	mb.Connect(ifIdPC, pc)
+
+	// ---------- Decode ----------
+	opcode := mb.Node("id_opcode", firrtl.BitsE(ifIdInstr, 6, 0))
+	rs1 := mb.Node("id_rs1", firrtl.BitsE(ifIdInstr, 19, 15))
+	rs2 := mb.Node("id_rs2", firrtl.BitsE(ifIdInstr, 24, 20))
+	rd := mb.Node("id_rd", firrtl.BitsE(ifIdInstr, 11, 7))
+	imm := mb.Node("id_imm", firrtl.PadE(w, firrtl.BitsE(ifIdInstr, 31, 20)))
+	ctrl := c.decoder(opcode, p.NDecode)
+	ctrlFold := c.xorFold(8, ctrl)
+
+	// ---------- Register file (flop-based, 2R1W) ----------
+	rf := c.regArray("rf", p.NRegs, w, seed+0x55)
+	selW := log2Up(p.NRegs)
+	rs1Sel := mb.Node("", firrtl.Trunc(selW, firrtl.PadE(selW, rs1)))
+	rs2Sel := mb.Node("", firrtl.Trunc(selW, firrtl.PadE(selW, rs2)))
+	rs1Val := mb.Node("id_rs1val", c.muxTree(rs1Sel, refsToExprs(rf)))
+	rs2Val := mb.Node("id_rs2val", c.muxTree(rs2Sel, refsToExprs(rf)))
+
+	// ID/EX registers.
+	idExA := mb.Reg("id_ex_a", firrtl.UInt(w), 0)
+	idExB := mb.Reg("id_ex_b", firrtl.UInt(w), 0)
+	idExImm := mb.Reg("id_ex_imm", firrtl.UInt(w), 0)
+	idExRd := mb.Reg("id_ex_rd", firrtl.UInt(5), 0)
+	idExCtl := mb.Reg("id_ex_ctl", firrtl.UInt(8), 0)
+	mb.Connect(idExA, rs1Val)
+	mb.Connect(idExB, rs2Val)
+	mb.Connect(idExImm, imm)
+	mb.Connect(idExRd, rd)
+	mb.Connect(idExCtl, firrtl.Trunc(8, ctrlFold))
+
+	// ---------- Execute ----------
+	fn := mb.Node("ex_fn", firrtl.BitsE(idExCtl, 2, 0))
+	opB := mb.Node("", firrtl.Mux(firrtl.BitE(idExCtl, 3), idExImm, idExB))
+	aluOut := mb.Node("ex_alu", c.alu(idExA, opB, fn))
+	brTaken := mb.Node("ex_br", firrtl.And(firrtl.BitE(idExCtl, 4),
+		firrtl.Eq(idExA, idExB)))
+	mispredict := mb.Node("ex_mispredict", firrtl.And(brTaken, firrtl.Not(btbHit)))
+	nextPC := mb.Node("", firrtl.Mux(firrtl.Trunc(1, mispredict),
+		firrtl.AddW(w, ifIdPC, idExImm), predPC))
+	mb.Connect(pc, nextPC)
+
+	// EX/MEM registers.
+	exMemAlu := mb.Reg("ex_mem_alu", firrtl.UInt(w), 0)
+	exMemRd := mb.Reg("ex_mem_rd", firrtl.UInt(5), 0)
+	exMemSt := mb.Reg("ex_mem_store", firrtl.UInt(1), 0)
+	mb.Connect(exMemAlu, aluOut)
+	mb.Connect(exMemRd, idExRd)
+	mb.Connect(exMemSt, firrtl.BitE(idExCtl, 5))
+
+	// ---------- Memory: direct-mapped D$ with tag CAM ----------
+	dmem := mb.Mem("dcache_data", firrtl.UInt(w), p.DCacheLines)
+	daddrW := log2Up(p.DCacheLines)
+	daddr := mb.Node("", firrtl.Trunc(daddrW, firrtl.PadE(daddrW, firrtl.BitsE(exMemAlu, daddrW+1, 2))))
+	dTags := c.regArray("dtag", p.DCacheLines, 16, seed+0x99)
+	_, dHit := c.cam(dTags, firrtl.BitsE(exMemAlu, 17, 2))
+	loaded := mb.Node("mem_load", dmem.Read(daddr))
+	dmem.Write(daddr, idExB, firrtl.Trunc(1, firrtl.And(exMemSt, dHit)))
+	dtNext := c.writePort(dTags, daddr,
+		firrtl.BitsE(exMemAlu, 17, 2), exMemSt, holdOf(dTags))
+	connectAll(mb, dTags, dtNext)
+	// TLB CAM.
+	tlb := c.regArray("tlb", p.TLBEntries, 20, seed+0x123)
+	tlbHits, tlbHit := c.cam(tlb, firrtl.BitsE(exMemAlu, 21, 2))
+	tlbCount := c.popcountTree(tlbHits)
+
+	// MEM/WB registers and writeback.
+	memWb := mb.Reg("mem_wb_val", firrtl.UInt(w), 0)
+	memWbRd := mb.Reg("mem_wb_rd", firrtl.UInt(5), 0)
+	mb.Connect(memWb, firrtl.Mux(firrtl.Trunc(1, dHit), loaded, exMemAlu))
+	mb.Connect(memWbRd, exMemRd)
+	wbEn := mb.Node("wb_en", firrtl.Neq(memWbRd, firrtl.U(5, 0)))
+	rfNext := c.writePort(rf, mb.Node("", firrtl.Trunc(selW, firrtl.PadE(selW, memWbRd))),
+		memWb, wbEn, holdOf(rf))
+	connectAll(mb, rf, rfNext)
+
+	// ---------- Mul/Div unit (iterative divider) ----------
+	mdq := mb.Node("", firrtl.Trunc(w, firrtl.Mul(idExA, opB)))
+	for st := 0; st < 3; st++ {
+		mdq = mb.Node("", firrtl.P(firrtl.OpDiv, mdq,
+			mb.Node("", firrtl.Or(idExB, firrtl.U(w, 5)))))
+	}
+	mdOut := mb.Reg("md_out", firrtl.UInt(w), 0)
+	mb.Connect(mdOut, firrtl.Trunc(w, mdq))
+
+	// ---------- Scoreboard / status bank (register-dense) ----------
+	sb := c.regArray("sb", p.SBEntries, 1, 0)
+	var sbBits []firrtl.Expr
+	for i := range sb {
+		mb.Connect(sb[i], mb.Node("", firrtl.Xor(sb[i], firrtl.BitE(ifIdInstr, i%w))))
+		sbBits = append(sbBits, sb[i])
+	}
+	sbFold := c.xorFold(8, sbBits[:minInt(16, len(sbBits))])
+
+	// ---------- CSR counters ----------
+	cycle := mb.Reg("csr_cycle", firrtl.UInt(w), 0)
+	mb.Connect(cycle, firrtl.AddW(w, cycle, firrtl.U(w, 1)))
+	instret := mb.Reg("csr_instret", firrtl.UInt(w), 0)
+	mb.Connect(instret, firrtl.AddW(w, instret, firrtl.PadE(w, wbEn)))
+
+	// Fold observable state into the output (registered digests keep
+	// output cones shallow).
+	obs := func(name string, e firrtl.Expr) firrtl.Expr {
+		or := mb.Reg(name, firrtl.UInt(w), 0)
+		mb.Connect(or, firrtl.Trunc(w, firrtl.PadE(w, e)))
+		return or
+	}
+	tlbR := obs("obs_tlb", tlbCount)
+	sbR := obs("obs_sb", sbFold)
+	out := c.xorFold(w, []firrtl.Expr{
+		memWb, obs("obs_alu", aluOut), cycle, instret, tlbR, firrtl.PadE(w, tlbHit),
+		firrtl.PadE(w, btbHit), pc, obs("obs_btb", c.xorFold(w, btbHits[:minInt(4, len(btbHits))])),
+		sbR, mdOut,
+	})
+	mb.Connect(ioOut, firrtl.Trunc(w, out))
+	return mb
+}
+
+// refsToExprs converts a register slice for the mux helpers.
+func refsToExprs(rs []*firrtl.Ref) []firrtl.Expr {
+	out := make([]firrtl.Expr, len(rs))
+	for i, r := range rs {
+		out[i] = r
+	}
+	return out
+}
+
+// holdOf produces the "keep current value" next-expressions for registers.
+func holdOf(rs []*firrtl.Ref) []firrtl.Expr {
+	out := make([]firrtl.Expr, len(rs))
+	for i, r := range rs {
+		out[i] = r
+	}
+	return out
+}
+
+// connectAll drives each register with its computed next value.
+func connectAll(mb *firrtl.ModuleBuilder, regs []*firrtl.Ref, next []firrtl.Expr) {
+	for i := range regs {
+		mb.Connect(regs[i], next[i])
+	}
+}
+
+func log2Up(n int) int {
+	w := 1
+	for (1 << w) < n {
+		w++
+	}
+	return w
+}
+
+var _ = fmt.Sprintf

@@ -1,0 +1,144 @@
+package designs
+
+import (
+	"fmt"
+
+	"repro/internal/cgraph"
+	"repro/internal/firrtl"
+)
+
+// Kind selects the core family.
+type Kind string
+
+// Core families, matching the paper's benchmark set (Table 1).
+const (
+	Rocket    Kind = "RocketChip"
+	SmallBoom Kind = "SmallBOOM"
+	LargeBoom Kind = "LargeBOOM"
+	MegaBoom  Kind = "MegaBOOM"
+)
+
+// Config selects one benchmark design.
+type Config struct {
+	Kind  Kind
+	Cores int
+	// Scale multiplies the structure sizes (register files, ROBs, caches).
+	// 1.0 is this reproduction's standard size — roughly 1/30 of the
+	// paper's node counts, keeping partitioning and simulation fast on a
+	// laptop while preserving the relative ordering of Table 1.
+	Scale float64
+}
+
+// Name returns the canonical design name, e.g. "MegaBOOM-4C".
+func (c Config) Name() string { return fmt.Sprintf("%s-%dC", c.Kind, c.Cores) }
+
+// BuildCircuit generates the design's IR circuit (hierarchical).
+func BuildCircuit(cfg Config) *firrtl.Circuit {
+	if cfg.Cores <= 0 {
+		cfg.Cores = 1
+	}
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1.0
+	}
+	top := cfg.Name()
+	b := firrtl.NewBuilder(top)
+
+	// Core modules (one module, instantiated N times).
+	var coreMod *firrtl.ModuleBuilder
+	switch cfg.Kind {
+	case Rocket:
+		coreMod = buildRocketCore(b, "RocketCore", scaledRocket(cfg.Scale), 0xace1)
+	case SmallBoom:
+		coreMod = buildBoomCore(b, "SmallBoomCore", scaledBoom("small", cfg.Scale), 0xb001)
+	case LargeBoom:
+		coreMod = buildBoomCore(b, "LargeBoomCore", scaledBoom("large", cfg.Scale), 0xb003)
+	case MegaBoom:
+		coreMod = buildBoomCore(b, "MegaBoomCore", scaledBoom("mega", cfg.Scale), 0xb004)
+	default:
+		panic("designs: unknown kind " + string(cfg.Kind))
+	}
+
+	mb := b.Module(top)
+	c := &comp{mb: mb}
+	w := 32
+
+	out := mb.Output("io_out", firrtl.UInt(w))
+
+	// System bus: core outputs fold into a registered bus; cores read the
+	// bus next cycle. The register boundary means cores are combinationally
+	// independent — the narrow inter-core paths the paper relies on.
+	bus := mb.Reg("bus", firrtl.UInt(w), 0)
+	noise := c.lfsr("bus_lfsr", w, 0xfeed)
+	var coreOuts []firrtl.Expr
+	for i := 0; i < cfg.Cores; i++ {
+		inst := mb.Instance(fmt.Sprintf("core_%d", i), coreMod)
+		inst.In("io_in", mb.Node("", firrtl.Xor(bus, firrtl.U(w, uint64(i)*0x01010101))))
+		coreOuts = append(coreOuts, inst.Out("io_out"))
+	}
+	mb.Connect(bus, mb.Node("", firrtl.Xor(c.xorFold(w, coreOuts), noise)))
+
+	// Shared L2-ish block: tag CAM + data memory driven by bus traffic.
+	l2p := scaledUncore(cfg.Scale)
+	l2tags := c.regArray("l2_tag", l2p.tagEntries, 18, 0x1212)
+	_, l2hit := c.cam(l2tags, firrtl.BitsE(bus, 19, 2))
+	l2data := mb.Mem("l2_data", firrtl.UInt(w), l2p.dataLines)
+	l2aW := log2Up(l2p.dataLines)
+	l2addr := mb.Node("", firrtl.Trunc(l2aW, firrtl.PadE(l2aW, firrtl.BitsE(bus, l2aW+1, 2))))
+	l2rd := mb.Node("l2_rd", l2data.Read(l2addr))
+	l2data.Write(l2addr, bus, firrtl.BitE(bus, 0))
+	tagNext := c.writePort(l2tags,
+		mb.Node("", firrtl.Trunc(log2Up(l2p.tagEntries), firrtl.PadE(log2Up(l2p.tagEntries), firrtl.BitsE(bus, 7, 2)))),
+		firrtl.BitsE(bus, 19, 2), firrtl.BitE(bus, 1), holdOf(l2tags))
+	connectAll(mb, l2tags, tagNext)
+
+	mb.Connect(out, mb.Node("", firrtl.Trunc(w,
+		c.xorFold(w, []firrtl.Expr{bus, l2rd, firrtl.PadE(w, l2hit)}))))
+
+	return b.Circuit()
+}
+
+type uncoreParams struct {
+	tagEntries int
+	dataLines  int
+}
+
+func scaledUncore(scale float64) uncoreParams {
+	s := func(n int) int {
+		v := int(float64(n)*scale + 0.5)
+		if v < 2 {
+			v = 2
+		}
+		return v
+	}
+	return uncoreParams{tagEntries: s(32), dataLines: s(256)}
+}
+
+// Build generates, flattens, lowers, and graphs one design.
+func Build(cfg Config) (*cgraph.Graph, error) {
+	circ := BuildCircuit(cfg)
+	fc, err := firrtl.Flatten(circ)
+	if err != nil {
+		return nil, fmt.Errorf("designs %s: %w", cfg.Name(), err)
+	}
+	lc, err := firrtl.Lower(fc)
+	if err != nil {
+		return nil, fmt.Errorf("designs %s: %w", cfg.Name(), err)
+	}
+	g, err := cgraph.Build(lc)
+	if err != nil {
+		return nil, fmt.Errorf("designs %s: %w", cfg.Name(), err)
+	}
+	return g, nil
+}
+
+// Table1 returns the paper's 12 benchmark configurations at the given
+// scale (rows of Table 1).
+func Table1(scale float64) []Config {
+	var out []Config
+	for _, k := range []Kind{Rocket, SmallBoom, LargeBoom, MegaBoom} {
+		for _, n := range []int{1, 2, 4} {
+			out = append(out, Config{Kind: k, Cores: n, Scale: scale})
+		}
+	}
+	return out
+}

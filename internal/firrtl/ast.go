@@ -1,0 +1,195 @@
+package firrtl
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+)
+
+// Circuit is a set of modules; the module named Circuit.Name is the top.
+type Circuit struct {
+	Name    string
+	Modules []*Module
+}
+
+// Main returns the top module, or nil if absent.
+func (c *Circuit) Main() *Module {
+	for _, m := range c.Modules {
+		if m.Name == c.Name {
+			return m
+		}
+	}
+	return nil
+}
+
+// Module returns the module with the given name, or nil.
+func (c *Circuit) Module(name string) *Module {
+	for _, m := range c.Modules {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// Dir is a port direction.
+type Dir uint8
+
+// Port directions.
+const (
+	Input Dir = iota
+	Output
+)
+
+func (d Dir) String() string {
+	if d == Input {
+		return "input"
+	}
+	return "output"
+}
+
+// Port is a module input or output.
+type Port struct {
+	Name string
+	Dir  Dir
+	Type Type
+}
+
+// Module is a list of ports and statements.
+type Module struct {
+	Name  string
+	Ports []*Port
+	Stmts []Stmt
+}
+
+// Port returns the port with the given name, or nil.
+func (m *Module) Port(name string) *Port {
+	for _, p := range m.Ports {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// Stmt is a module-level statement.
+type Stmt interface{ isStmt() }
+
+// Node binds a name to a combinational expression: node Name = Expr.
+type Node struct {
+	Name string
+	Expr Expr
+}
+
+// Wire declares a named wire that must be driven by exactly one Connect.
+type Wire struct {
+	Name string
+	Type Type
+}
+
+// Reg declares a register. Init, if non-nil, is the power-on value
+// (applied once at reset; there is no reset port in this dialect).
+type Reg struct {
+	Name string
+	Type Type
+	Init *bitvec.Vec
+}
+
+// Mem declares a synchronous-write, combinational-read memory of
+// Depth elements of type Type. Reads are MemRead expressions; writes are
+// MemWrite statements and take effect at the end of the cycle.
+type Mem struct {
+	Name  string
+	Type  Type
+	Depth int
+}
+
+// MemWrite writes Data to Mem[Addr] at the end of the cycle when En is 1.
+type MemWrite struct {
+	Mem  string
+	Addr Expr
+	Data Expr
+	En   Expr
+}
+
+// Connect drives a wire, register (next value), output port, or instance
+// input port. Loc is either "name" or "inst.port".
+type Connect struct {
+	Loc  string
+	Expr Expr
+}
+
+// Inst instantiates module Of under the local name Name.
+type Inst struct {
+	Name string
+	Of   string
+}
+
+func (*Node) isStmt()     {}
+func (*Wire) isStmt()     {}
+func (*Reg) isStmt()      {}
+func (*Mem) isStmt()      {}
+func (*MemWrite) isStmt() {}
+func (*Connect) isStmt()  {}
+func (*Inst) isStmt()     {}
+
+// Expr is an IR expression.
+type Expr interface {
+	isExpr()
+	// Type returns the expression's type; valid after checking/lowering
+	// (constructors from the Builder and parser compute it eagerly).
+	Type() Type
+}
+
+// Ref names a port, node, wire, or register read.
+type Ref struct {
+	Name string
+	Typ  Type
+}
+
+// Field references an instance port: Inst.Port.
+type Field struct {
+	Inst string
+	Port string
+	Typ  Type
+}
+
+// Lit is a literal value of an explicit type.
+type Lit struct {
+	Typ Type
+	Val bitvec.Vec
+}
+
+// MemRead reads Mem[Addr] combinationally.
+type MemRead struct {
+	Mem  string
+	Addr Expr
+	Typ  Type
+}
+
+// Prim applies a primitive operation to expression arguments and integer
+// constants (e.g. bits(x, 7, 0) has Args=[x], Consts=[7,0]).
+type Prim struct {
+	Op     PrimOp
+	Args   []Expr
+	Consts []int
+	Typ    Type
+}
+
+func (*Ref) isExpr()     {}
+func (*Field) isExpr()   {}
+func (*Lit) isExpr()     {}
+func (*MemRead) isExpr() {}
+func (*Prim) isExpr()    {}
+
+func (e *Ref) Type() Type     { return e.Typ }
+func (e *Field) Type() Type   { return e.Typ }
+func (e *Lit) Type() Type     { return e.Typ }
+func (e *MemRead) Type() Type { return e.Typ }
+func (e *Prim) Type() Type    { return e.Typ }
+
+func (e *Ref) String() string   { return e.Name }
+func (e *Field) String() string { return e.Inst + "." + e.Port }
+func (e *Lit) String() string {
+	return fmt.Sprintf("%s(%s)", e.Typ, e.Val.Big().String())
+}

@@ -1,0 +1,321 @@
+package firrtl
+
+import (
+	"fmt"
+)
+
+// symKind classifies a name within a module.
+type symKind uint8
+
+const (
+	symPortIn symKind = iota
+	symPortOut
+	symNode
+	symWire
+	symReg
+	symMem
+	symInst
+)
+
+type symbol struct {
+	kind symKind
+	typ  Type // data type (for mem: element type)
+	mem  *Mem
+	inst *Inst
+}
+
+// Check validates the circuit and annotates every expression with its type.
+// It enforces: unique names; declare-before-use for nodes; exactly one
+// driver for every wire, output port, and instance input; type/width
+// compatibility of connects (implicit widening allowed, truncation is an
+// error); and memory port typing. Registers may be left undriven (they then
+// hold their value). It must be called before Lower, Flatten, or graph
+// construction.
+func Check(c *Circuit) error {
+	if c.Main() == nil {
+		return fmt.Errorf("circuit %s: no top module with that name", c.Name)
+	}
+	seen := map[string]bool{}
+	for _, m := range c.Modules {
+		if seen[m.Name] {
+			return fmt.Errorf("duplicate module %s", m.Name)
+		}
+		seen[m.Name] = true
+	}
+	for _, m := range c.Modules {
+		if err := checkModule(c, m); err != nil {
+			return fmt.Errorf("module %s: %w", m.Name, err)
+		}
+	}
+	return nil
+}
+
+func checkModule(c *Circuit, m *Module) error {
+	syms := map[string]*symbol{}
+	declare := func(name string, s *symbol) error {
+		if _, dup := syms[name]; dup {
+			return fmt.Errorf("duplicate name %q", name)
+		}
+		syms[name] = s
+		return nil
+	}
+	for _, p := range m.Ports {
+		k := symPortIn
+		if p.Dir == Output {
+			k = symPortOut
+		}
+		if !p.Type.IsClock() && p.Type.Width <= 0 {
+			return fmt.Errorf("port %s: width must be positive", p.Name)
+		}
+		if err := declare(p.Name, &symbol{kind: k, typ: p.Type}); err != nil {
+			return err
+		}
+	}
+
+	// driven tracks single-driver targets: wire/output/reg names and
+	// "inst.port" strings.
+	driven := map[string]bool{}
+
+	var checkExpr func(e Expr) (Type, error)
+	checkExpr = func(e Expr) (Type, error) {
+		switch x := e.(type) {
+		case *Lit:
+			if x.Typ.Width <= 0 {
+				return Type{}, fmt.Errorf("literal with non-positive width")
+			}
+			return x.Typ, nil
+		case *Ref:
+			s, ok := syms[x.Name]
+			if !ok {
+				return Type{}, fmt.Errorf("undefined reference %q", x.Name)
+			}
+			switch s.kind {
+			case symMem:
+				return Type{}, fmt.Errorf("memory %q used as value (use read)", x.Name)
+			case symInst:
+				return Type{}, fmt.Errorf("instance %q used as value", x.Name)
+			}
+			if s.typ.IsClock() {
+				return Type{}, fmt.Errorf("clock %q used as data", x.Name)
+			}
+			x.Typ = s.typ
+			return s.typ, nil
+		case *Field:
+			s, ok := syms[x.Inst]
+			if !ok || s.kind != symInst {
+				return Type{}, fmt.Errorf("undefined instance %q", x.Inst)
+			}
+			sub := c.Module(s.inst.Of)
+			if sub == nil {
+				return Type{}, fmt.Errorf("instance %q of unknown module %q", x.Inst, s.inst.Of)
+			}
+			p := sub.Port(x.Port)
+			if p == nil {
+				return Type{}, fmt.Errorf("module %s has no port %q", sub.Name, x.Port)
+			}
+			if p.Dir != Output {
+				return Type{}, fmt.Errorf("cannot read input port %s.%s", x.Inst, x.Port)
+			}
+			x.Typ = p.Type
+			return p.Type, nil
+		case *MemRead:
+			s, ok := syms[x.Mem]
+			if !ok || s.kind != symMem {
+				return Type{}, fmt.Errorf("undefined memory %q", x.Mem)
+			}
+			at, err := checkExpr(x.Addr)
+			if err != nil {
+				return Type{}, err
+			}
+			if at.Kind != KUInt {
+				return Type{}, fmt.Errorf("read(%s): address must be UInt", x.Mem)
+			}
+			x.Typ = s.typ
+			return s.typ, nil
+		case *Prim:
+			ats := make([]Type, len(x.Args))
+			for i, a := range x.Args {
+				t, err := checkExpr(a)
+				if err != nil {
+					return Type{}, err
+				}
+				ats[i] = t
+			}
+			rt, err := InferType(x.Op, ats, x.Consts)
+			if err != nil {
+				return Type{}, err
+			}
+			x.Typ = rt
+			return rt, nil
+		}
+		return Type{}, fmt.Errorf("unknown expression %T", e)
+	}
+
+	// connectOK verifies RHS type rt can drive a target of type lt.
+	connectOK := func(what string, lt, rt Type) error {
+		if lt.IsClock() || rt.IsClock() {
+			return fmt.Errorf("%s: cannot connect clock as data", what)
+		}
+		if lt.Kind != rt.Kind {
+			return fmt.Errorf("%s: signedness mismatch (%s <= %s)", what, lt, rt)
+		}
+		if rt.Width > lt.Width {
+			return fmt.Errorf("%s: implicit truncation (%s <= %s); use bits/tail", what, lt, rt)
+		}
+		return nil
+	}
+
+	for _, st := range m.Stmts {
+		switch s := st.(type) {
+		case *Wire:
+			if s.Type.Width <= 0 || s.Type.IsClock() {
+				return fmt.Errorf("wire %s: bad type %s", s.Name, s.Type)
+			}
+			if err := declare(s.Name, &symbol{kind: symWire, typ: s.Type}); err != nil {
+				return err
+			}
+		case *Reg:
+			if s.Type.Width <= 0 || s.Type.IsClock() {
+				return fmt.Errorf("reg %s: bad type %s", s.Name, s.Type)
+			}
+			if err := declare(s.Name, &symbol{kind: symReg, typ: s.Type}); err != nil {
+				return err
+			}
+		case *Mem:
+			if s.Type.Width <= 0 || s.Type.IsClock() {
+				return fmt.Errorf("mem %s: bad element type %s", s.Name, s.Type)
+			}
+			if s.Depth <= 0 {
+				return fmt.Errorf("mem %s: bad depth %d", s.Name, s.Depth)
+			}
+			if err := declare(s.Name, &symbol{kind: symMem, typ: s.Type, mem: s}); err != nil {
+				return err
+			}
+		case *Inst:
+			sub := c.Module(s.Of)
+			if sub == nil {
+				return fmt.Errorf("inst %s: unknown module %q", s.Name, s.Of)
+			}
+			if sub.Name == m.Name {
+				return fmt.Errorf("inst %s: module cannot instantiate itself", s.Name)
+			}
+			if err := declare(s.Name, &symbol{kind: symInst, inst: s}); err != nil {
+				return err
+			}
+		case *Node:
+			t, err := checkExpr(s.Expr)
+			if err != nil {
+				return fmt.Errorf("node %s: %w", s.Name, err)
+			}
+			if err := declare(s.Name, &symbol{kind: symNode, typ: t}); err != nil {
+				return err
+			}
+		case *MemWrite:
+			ms, ok := syms[s.Mem]
+			if !ok || ms.kind != symMem {
+				return fmt.Errorf("write: undefined memory %q", s.Mem)
+			}
+			at, err := checkExpr(s.Addr)
+			if err != nil {
+				return fmt.Errorf("write(%s) addr: %w", s.Mem, err)
+			}
+			if at.Kind != KUInt {
+				return fmt.Errorf("write(%s): address must be UInt", s.Mem)
+			}
+			dt, err := checkExpr(s.Data)
+			if err != nil {
+				return fmt.Errorf("write(%s) data: %w", s.Mem, err)
+			}
+			if err := connectOK("write("+s.Mem+") data", ms.typ, dt); err != nil {
+				return err
+			}
+			et, err := checkExpr(s.En)
+			if err != nil {
+				return fmt.Errorf("write(%s) en: %w", s.Mem, err)
+			}
+			if et.Kind != KUInt || et.Width != 1 {
+				return fmt.Errorf("write(%s): enable must be UInt<1>, got %s", s.Mem, et)
+			}
+		case *Connect:
+			rt, err := checkExpr(s.Expr)
+			if err != nil {
+				return fmt.Errorf("connect %s: %w", s.Loc, err)
+			}
+			if driven[s.Loc] {
+				return fmt.Errorf("connect %s: multiple drivers", s.Loc)
+			}
+			driven[s.Loc] = true
+			// Resolve the target.
+			if inst, port, isField := splitLoc(s.Loc); isField {
+				is, ok := syms[inst]
+				if !ok || is.kind != symInst {
+					return fmt.Errorf("connect %s: undefined instance %q", s.Loc, inst)
+				}
+				sub := c.Module(is.inst.Of)
+				p := sub.Port(port)
+				if p == nil {
+					return fmt.Errorf("connect %s: module %s has no port %q", s.Loc, sub.Name, port)
+				}
+				if p.Dir != Input {
+					return fmt.Errorf("connect %s: cannot drive output port", s.Loc)
+				}
+				if p.Type.IsClock() {
+					// Clock hookups are accepted and ignored (single
+					// implicit clock domain).
+					continue
+				}
+				if err := connectOK("connect "+s.Loc, p.Type, rt); err != nil {
+					return err
+				}
+				continue
+			}
+			ts, ok := syms[s.Loc]
+			if !ok {
+				return fmt.Errorf("connect %s: undefined target", s.Loc)
+			}
+			switch ts.kind {
+			case symWire, symReg, symPortOut:
+				if err := connectOK("connect "+s.Loc, ts.typ, rt); err != nil {
+					return err
+				}
+			case symPortIn:
+				return fmt.Errorf("connect %s: cannot drive an input port", s.Loc)
+			default:
+				return fmt.Errorf("connect %s: target is not connectable", s.Loc)
+			}
+		}
+	}
+
+	// Every wire, output port, and instance input must be driven.
+	for name, s := range syms {
+		switch s.kind {
+		case symWire:
+			if !driven[name] {
+				return fmt.Errorf("wire %s is never driven", name)
+			}
+		case symPortOut:
+			if !driven[name] {
+				return fmt.Errorf("output %s is never driven", name)
+			}
+		case symInst:
+			sub := c.Module(s.inst.Of)
+			for _, p := range sub.Ports {
+				if p.Dir == Input && !p.Type.IsClock() && !driven[name+"."+p.Name] {
+					return fmt.Errorf("instance input %s.%s is never driven", name, p.Name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// splitLoc splits "inst.port" into its parts; isField is false for a plain
+// name.
+func splitLoc(loc string) (inst, port string, isField bool) {
+	for i := 0; i < len(loc); i++ {
+		if loc[i] == '.' {
+			return loc[:i], loc[i+1:], true
+		}
+	}
+	return loc, "", false
+}

@@ -1,0 +1,224 @@
+package firrtl
+
+import (
+	"testing"
+)
+
+const hierSrc = `
+circuit Top {
+  module Leaf {
+    input  a : UInt<8>
+    input  b : UInt<8>
+    output z : UInt<8>
+    node s = tail(add(a, b), 1)
+    z <= s
+  }
+  module Mid {
+    input  x : UInt<8>
+    output y : UInt<8>
+    inst l0 of Leaf
+    inst l1 of Leaf
+    l0.a <= x
+    l0.b <= UInt<8>(1)
+    l1.a <= l0.z
+    l1.b <= x
+    y <= l1.z
+  }
+  module Top {
+    input  clock : Clock
+    input  in : UInt<8>
+    output out : UInt<8>
+    inst m of Mid
+    m.x <= in
+    reg r : UInt<8> init 0
+    r <= m.y
+    out <= r
+  }
+}
+`
+
+func TestFlatten(t *testing.T) {
+	c, err := Parse(hierSrc)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := Check(c); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	fc, err := Flatten(c)
+	if err != nil {
+		t.Fatalf("flatten: %v", err)
+	}
+	if len(fc.Modules) != 1 {
+		t.Fatalf("want 1 module after flatten, got %d", len(fc.Modules))
+	}
+	m := fc.Main()
+	// No instances should survive.
+	names := map[string]bool{}
+	for _, st := range m.Stmts {
+		switch s := st.(type) {
+		case *Inst:
+			t.Fatalf("instance %s survived flattening", s.Name)
+		case *Wire:
+			names[s.Name] = true
+		case *Reg:
+			names[s.Name] = true
+		case *Node:
+			names[s.Name] = true
+		}
+	}
+	// Hierarchical names exist.
+	for _, want := range []string{"m$x", "m$y", "m$l0$a", "m$l0$z", "m$l1$s", "r"} {
+		if !names[want] {
+			t.Errorf("expected flattened name %q", want)
+		}
+	}
+	// Two Leaf instances under Mid mean two copies of its node.
+	if !names["m$l0$s"] || !names["m$l1$s"] {
+		t.Errorf("leaf bodies not duplicated per instance")
+	}
+}
+
+func TestLowerNormalForm(t *testing.T) {
+	src := `
+circuit X {
+  module X {
+    input  a : UInt<8>
+    input  b : UInt<8>
+    output o : UInt<8>
+    mem m : UInt<8>[32]
+    node v = read(m, bits(add(a, b), 4, 0))
+    write(m, bits(a, 4, 0), tail(add(v, b), 1), orr(a))
+    o <= tail(add(xor(a, b), UInt<8>(3)), 1)
+  }
+}
+`
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := Check(c); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	fc, err := Flatten(c)
+	if err != nil {
+		t.Fatalf("flatten: %v", err)
+	}
+	lc, err := Lower(fc)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	isAtom := func(e Expr) bool {
+		switch e.(type) {
+		case *Ref, *Lit:
+			return true
+		}
+		return false
+	}
+	for _, st := range lc.Main().Stmts {
+		switch s := st.(type) {
+		case *Node:
+			switch e := s.Expr.(type) {
+			case *Prim:
+				for _, a := range e.Args {
+					if !isAtom(a) {
+						t.Errorf("node %s: non-atomic prim arg %s", s.Name, ExprString(a))
+					}
+				}
+			case *MemRead:
+				if !isAtom(e.Addr) {
+					t.Errorf("node %s: non-atomic read addr", s.Name)
+				}
+			case *Ref, *Lit:
+			default:
+				t.Errorf("node %s: unexpected expr %T", s.Name, e)
+			}
+		case *Connect:
+			if !isAtom(s.Expr) {
+				t.Errorf("connect %s: non-atomic expr %s", s.Loc, ExprString(s.Expr))
+			}
+		case *MemWrite:
+			if !isAtom(s.Addr) || !isAtom(s.Data) || !isAtom(s.En) {
+				t.Errorf("memwrite: non-atomic operand")
+			}
+		}
+	}
+}
+
+func TestBuilderCounter(t *testing.T) {
+	b := NewBuilder("Ctr")
+	mb := b.Module("Ctr")
+	en := mb.Input("en", UInt(1))
+	out := mb.Output("out", UInt(8))
+	r := mb.Reg("r", UInt(8), 0)
+	next := mb.Node("", Trunc(8, Add(r, U(8, 1))))
+	mb.Connect(r, Mux(en, next, r))
+	mb.Connect(out, r)
+	c := b.Circuit()
+	if err := Check(c); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	if _, err := Lower(c); err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+}
+
+func TestBuilderInstanceAndMem(t *testing.T) {
+	b := NewBuilder("Top")
+	leaf := b.Module("Leaf")
+	{
+		a := leaf.Input("a", UInt(4))
+		z := leaf.Output("z", UInt(4))
+		leaf.Connect(z, Not(a))
+	}
+	top := b.Module("Top")
+	in := top.Input("in", UInt(4))
+	out := top.Output("out", UInt(4))
+	u := top.Instance("u", leaf)
+	u.In("a", in)
+	m := top.Mem("m", UInt(4), 16)
+	rd := top.Node("", m.Read(in))
+	m.Write(in, u.Out("z"), U(1, 1))
+	top.Connect(out, top.Node("", Xor(rd, u.Out("z"))))
+	c := b.Circuit()
+	fc, err := Flatten(c)
+	if err != nil {
+		t.Fatalf("flatten: %v", err)
+	}
+	if _, err := Lower(fc); err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+}
+
+func TestBuilderPanicsOnTypeError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic on bad mux selector")
+		}
+	}()
+	b := NewBuilder("X")
+	mb := b.Module("X")
+	a := mb.Input("a", UInt(4))
+	Mux(a, a, a) // selector must be UInt<1>
+}
+
+func TestFlattenRejectsDeepRecursion(t *testing.T) {
+	// A cycle of instances A->B->A is rejected by the depth bound (the
+	// per-module self-instantiation check cannot see mutual recursion).
+	src := `
+circuit A {
+  module B { inst x of A output o : UInt<1> o <= x.o }
+  module A { inst y of B output o : UInt<1> o <= y.o }
+}
+`
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := Check(c); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	if _, err := Flatten(c); err == nil {
+		t.Fatalf("expected flatten to reject mutually recursive hierarchy")
+	}
+}

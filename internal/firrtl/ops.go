@@ -1,0 +1,380 @@
+package firrtl
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/bitvec"
+)
+
+// PrimOp is a primitive operation code.
+type PrimOp uint8
+
+// The primitive operations of the dialect. Arity and constant-argument
+// counts are given in opInfo.
+const (
+	OpAdd PrimOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpLt
+	OpLeq
+	OpGt
+	OpGeq
+	OpEq
+	OpNeq
+	OpAnd
+	OpOr
+	OpXor
+	OpNot
+	OpNeg
+	OpAndR
+	OpOrR
+	OpXorR
+	OpCat
+	OpBits // bits(x, hi, lo)
+	OpHead // head(x, n)
+	OpTail // tail(x, n)
+	OpPad  // pad(x, n)
+	OpShl  // shl(x, n)  constant shift
+	OpShr  // shr(x, n)  constant shift
+	OpDshl // dshl(x, y) dynamic shift
+	OpDshr // dshr(x, y) dynamic shift
+	OpMux  // mux(sel, hi, lo)
+	OpAsUInt
+	OpAsSInt
+	OpCvt
+	numOps
+)
+
+type opInfo struct {
+	name   string
+	args   int // expression arguments
+	consts int // integer constant arguments
+}
+
+var opTable = [numOps]opInfo{
+	OpAdd:    {"add", 2, 0},
+	OpSub:    {"sub", 2, 0},
+	OpMul:    {"mul", 2, 0},
+	OpDiv:    {"div", 2, 0},
+	OpRem:    {"rem", 2, 0},
+	OpLt:     {"lt", 2, 0},
+	OpLeq:    {"leq", 2, 0},
+	OpGt:     {"gt", 2, 0},
+	OpGeq:    {"geq", 2, 0},
+	OpEq:     {"eq", 2, 0},
+	OpNeq:    {"neq", 2, 0},
+	OpAnd:    {"and", 2, 0},
+	OpOr:     {"or", 2, 0},
+	OpXor:    {"xor", 2, 0},
+	OpNot:    {"not", 1, 0},
+	OpNeg:    {"neg", 1, 0},
+	OpAndR:   {"andr", 1, 0},
+	OpOrR:    {"orr", 1, 0},
+	OpXorR:   {"xorr", 1, 0},
+	OpCat:    {"cat", 2, 0},
+	OpBits:   {"bits", 1, 2},
+	OpHead:   {"head", 1, 1},
+	OpTail:   {"tail", 1, 1},
+	OpPad:    {"pad", 1, 1},
+	OpShl:    {"shl", 1, 1},
+	OpShr:    {"shr", 1, 1},
+	OpDshl:   {"dshl", 2, 0},
+	OpDshr:   {"dshr", 2, 0},
+	OpMux:    {"mux", 3, 0},
+	OpAsUInt: {"asUInt", 1, 0},
+	OpAsSInt: {"asSInt", 1, 0},
+	OpCvt:    {"cvt", 1, 0},
+}
+
+// opByName maps textual names to ops, for the parser.
+var opByName = func() map[string]PrimOp {
+	m := make(map[string]PrimOp, numOps)
+	for op := PrimOp(0); op < numOps; op++ {
+		m[opTable[op].name] = op
+	}
+	return m
+}()
+
+func (op PrimOp) String() string {
+	if op < numOps {
+		return opTable[op].name
+	}
+	return fmt.Sprintf("?op(%d)", uint8(op))
+}
+
+// NArgs returns the number of expression arguments op takes.
+func (op PrimOp) NArgs() int { return opTable[op].args }
+
+// NConsts returns the number of integer constants op takes.
+func (op PrimOp) NConsts() int { return opTable[op].consts }
+
+// LookupOp returns the op with the given textual name.
+func LookupOp(name string) (PrimOp, bool) {
+	op, ok := opByName[name]
+	return op, ok
+}
+
+// maxDshlWidth caps the result width of dynamic left shifts so that a wide
+// shift-amount signal cannot explode widths; real designs index with small
+// amounts. The checker enforces the cap.
+const maxDshlWidth = 4096
+
+// InferType computes the result type of op applied to argument types ats
+// and constants consts, following the dialect's width rules (documented in
+// DESIGN.md; close to the FIRRTL spec).
+func InferType(op PrimOp, ats []Type, consts []int) (Type, error) {
+	info := opTable[op]
+	if len(ats) != info.args || len(consts) != info.consts {
+		return Type{}, fmt.Errorf("%s: want %d args and %d consts, got %d and %d",
+			op, info.args, info.consts, len(ats), len(consts))
+	}
+	for _, at := range ats {
+		if at.IsClock() {
+			return Type{}, fmt.Errorf("%s: clock used as data", op)
+		}
+		if at.Width <= 0 {
+			return Type{}, fmt.Errorf("%s: zero-width operand", op)
+		}
+	}
+	for i, c := range consts {
+		if c < 0 {
+			return Type{}, fmt.Errorf("%s: negative constant %d", op, c)
+		}
+		_ = i
+	}
+	switch op {
+	case OpAdd, OpSub:
+		if !SameKind(ats[0], ats[1]) {
+			return Type{}, fmt.Errorf("%s: mixed signedness", op)
+		}
+		return Type{ats[0].Kind, maxInt(ats[0].Width, ats[1].Width) + 1}, nil
+	case OpMul:
+		if !SameKind(ats[0], ats[1]) {
+			return Type{}, fmt.Errorf("%s: mixed signedness", op)
+		}
+		return Type{ats[0].Kind, ats[0].Width + ats[1].Width}, nil
+	case OpDiv:
+		if !SameKind(ats[0], ats[1]) {
+			return Type{}, fmt.Errorf("%s: mixed signedness", op)
+		}
+		w := ats[0].Width
+		if ats[0].Kind == KSInt {
+			w++
+		}
+		return Type{ats[0].Kind, w}, nil
+	case OpRem:
+		if !SameKind(ats[0], ats[1]) {
+			return Type{}, fmt.Errorf("%s: mixed signedness", op)
+		}
+		return Type{ats[0].Kind, minInt(ats[0].Width, ats[1].Width)}, nil
+	case OpLt, OpLeq, OpGt, OpGeq, OpEq, OpNeq:
+		if !SameKind(ats[0], ats[1]) {
+			return Type{}, fmt.Errorf("%s: mixed signedness", op)
+		}
+		return UInt(1), nil
+	case OpAnd, OpOr, OpXor:
+		return UInt(maxInt(ats[0].Width, ats[1].Width)), nil
+	case OpNot:
+		return UInt(ats[0].Width), nil
+	case OpNeg:
+		return SInt(ats[0].Width + 1), nil
+	case OpAndR, OpOrR, OpXorR:
+		return UInt(1), nil
+	case OpCat:
+		return UInt(ats[0].Width + ats[1].Width), nil
+	case OpBits:
+		hi, lo := consts[0], consts[1]
+		if hi < lo || hi >= ats[0].Width {
+			return Type{}, fmt.Errorf("bits: bad range [%d:%d] on width %d", hi, lo, ats[0].Width)
+		}
+		return UInt(hi - lo + 1), nil
+	case OpHead:
+		n := consts[0]
+		if n <= 0 || n > ats[0].Width {
+			return Type{}, fmt.Errorf("head: bad count %d on width %d", n, ats[0].Width)
+		}
+		return UInt(n), nil
+	case OpTail:
+		n := consts[0]
+		if n < 0 || n >= ats[0].Width {
+			return Type{}, fmt.Errorf("tail: bad count %d on width %d", n, ats[0].Width)
+		}
+		return UInt(ats[0].Width - n), nil
+	case OpPad:
+		return Type{ats[0].Kind, maxInt(ats[0].Width, consts[0])}, nil
+	case OpShl:
+		return Type{ats[0].Kind, ats[0].Width + consts[0]}, nil
+	case OpShr:
+		return Type{ats[0].Kind, maxInt(ats[0].Width-consts[0], 1)}, nil
+	case OpDshl:
+		if ats[1].Kind != KUInt {
+			return Type{}, fmt.Errorf("dshl: shift amount must be UInt")
+		}
+		if ats[1].Width > 12 {
+			return Type{}, fmt.Errorf("dshl: shift amount width %d too large", ats[1].Width)
+		}
+		w := ats[0].Width + (1 << ats[1].Width) - 1
+		if w > maxDshlWidth {
+			return Type{}, fmt.Errorf("dshl: result width %d exceeds cap %d", w, maxDshlWidth)
+		}
+		return Type{ats[0].Kind, w}, nil
+	case OpDshr:
+		if ats[1].Kind != KUInt {
+			return Type{}, fmt.Errorf("dshr: shift amount must be UInt")
+		}
+		return ats[0], nil
+	case OpMux:
+		if ats[0].Kind != KUInt || ats[0].Width != 1 {
+			return Type{}, fmt.Errorf("mux: selector must be UInt<1>, got %s", ats[0])
+		}
+		if !SameKind(ats[1], ats[2]) {
+			return Type{}, fmt.Errorf("mux: branch signedness mismatch")
+		}
+		return Type{ats[1].Kind, maxInt(ats[1].Width, ats[2].Width)}, nil
+	case OpAsUInt:
+		return UInt(ats[0].Width), nil
+	case OpAsSInt:
+		return SInt(ats[0].Width), nil
+	case OpCvt:
+		if ats[0].Kind == KSInt {
+			return ats[0], nil
+		}
+		return SInt(ats[0].Width + 1), nil
+	}
+	return Type{}, fmt.Errorf("unknown op %d", op)
+}
+
+// extend widens v (of type from) to width w, sign-extending for SInt.
+func extend(v bitvec.Vec, from Type, w int) bitvec.Vec {
+	if from.Kind == KSInt {
+		return bitvec.SignExtend(w, v)
+	}
+	return bitvec.ZeroExtend(w, v)
+}
+
+// EvalPrim evaluates op over literal argument values with given types.
+// It is the semantic reference used by the interpreter's golden tests and
+// the constant folder; rt is the (already inferred) result type.
+func EvalPrim(op PrimOp, rt Type, ats []Type, args []bitvec.Vec, consts []int) bitvec.Vec {
+	w := rt.Width
+	b1 := func(b bool) bitvec.Vec {
+		if b {
+			return bitvec.FromUint64(1, 1)
+		}
+		return bitvec.New(1)
+	}
+	switch op {
+	case OpAdd:
+		return bitvec.Add(w, extend(args[0], ats[0], w), extend(args[1], ats[1], w))
+	case OpSub:
+		return bitvec.Sub(w, extend(args[0], ats[0], w), extend(args[1], ats[1], w))
+	case OpMul:
+		if rt.Kind == KSInt {
+			return bitvec.FromBig(w, new(big.Int).Mul(args[0].SignedBig(), args[1].SignedBig()))
+		}
+		return bitvec.Mul(w, args[0], args[1])
+	case OpDiv:
+		if rt.Kind == KSInt {
+			d := args[1].SignedBig()
+			if d.Sign() == 0 {
+				return bitvec.New(w)
+			}
+			return bitvec.FromBig(w, new(big.Int).Quo(args[0].SignedBig(), d))
+		}
+		return bitvec.Div(w, args[0], args[1])
+	case OpRem:
+		if rt.Kind == KSInt {
+			d := args[1].SignedBig()
+			if d.Sign() == 0 {
+				return bitvec.FromBig(w, args[0].SignedBig())
+			}
+			return bitvec.FromBig(w, new(big.Int).Rem(args[0].SignedBig(), d))
+		}
+		return bitvec.Rem(w, args[0], args[1])
+	case OpLt, OpLeq, OpGt, OpGeq:
+		var c int
+		if ats[0].Kind == KSInt {
+			c = args[0].SignedBig().Cmp(args[1].SignedBig())
+		} else {
+			c = bitvec.Cmp(args[0], args[1])
+		}
+		switch op {
+		case OpLt:
+			return b1(c < 0)
+		case OpLeq:
+			return b1(c <= 0)
+		case OpGt:
+			return b1(c > 0)
+		default:
+			return b1(c >= 0)
+		}
+	case OpEq, OpNeq:
+		// Compare by value: extend both operands (sign-aware) to a common
+		// width first, since -1 as SInt<4> and SInt<6> have different raw
+		// bits.
+		mw := maxInt(ats[0].Width, ats[1].Width)
+		same := bitvec.Eq(extend(args[0], ats[0], mw), extend(args[1], ats[1], mw))
+		if op == OpEq {
+			return b1(same)
+		}
+		return b1(!same)
+	case OpAnd:
+		return bitvec.And(w, extend(args[0], ats[0], w), extend(args[1], ats[1], w))
+	case OpOr:
+		return bitvec.Or(w, extend(args[0], ats[0], w), extend(args[1], ats[1], w))
+	case OpXor:
+		return bitvec.Xor(w, extend(args[0], ats[0], w), extend(args[1], ats[1], w))
+	case OpNot:
+		return bitvec.Not(bitvec.ZeroExtend(w, args[0]))
+	case OpNeg:
+		return bitvec.Neg(w, extend(args[0], ats[0], w))
+	case OpAndR:
+		return bitvec.AndR(args[0])
+	case OpOrR:
+		return bitvec.OrR(args[0])
+	case OpXorR:
+		return bitvec.XorR(args[0])
+	case OpCat:
+		return bitvec.Cat(args[0], args[1])
+	case OpBits:
+		return bitvec.Bits(args[0], consts[0], consts[1])
+	case OpHead:
+		return bitvec.Bits(args[0], ats[0].Width-1, ats[0].Width-consts[0])
+	case OpTail:
+		return bitvec.Bits(args[0], ats[0].Width-consts[0]-1, 0)
+	case OpPad:
+		return extend(args[0], ats[0], w)
+	case OpShl:
+		return bitvec.Shl(w, args[0], consts[0])
+	case OpShr:
+		if ats[0].Kind == KSInt {
+			return bitvec.Asr(w, args[0], consts[0])
+		}
+		return bitvec.Shr(w, args[0], consts[0])
+	case OpDshl:
+		n := int(args[1].Uint64())
+		return bitvec.Shl(w, args[0], n)
+	case OpDshr:
+		n := int(args[1].Uint64())
+		if n > args[0].Width {
+			n = args[0].Width
+		}
+		if ats[0].Kind == KSInt {
+			return bitvec.Asr(w, args[0], n)
+		}
+		return bitvec.Shr(w, args[0], n)
+	case OpMux:
+		if args[0].Uint64()&1 == 1 {
+			return extend(args[1], ats[1], w)
+		}
+		return extend(args[2], ats[2], w)
+	case OpAsUInt, OpAsSInt:
+		return bitvec.ZeroExtend(w, args[0])
+	case OpCvt:
+		return extend(args[0], ats[0], w)
+	}
+	panic(fmt.Sprintf("EvalPrim: unhandled op %s", op))
+}

@@ -1,0 +1,493 @@
+package firrtl
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/bitvec"
+)
+
+// Parse parses the textual IR format into a Circuit. The result is not yet
+// checked: run Check to resolve references and infer expression types.
+//
+// Grammar (comments: ';' or '//' to end of line):
+//
+//	circuit Name {
+//	  module Name {
+//	    input  a : UInt<8>
+//	    output z : UInt<8>
+//	    wire w : UInt<8>
+//	    reg  r : UInt<8> init 3
+//	    mem  m : UInt<8>[256]
+//	    inst u of Sub
+//	    node n = add(a, r)
+//	    node v = read(m, a)
+//	    write(m, a, n, UInt<1>(1))
+//	    w <= tail(n, 1)
+//	    r <= w
+//	    z <= r
+//	    u.in <= w
+//	  }
+//	}
+func Parse(src string) (*Circuit, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advanceTok(); err != nil {
+		return nil, err
+	}
+	c, err := p.parseCircuit()
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+type parser struct {
+	lex *lexer
+	tok token
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("%d:%d: %s", p.tok.line, p.tok.col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) advanceTok() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) expect(k tokKind) (token, error) {
+	if p.tok.kind != k {
+		return token{}, p.errf("expected %s, got %s %q", k, p.tok.kind, p.tok.text)
+	}
+	t := p.tok
+	if err := p.advanceTok(); err != nil {
+		return token{}, err
+	}
+	return t, nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if p.tok.kind != tIdent || p.tok.text != kw {
+		return p.errf("expected %q, got %q", kw, p.tok.text)
+	}
+	return p.advanceTok()
+}
+
+func (p *parser) expectInt() (int, error) {
+	t, err := p.expect(tInt)
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.Atoi(t.text)
+	if err != nil {
+		return 0, p.errf("bad integer %q", t.text)
+	}
+	return v, nil
+}
+
+func (p *parser) parseCircuit() (*Circuit, error) {
+	if err := p.expectKeyword("circuit"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tLBrace); err != nil {
+		return nil, err
+	}
+	c := &Circuit{Name: name.text}
+	for p.tok.kind != tRBrace {
+		m, err := p.parseModule()
+		if err != nil {
+			return nil, err
+		}
+		c.Modules = append(c.Modules, m)
+	}
+	if _, err := p.expect(tRBrace); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tEOF {
+		return nil, p.errf("trailing input after circuit")
+	}
+	return c, nil
+}
+
+func (p *parser) parseModule() (*Module, error) {
+	if err := p.expectKeyword("module"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tLBrace); err != nil {
+		return nil, err
+	}
+	m := &Module{Name: name.text}
+	for p.tok.kind != tRBrace {
+		if err := p.parseStmt(m); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tRBrace); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func (p *parser) parseType() (Type, error) {
+	t, err := p.expect(tIdent)
+	if err != nil {
+		return Type{}, err
+	}
+	switch t.text {
+	case "Clock":
+		return ClockType(), nil
+	case "UInt", "SInt":
+		if _, err := p.expect(tLAngle); err != nil {
+			return Type{}, err
+		}
+		w, err := p.expectInt()
+		if err != nil {
+			return Type{}, err
+		}
+		if _, err := p.expect(tRAngle); err != nil {
+			return Type{}, err
+		}
+		if w <= 0 {
+			return Type{}, p.errf("width must be positive, got %d", w)
+		}
+		if t.text == "UInt" {
+			return UInt(w), nil
+		}
+		return SInt(w), nil
+	}
+	return Type{}, p.errf("unknown type %q", t.text)
+}
+
+func (p *parser) parseStmt(m *Module) error {
+	if p.tok.kind != tIdent {
+		return p.errf("expected statement, got %s %q", p.tok.kind, p.tok.text)
+	}
+	kw := p.tok.text
+	switch kw {
+	case "input", "output":
+		if err := p.advanceTok(); err != nil {
+			return err
+		}
+		name, err := p.expect(tIdent)
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tColon); err != nil {
+			return err
+		}
+		ty, err := p.parseType()
+		if err != nil {
+			return err
+		}
+		dir := Input
+		if kw == "output" {
+			dir = Output
+		}
+		m.Ports = append(m.Ports, &Port{Name: name.text, Dir: dir, Type: ty})
+		return nil
+	case "wire", "reg":
+		if err := p.advanceTok(); err != nil {
+			return err
+		}
+		name, err := p.expect(tIdent)
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tColon); err != nil {
+			return err
+		}
+		ty, err := p.parseType()
+		if err != nil {
+			return err
+		}
+		if kw == "wire" {
+			m.Stmts = append(m.Stmts, &Wire{Name: name.text, Type: ty})
+			return nil
+		}
+		r := &Reg{Name: name.text, Type: ty}
+		if p.tok.kind == tIdent && p.tok.text == "init" {
+			if err := p.advanceTok(); err != nil {
+				return err
+			}
+			iv, err := p.expect(tInt)
+			if err != nil {
+				return err
+			}
+			v, err := bitvec.ParseDec(ty.Width, iv.text)
+			if err != nil {
+				return p.errf("bad init value: %v", err)
+			}
+			r.Init = &v
+		}
+		m.Stmts = append(m.Stmts, r)
+		return nil
+	case "mem":
+		if err := p.advanceTok(); err != nil {
+			return err
+		}
+		name, err := p.expect(tIdent)
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tColon); err != nil {
+			return err
+		}
+		ty, err := p.parseType()
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tLBrack); err != nil {
+			return err
+		}
+		depth, err := p.expectInt()
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tRBrack); err != nil {
+			return err
+		}
+		if depth <= 0 {
+			return p.errf("memory depth must be positive, got %d", depth)
+		}
+		m.Stmts = append(m.Stmts, &Mem{Name: name.text, Type: ty, Depth: depth})
+		return nil
+	case "inst":
+		if err := p.advanceTok(); err != nil {
+			return err
+		}
+		name, err := p.expect(tIdent)
+		if err != nil {
+			return err
+		}
+		if err := p.expectKeyword("of"); err != nil {
+			return err
+		}
+		of, err := p.expect(tIdent)
+		if err != nil {
+			return err
+		}
+		m.Stmts = append(m.Stmts, &Inst{Name: name.text, Of: of.text})
+		return nil
+	case "node":
+		if err := p.advanceTok(); err != nil {
+			return err
+		}
+		name, err := p.expect(tIdent)
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tEquals); err != nil {
+			return err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return err
+		}
+		m.Stmts = append(m.Stmts, &Node{Name: name.text, Expr: e})
+		return nil
+	case "write":
+		if err := p.advanceTok(); err != nil {
+			return err
+		}
+		if _, err := p.expect(tLParen); err != nil {
+			return err
+		}
+		mem, err := p.expect(tIdent)
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tComma); err != nil {
+			return err
+		}
+		addr, err := p.parseExpr()
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tComma); err != nil {
+			return err
+		}
+		data, err := p.parseExpr()
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tComma); err != nil {
+			return err
+		}
+		en, err := p.parseExpr()
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tRParen); err != nil {
+			return err
+		}
+		m.Stmts = append(m.Stmts, &MemWrite{Mem: mem.text, Addr: addr, Data: data, En: en})
+		return nil
+	}
+	// Otherwise: a connect "loc <= expr" where loc is ident or ident.ident.
+	loc := kw
+	if err := p.advanceTok(); err != nil {
+		return err
+	}
+	if p.tok.kind == tDot {
+		if err := p.advanceTok(); err != nil {
+			return err
+		}
+		port, err := p.expect(tIdent)
+		if err != nil {
+			return err
+		}
+		loc = loc + "." + port.text
+	}
+	if _, err := p.expect(tArrow); err != nil {
+		return err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return err
+	}
+	m.Stmts = append(m.Stmts, &Connect{Loc: loc, Expr: e})
+	return nil
+}
+
+// parseExpr parses one expression.
+func (p *parser) parseExpr() (Expr, error) {
+	if p.tok.kind != tIdent {
+		return nil, p.errf("expected expression, got %s %q", p.tok.kind, p.tok.text)
+	}
+	head := p.tok.text
+
+	// Typed literal: UInt<8>(42) / SInt<4>(-3).
+	if head == "UInt" || head == "SInt" {
+		if err := p.advanceTok(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tLAngle); err != nil {
+			return nil, err
+		}
+		w, err := p.expectInt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tRAngle); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tLParen); err != nil {
+			return nil, err
+		}
+		t, err := p.expect(tInt)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tRParen); err != nil {
+			return nil, err
+		}
+		ty := UInt(w)
+		if head == "SInt" {
+			ty = SInt(w)
+		}
+		v, err := bitvec.ParseDec(w, t.text)
+		if err != nil {
+			return nil, p.errf("bad literal: %v", err)
+		}
+		return &Lit{Typ: ty, Val: v}, nil
+	}
+
+	if err := p.advanceTok(); err != nil {
+		return nil, err
+	}
+
+	// Memory read: read(m, addr).
+	if head == "read" && p.tok.kind == tLParen {
+		if err := p.advanceTok(); err != nil {
+			return nil, err
+		}
+		mem, err := p.expect(tIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tComma); err != nil {
+			return nil, err
+		}
+		addr, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tRParen); err != nil {
+			return nil, err
+		}
+		return &MemRead{Mem: mem.text, Addr: addr}, nil
+	}
+
+	// Primitive application: op(args...).
+	if p.tok.kind == tLParen {
+		op, ok := LookupOp(head)
+		if !ok {
+			return nil, p.errf("unknown operation %q", head)
+		}
+		if err := p.advanceTok(); err != nil {
+			return nil, err
+		}
+		var args []Expr
+		var consts []int
+		first := true
+		for p.tok.kind != tRParen {
+			if !first {
+				if _, err := p.expect(tComma); err != nil {
+					return nil, err
+				}
+			}
+			first = false
+			if p.tok.kind == tInt {
+				v, err := p.expectInt()
+				if err != nil {
+					return nil, err
+				}
+				consts = append(consts, v)
+				continue
+			}
+			if len(consts) > 0 {
+				return nil, p.errf("%s: expression argument after constant", head)
+			}
+			a, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+		}
+		if err := p.advanceTok(); err != nil { // consume ')'
+			return nil, err
+		}
+		if len(args) != op.NArgs() || len(consts) != op.NConsts() {
+			return nil, p.errf("%s: want %d args and %d consts, got %d and %d",
+				head, op.NArgs(), op.NConsts(), len(args), len(consts))
+		}
+		return &Prim{Op: op, Args: args, Consts: consts}, nil
+	}
+
+	// Field reference: inst.port.
+	if p.tok.kind == tDot {
+		if err := p.advanceTok(); err != nil {
+			return nil, err
+		}
+		port, err := p.expect(tIdent)
+		if err != nil {
+			return nil, err
+		}
+		return &Field{Inst: head, Port: port.text}, nil
+	}
+
+	// Plain reference.
+	return &Ref{Name: head}, nil
+}

@@ -1,0 +1,198 @@
+package firrtl
+
+import (
+	"strings"
+	"testing"
+)
+
+const counterSrc = `
+circuit Counter {
+  module Counter {
+    input  io_en  : UInt<1>
+    output io_out : UInt<8>
+    reg r : UInt<8> init 0
+    node next = add(r, UInt<8>(1))
+    r <= mux(io_en, tail(next, 1), r)
+    io_out <= r
+  }
+}
+`
+
+func TestParseCounter(t *testing.T) {
+	c, err := Parse(counterSrc)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if c.Name != "Counter" || len(c.Modules) != 1 {
+		t.Fatalf("bad circuit: %+v", c)
+	}
+	if err := Check(c); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	m := c.Main()
+	if len(m.Ports) != 2 {
+		t.Fatalf("want 2 ports, got %d", len(m.Ports))
+	}
+	var reg *Reg
+	for _, st := range m.Stmts {
+		if r, ok := st.(*Reg); ok {
+			reg = r
+		}
+	}
+	if reg == nil || reg.Name != "r" || reg.Type != UInt(8) || reg.Init == nil {
+		t.Fatalf("bad register: %+v", reg)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string // substring of error
+	}{
+		{"garbage", "circuit X {", "expected"},
+		{"badchar", "circuit X @ {}", "unexpected character"},
+		{"badop", `circuit X { module X { node n = frobnicate(a) } }`, "unknown operation"},
+		{"badtype", `circuit X { module X { input a : Float<8> } }`, "unknown type"},
+		{"zerowidth", `circuit X { module X { input a : UInt<0> } }`, "width must be positive"},
+		{"arity", `circuit X { module X { input a : UInt<2> node n = add(a) } }`, "want 2 args"},
+		{"constAfterExpr", `circuit X { module X { input a : UInt<2> node n = bits(7, a) } }`, "expression argument after constant"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil {
+				t.Fatalf("expected error containing %q, got nil", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"noTop", `circuit X { module Y { output o : UInt<1> o <= UInt<1>(0) } }`, "no top module"},
+		{"dupModule", `circuit X { module X { output o : UInt<1> o <= UInt<1>(0) } module X { output o : UInt<1> o <= UInt<1>(0) } }`, "duplicate module"},
+		{"undefRef", `circuit X { module X { output o : UInt<1> o <= q } }`, "undefined reference"},
+		{"dupName", `circuit X { module X { wire w : UInt<1> wire w : UInt<1> w <= UInt<1>(0) } }`, "duplicate name"},
+		{"undrivenWire", `circuit X { module X { wire w : UInt<1> output o : UInt<1> o <= w } }`, "never driven"},
+		{"undrivenOut", `circuit X { module X { output o : UInt<1> input i : UInt<1> node n = not(i) } }`, "never driven"},
+		{"doubleDrive", `circuit X { module X { output o : UInt<1> o <= UInt<1>(0) o <= UInt<1>(1) } }`, "multiple drivers"},
+		{"truncation", `circuit X { module X { input a : UInt<8> output o : UInt<4> o <= a } }`, "truncation"},
+		{"signedness", `circuit X { module X { input a : UInt<4> output o : SInt<8> o <= a } }`, "signedness"},
+		{"driveInput", `circuit X { module X { input a : UInt<1> output o : UInt<1> o <= a a <= UInt<1>(0) } }`, "cannot drive an input"},
+		{"clockData", `circuit X { module X { input c : Clock output o : UInt<1> node n = not(c) o <= n } }`, "clock"},
+		{"memAsValue", `circuit X { module X { mem m : UInt<4>[8] output o : UInt<4> o <= m } }`, "used as value"},
+		{"badEn", `circuit X { module X { mem m : UInt<4>[8] input a : UInt<3> output o : UInt<4> o <= read(m, a) write(m, a, read(m, a), a) } }`, "enable must be UInt<1>"},
+		{"selfInst", `circuit X { module X { inst u of X output o : UInt<1> o <= UInt<1>(0) } }`, "instantiate itself"},
+		{"useBeforeDef", `circuit X { module X { output o : UInt<1> node a = not(b) node b = UInt<1>(0) o <= a } }`, "undefined reference"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			circ, err := Parse(c.src)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			err = Check(circ)
+			if err == nil {
+				t.Fatalf("expected check error containing %q", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestPrintParseRoundTrip(t *testing.T) {
+	src := `
+circuit Top {
+  module Sub {
+    input  a : UInt<4>
+    output z : UInt<4>
+    z <= not(a)
+  }
+  module Top {
+    input  x : UInt<4>
+    input  s : SInt<8>
+    output y : UInt<4>
+    output w : SInt<9>
+    mem m : UInt<4>[16]
+    reg  r : UInt<4> init 7
+    inst u of Sub
+    u.a <= x
+    node rd = read(m, x)
+    write(m, x, rd, UInt<1>(1))
+    node t = xor(u.z, r)
+    r <= t
+    y <= t
+    w <= cvt(pad(s, 8))
+  }
+}
+`
+	c1, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse 1: %v", err)
+	}
+	if err := Check(c1); err != nil {
+		t.Fatalf("check 1: %v", err)
+	}
+	text := Print(c1)
+	c2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("parse 2 (of printed form):\n%s\nerr: %v", text, err)
+	}
+	if err := Check(c2); err != nil {
+		t.Fatalf("check 2: %v", err)
+	}
+	// Printing again must be a fixed point.
+	text2 := Print(c2)
+	if text != text2 {
+		t.Fatalf("print not idempotent:\n--- first ---\n%s\n--- second ---\n%s", text, text2)
+	}
+}
+
+func TestNegativeLiterals(t *testing.T) {
+	src := `circuit X { module X { output o : SInt<4> o <= SInt<4>(-3) } }`
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := Check(c); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	conn := c.Main().Stmts[0].(*Connect)
+	lit := conn.Expr.(*Lit)
+	if lit.Val.SignedBig().Int64() != -3 {
+		t.Fatalf("literal = %v, want -3", lit.Val.SignedBig())
+	}
+	// Round trip keeps the sign.
+	if got := ExprString(lit); got != "SInt<4>(-3)" {
+		t.Fatalf("ExprString = %q", got)
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := `
+; leading comment
+circuit X { // trailing comment
+  module X {
+    output o : UInt<1> ; port comment
+    o <= UInt<1>(1)
+  }
+}
+`
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := Check(c); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+}

@@ -1,0 +1,91 @@
+package firrtl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders the circuit in the textual format accepted by Parse.
+func Print(c *Circuit) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "circuit %s {\n", c.Name)
+	for _, m := range c.Modules {
+		printModule(&sb, m)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func printModule(sb *strings.Builder, m *Module) {
+	fmt.Fprintf(sb, "  module %s {\n", m.Name)
+	for _, p := range m.Ports {
+		fmt.Fprintf(sb, "    %s %s : %s\n", p.Dir, p.Name, p.Type)
+	}
+	for _, st := range m.Stmts {
+		printStmt(sb, st)
+	}
+	sb.WriteString("  }\n")
+}
+
+func printStmt(sb *strings.Builder, st Stmt) {
+	switch s := st.(type) {
+	case *Wire:
+		fmt.Fprintf(sb, "    wire %s : %s\n", s.Name, s.Type)
+	case *Reg:
+		fmt.Fprintf(sb, "    reg %s : %s", s.Name, s.Type)
+		if s.Init != nil {
+			fmt.Fprintf(sb, " init %s", s.Init.Big().String())
+		}
+		sb.WriteString("\n")
+	case *Mem:
+		fmt.Fprintf(sb, "    mem %s : %s[%d]\n", s.Name, s.Type, s.Depth)
+	case *Inst:
+		fmt.Fprintf(sb, "    inst %s of %s\n", s.Name, s.Of)
+	case *Node:
+		fmt.Fprintf(sb, "    node %s = %s\n", s.Name, ExprString(s.Expr))
+	case *MemWrite:
+		fmt.Fprintf(sb, "    write(%s, %s, %s, %s)\n", s.Mem,
+			ExprString(s.Addr), ExprString(s.Data), ExprString(s.En))
+	case *Connect:
+		fmt.Fprintf(sb, "    %s <= %s\n", s.Loc, ExprString(s.Expr))
+	default:
+		fmt.Fprintf(sb, "    ; unknown statement %T\n", st)
+	}
+}
+
+// ExprString renders an expression in the textual format.
+func ExprString(e Expr) string {
+	switch x := e.(type) {
+	case *Ref:
+		return x.Name
+	case *Field:
+		return x.Inst + "." + x.Port
+	case *Lit:
+		name := "UInt"
+		val := x.Val.Big()
+		if x.Typ.Kind == KSInt {
+			name = "SInt"
+			val = x.Val.SignedBig()
+		}
+		return fmt.Sprintf("%s<%d>(%s)", name, x.Typ.Width, val.String())
+	case *MemRead:
+		return fmt.Sprintf("read(%s, %s)", x.Mem, ExprString(x.Addr))
+	case *Prim:
+		var sb strings.Builder
+		sb.WriteString(x.Op.String())
+		sb.WriteString("(")
+		for i, a := range x.Args {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(ExprString(a))
+		}
+		for _, c := range x.Consts {
+			sb.WriteString(", ")
+			fmt.Fprintf(&sb, "%d", c)
+		}
+		sb.WriteString(")")
+		return sb.String()
+	}
+	return fmt.Sprintf("?expr(%T)", e)
+}

@@ -1,0 +1,66 @@
+// Package firrtl implements a low-level FIRRTL-inspired hardware IR: typed
+// modules of single-clock synchronous logic with registers, memories, and
+// module instances, plus a textual format (lexer/parser/printer), a width
+// checker, an expression-lowering pass, and an instance flattener.
+//
+// It is the front end of the RepCut reproduction: designs are either parsed
+// from text or constructed with the Builder, then lowered and flattened into
+// a single module whose statements map one-to-one onto circuit graph
+// vertices (see internal/cgraph).
+//
+// The dialect is deliberately "low" FIRRTL: all widths are explicit, all
+// conditionals are muxes, aggregates are pre-lowered to scalar signals.
+package firrtl
+
+import "fmt"
+
+// Kind distinguishes the three scalar hardware types.
+type Kind uint8
+
+// The supported type kinds.
+const (
+	KUInt  Kind = iota // unsigned integer of Width bits
+	KSInt              // two's-complement signed integer of Width bits
+	KClock             // clock (width 1, not a data value)
+)
+
+// Type is a scalar hardware type with an explicit width.
+type Type struct {
+	Kind  Kind
+	Width int
+}
+
+// Convenience constructors.
+func UInt(w int) Type        { return Type{KUInt, w} }
+func SInt(w int) Type        { return Type{KSInt, w} }
+func ClockType() Type        { return Type{KClock, 1} }
+func (t Type) IsClock() bool { return t.Kind == KClock }
+
+func (t Type) String() string {
+	switch t.Kind {
+	case KUInt:
+		return fmt.Sprintf("UInt<%d>", t.Width)
+	case KSInt:
+		return fmt.Sprintf("SInt<%d>", t.Width)
+	case KClock:
+		return "Clock"
+	}
+	return fmt.Sprintf("?type(%d)<%d>", t.Kind, t.Width)
+}
+
+// SameKind reports whether a and b have the same kind.
+func SameKind(a, b Type) bool { return a.Kind == b.Kind }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

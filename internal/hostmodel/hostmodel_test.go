@@ -1,0 +1,179 @@
+package hostmodel
+
+import (
+	"testing"
+)
+
+// splitWork divides one serial workload across n threads evenly, modeling a
+// perfectly balanced partitioning with no replication.
+func splitWork(total ThreadWork, n int) []ThreadWork {
+	out := make([]ThreadWork, n)
+	f := float64(n)
+	for i := range out {
+		out[i] = ThreadWork{
+			Instrs:      total.Instrs / f,
+			CostUnits:   total.CostUnits / f,
+			CodeBytes:   total.CodeBytes / f,
+			DataBytes:   total.DataBytes / f,
+			Branches:    total.Branches / f,
+			UpdateBytes: total.UpdateBytes / f,
+		}
+	}
+	return out
+}
+
+// bigWork approximates a MegaBOOM-4C-scale simulator under the scaled host.
+func bigWork() ThreadWork {
+	return ThreadWork{
+		Instrs:      23000,
+		CostUnits:   8.3e5, // ~36 units/instr, matching the compiled designs
+		CodeBytes:   23000 * 28,
+		DataBytes:   300000,
+		Branches:    3000,
+		UpdateBytes: 28000,
+	}
+}
+
+func TestSuperlinearAtL2Knee(t *testing.T) {
+	cpu := ScaledXeon8260()
+	w := bigWork()
+	serial := Evaluate(cpu, []ThreadWork{w}, SameSocket)
+	best := 0.0
+	bestK := 0
+	for _, k := range []int{2, 4, 8, 16, 24} {
+		e := Evaluate(cpu, splitWork(w, k), SameSocket)
+		sp := serial.CycleNs / e.CycleNs
+		if sp > best {
+			best, bestK = sp, k
+		}
+		if sp > float64(k)*2.5 {
+			t.Fatalf("k=%d: speedup %.1f implausibly high", k, sp)
+		}
+	}
+	// A perfectly balanced big design must achieve a superlinear speedup
+	// somewhere (the paper's headline result).
+	if best < float64(bestK) {
+		t.Fatalf("no superlinear point found: best %.2f at k=%d", best, bestK)
+	}
+}
+
+func TestIPCRisesWithThreads(t *testing.T) {
+	cpu := ScaledXeon8260()
+	w := bigWork()
+	e1 := Evaluate(cpu, []ThreadWork{w}, SameSocket)
+	e24 := Evaluate(cpu, splitWork(w, 24), SameSocket)
+	if e24.Counters.IPC <= e1.Counters.IPC*1.5 {
+		t.Fatalf("IPC should rise sharply: 1t=%.2f 24t=%.2f", e1.Counters.IPC, e24.Counters.IPC)
+	}
+	if e1.Counters.IPC < 0.2 || e1.Counters.IPC > 0.7 {
+		t.Fatalf("1-thread IPC %.2f outside the paper's regime (~0.4)", e1.Counters.IPC)
+	}
+}
+
+func TestBranchMissRateFalls(t *testing.T) {
+	cpu := ScaledXeon8260()
+	w := bigWork()
+	e1 := Evaluate(cpu, []ThreadWork{w}, SameSocket)
+	e24 := Evaluate(cpu, splitWork(w, 24), SameSocket)
+	if e24.Counters.BranchMissRate >= e1.Counters.BranchMissRate {
+		t.Fatalf("branch miss rate should fall: 1t=%.4f 24t=%.4f",
+			e1.Counters.BranchMissRate, e24.Counters.BranchMissRate)
+	}
+}
+
+func TestL2CodeMissesCollapse(t *testing.T) {
+	cpu := ScaledXeon8260()
+	w := bigWork()
+	e8 := Evaluate(cpu, splitWork(w, 8), SameSocket)
+	e24 := Evaluate(cpu, splitWork(w, 24), SameSocket)
+	if e24.Counters.L2CodeRdMiss >= e8.Counters.L2CodeRdMiss {
+		t.Fatalf("L2 code misses should collapse at 24 threads: 8t=%.0f 24t=%.0f",
+			e8.Counters.L2CodeRdMiss, e24.Counters.L2CodeRdMiss)
+	}
+}
+
+func TestInterleaveCrossover(t *testing.T) {
+	cpu := ScaledXeon8260()
+	// Big aggregate footprint: exceeds one socket's L3 → interleave wins.
+	// (Code + data working sets together overflow the scaled 733 KB L3.)
+	big := bigWork()
+	big.DataBytes *= 2
+	sBig := Evaluate(cpu, splitWork(big, 24), SameSocket)
+	iBig := Evaluate(cpu, splitWork(big, 24), Interleaved)
+	if iBig.CycleNs >= sBig.CycleNs {
+		t.Fatalf("interleave should win for the largest design: same=%.0f interleaved=%.0f",
+			sBig.CycleNs, iBig.CycleNs)
+	}
+	// Small design: fits one socket's L3 → interleave only adds latency.
+	small := big
+	small.Instrs /= 8
+	small.CostUnits /= 8
+	small.CodeBytes /= 8
+	sSmall := Evaluate(cpu, splitWork(small, 24), SameSocket)
+	iSmall := Evaluate(cpu, splitWork(small, 24), Interleaved)
+	if iSmall.CycleNs <= sSmall.CycleNs {
+		t.Fatalf("interleave should lose for a small design: same=%.0f interleaved=%.0f",
+			sSmall.CycleNs, iSmall.CycleNs)
+	}
+}
+
+func TestSerialHasNoBarrier(t *testing.T) {
+	cpu := ScaledXeon8260()
+	e := Evaluate(cpu, []ThreadWork{bigWork()}, SameSocket)
+	if e.BarrierNs != 0 {
+		t.Fatalf("serial execution must not pay barriers, got %.1f ns", e.BarrierNs)
+	}
+	e2 := Evaluate(cpu, splitWork(bigWork(), 2), SameSocket)
+	if e2.BarrierNs <= 0 {
+		t.Fatalf("parallel execution must pay barriers")
+	}
+}
+
+func TestEvaluateTasksRespectsDeps(t *testing.T) {
+	cpu := ScaledXeon8260()
+	works := splitWork(bigWork(), 2)
+	perThread := [][]TaskWork{
+		{{ID: 0, Thread: 0, CostUnits: 1e5, Instrs: 500}},
+		{{ID: 1, Thread: 1, Deps: []int{0}, CostUnits: 1e5, Instrs: 500}},
+	}
+	ev := EvaluateTasks(cpu, works, perThread, SameSocket)
+	if ev.StartNs[1] < ev.FinishNs[0] {
+		t.Fatalf("task 1 started (%.1f) before dep 0 finished (%.1f)",
+			ev.StartNs[1], ev.FinishNs[0])
+	}
+	if ev.ThreadIdleNs[1] <= 0 {
+		t.Fatalf("dependent thread should have idle time")
+	}
+	if ev.CycleNs <= ev.EvalSpanNs {
+		t.Fatalf("cycle must include update+barrier beyond the eval span")
+	}
+}
+
+func TestEvaluateTasksDeadlockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("cyclic dependences must panic")
+		}
+	}()
+	cpu := ScaledXeon8260()
+	works := splitWork(bigWork(), 2)
+	perThread := [][]TaskWork{
+		{{ID: 0, Thread: 0, Deps: []int{1}, CostUnits: 1, Instrs: 1}},
+		{{ID: 1, Thread: 1, Deps: []int{0}, CostUnits: 1, Instrs: 1}},
+	}
+	EvaluateTasks(cpu, works, perThread, SameSocket)
+}
+
+func TestXeonParameters(t *testing.T) {
+	full := Xeon8260()
+	if full.MaxThreads() != 48 {
+		t.Fatalf("Table 2 host has 48 cores, got %d", full.MaxThreads())
+	}
+	scaled := ScaledXeon8260()
+	if scaled.L2 >= full.L2 || scaled.L1I >= full.L1I || scaled.L3Socket >= full.L3Socket {
+		t.Fatalf("scaled host must shrink capacities")
+	}
+	if scaled.L2Lat != full.L2Lat {
+		t.Fatalf("latencies must not scale")
+	}
+}

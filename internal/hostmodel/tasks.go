@@ -1,0 +1,127 @@
+package hostmodel
+
+import "math"
+
+// TaskWork is one Verilator-style MTask under the host model.
+type TaskWork struct {
+	ID     int
+	Thread int
+	Deps   []int // cross-thread dependences (task IDs)
+	// CostUnits is the task's true execution cost in cost-model units;
+	// Instrs its instruction count (for stall scaling).
+	CostUnits float64
+	Instrs    float64
+}
+
+// TaskEval models one simulated cycle of a statically scheduled task
+// simulator (the Verilator baseline): threads execute their tasks in
+// order, waiting for cross-thread dependences, then synchronize and
+// publish register updates. ThreadBusyNs/ThreadIdleNs give Figure 2a's
+// filled/empty regions.
+type TaskEval struct {
+	StartNs      map[int]float64
+	FinishNs     map[int]float64
+	ThreadBusyNs []float64
+	ThreadIdleNs []float64
+	EvalSpanNs   float64
+	CycleNs      float64
+	KHz          float64
+}
+
+// EvaluateTasks models the baseline's cycle time. works supplies each
+// thread's aggregate footprints (for CPI); perThread lists each thread's
+// tasks in scheduled order.
+func EvaluateTasks(cpu CPU, works []ThreadWork, perThread [][]TaskWork, pl Placement) TaskEval {
+	n := len(perThread)
+	ev := TaskEval{
+		StartNs:      map[int]float64{},
+		FinishNs:     map[int]float64{},
+		ThreadBusyNs: make([]float64, n),
+		ThreadIdleNs: make([]float64, n),
+	}
+
+	sockOcc := make([]float64, cpu.Sockets)
+	for t := range works {
+		sockOcc[socketOf(cpu, pl, t, n)] += works[t].CodeBytes + 0.5*works[t].DataBytes
+	}
+	cpiOf := make([]float64, n)
+	for t := range works {
+		cpi, _ := threadCPI(cpu, &works[t], sockOcc[socketOf(cpu, pl, t, n)])
+		cpiOf[t] = cpi
+	}
+
+	// Event-driven replay: repeatedly advance any thread whose next task
+	// has all dependences finished. The schedule is deadlock-free by
+	// construction; the multi-pass loop terminates once all tasks ran.
+	cursor := make([]float64, n)
+	next := make([]int, n)
+	remaining := 0
+	for t := range perThread {
+		remaining += len(perThread[t])
+	}
+	for remaining > 0 {
+		progressed := false
+		for t := range perThread {
+			for next[t] < len(perThread[t]) {
+				task := &perThread[t][next[t]]
+				ready := cursor[t]
+				ok := true
+				for _, d := range task.Deps {
+					f, done := ev.FinishNs[d]
+					if !done {
+						ok = false
+						break
+					}
+					wait := f + cpu.TaskSyncNs
+					if pl == Interleaved || crossesSockets(cpu, pl, n) {
+						wait = f + cpu.TaskSyncNs*cpu.InterSocketFactor
+					}
+					if wait > ready {
+						ready = wait
+					}
+				}
+				if !ok {
+					break
+				}
+				exec := task.CostUnits*0.01 + task.Instrs*(cpiOf[t]-cpu.CPIBase)/cpu.GHz
+				ev.StartNs[task.ID] = ready
+				ev.FinishNs[task.ID] = ready + exec
+				ev.ThreadBusyNs[t] += exec
+				ev.ThreadIdleNs[t] += ready - cursor[t]
+				cursor[t] = ready + exec
+				next[t]++
+				remaining--
+				progressed = true
+			}
+		}
+		if !progressed {
+			panic("hostmodel: task schedule deadlocked (cyclic dependences)")
+		}
+	}
+
+	var span, maxUpdate float64
+	for t := range cursor {
+		if cursor[t] > span {
+			span = cursor[t]
+		}
+		upd := works[t].UpdateBytes / cpu.CopyBytesPerNs
+		if upd > maxUpdate {
+			maxUpdate = upd
+		}
+	}
+	// Trailing idle up to the barrier.
+	for t := range cursor {
+		ev.ThreadIdleNs[t] += span - cursor[t]
+	}
+	barrier := 2 * (cpu.BarrierBaseNs + cpu.BarrierPerLog2Ns*math.Log2(float64(n)+1))
+	if crossesSockets(cpu, pl, n) {
+		barrier *= cpu.InterSocketFactor
+	}
+	if n == 1 {
+		barrier = 0
+	}
+	ev.EvalSpanNs = span
+	ev.CycleNs = span + maxUpdate + barrier
+	ev.KHz = 1e6 / ev.CycleNs
+	return ev
+}

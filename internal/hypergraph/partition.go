@@ -1,0 +1,564 @@
+package hypergraph
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Options control the multilevel partitioner.
+type Options struct {
+	K       int
+	Epsilon float64 // allowed imbalance, e.g. 0.03 = 3%
+	Seed    int64
+	// CoarsenTo is the coarsest vertex count before initial partitioning
+	// (default 160).
+	CoarsenTo int
+	// InitRuns is the number of randomized initial bisections (default 16).
+	InitRuns int
+	// MaxFMPasses bounds FM refinement passes per level (default 4).
+	MaxFMPasses int
+}
+
+func (o *Options) defaults() {
+	if o.CoarsenTo <= 0 {
+		o.CoarsenTo = 160
+	}
+	if o.InitRuns <= 0 {
+		o.InitRuns = 16
+	}
+	if o.MaxFMPasses <= 0 {
+		o.MaxFMPasses = 4
+	}
+	if o.Epsilon <= 0 {
+		o.Epsilon = 0.03
+	}
+}
+
+// Partition computes a k-way partition of h minimizing Σ(λ−1)·ω subject to
+// the ε balance constraint, via multilevel recursive bisection.
+func Partition(h *H, opt Options) (*Result, error) {
+	opt.defaults()
+	if opt.K <= 0 {
+		return nil, fmt.Errorf("hypergraph: k must be positive, got %d", opt.K)
+	}
+	if h.Inc == nil {
+		h.Finish()
+	}
+	part := make([]int32, h.NumV)
+	if opt.K > 1 {
+		rng := rand.New(rand.NewSource(opt.Seed))
+		// Spread the global ε over the bisection levels so the composed
+		// partition still meets it.
+		levels := int(math.Ceil(math.Log2(float64(opt.K))))
+		if levels < 1 {
+			levels = 1
+		}
+		epsB := math.Pow(1+opt.Epsilon, 1/float64(levels)) - 1
+		verts := make([]int32, h.NumV)
+		for i := range verts {
+			verts[i] = int32(i)
+		}
+		p := &partitioner{opt: opt, rng: rng, epsB: epsB}
+		p.recurse(h, verts, opt.K, 0, part)
+	}
+	return Evaluate(h, opt.K, part), nil
+}
+
+type partitioner struct {
+	opt  Options
+	rng  *rand.Rand
+	epsB float64
+}
+
+// recurse assigns parts [off, off+k) to the given vertices of orig.
+func (p *partitioner) recurse(orig *H, verts []int32, k, off int, out []int32) {
+	if k == 1 {
+		for _, v := range verts {
+			out[v] = int32(off)
+		}
+		return
+	}
+	sub := induce(orig, verts)
+	k0 := (k + 1) / 2
+	frac0 := float64(k0) / float64(k)
+	side := p.bisect(sub, frac0)
+	var v0, v1 []int32
+	for i, v := range verts {
+		if side[i] == 0 {
+			v0 = append(v0, v)
+		} else {
+			v1 = append(v1, v)
+		}
+	}
+	p.recurse(orig, v0, k0, off, out)
+	p.recurse(orig, v1, k-k0, off+k0, out)
+}
+
+// induce builds the sub-hypergraph over the given vertices with cut-net
+// splitting: each edge keeps its pins inside the subset (if ≥ 2 remain).
+func induce(h *H, verts []int32) *H {
+	idx := make(map[int32]int32, len(verts))
+	w := make([]int64, len(verts))
+	for i, v := range verts {
+		idx[v] = int32(i)
+		w[i] = h.VWeight[v]
+	}
+	sub := New(w)
+	var pins []int32
+	for ei := range h.Edges {
+		pins = pins[:0]
+		for _, pv := range h.Edges[ei].Pins {
+			if ni, ok := idx[pv]; ok {
+				pins = append(pins, ni)
+			}
+		}
+		if len(pins) >= 2 {
+			sub.AddEdge(h.Edges[ei].Weight, pins)
+		}
+	}
+	sub.Finish()
+	return sub
+}
+
+// level is one rung of the multilevel hierarchy.
+type level struct {
+	h        *H
+	toCoarse []int32 // fine vertex -> coarse vertex (nil at the finest level)
+}
+
+// bisect produces a 0/1 side assignment for h with side 0 targeting frac0
+// of the total weight, within p.epsB.
+func (p *partitioner) bisect(h *H, frac0 float64) []int32 {
+	total := h.TotalVWeight()
+	max0 := int64(math.Ceil(float64(total) * frac0 * (1 + p.epsB)))
+	max1 := int64(math.Ceil(float64(total) * (1 - frac0) * (1 + p.epsB)))
+
+	// Coarsen.
+	levels := []level{{h: h}}
+	cur := h
+	for cur.NumV > p.opt.CoarsenTo {
+		coarse, m := p.coarsen(cur, total)
+		if coarse.NumV >= cur.NumV*19/20 {
+			break // diminishing returns
+		}
+		levels = append(levels, level{h: coarse, toCoarse: m})
+		cur = coarse
+	}
+
+	// Initial partition on the coarsest level.
+	coarsest := levels[len(levels)-1].h
+	part := p.initialBisection(coarsest, total, frac0, max0, max1)
+	p.repairBalance(coarsest, part, max0, max1)
+	p.fmRefine(coarsest, part, max0, max1)
+
+	// Uncoarsen and refine.
+	for li := len(levels) - 1; li > 0; li-- {
+		fine := levels[li-1].h
+		m := levels[li].toCoarse
+		finePart := make([]int32, fine.NumV)
+		for v := 0; v < fine.NumV; v++ {
+			finePart[v] = part[m[v]]
+		}
+		part = finePart
+		p.fmRefine(fine, part, max0, max1)
+	}
+	return part
+}
+
+// coarsen performs one round of heavy-edge matching and contraction.
+func (p *partitioner) coarsen(h *H, totalWeight int64) (*H, []int32) {
+	n := h.NumV
+	// Cap the weight of contracted vertices so coarsening cannot create a
+	// vertex too heavy to balance.
+	cap_ := totalWeight / 12
+	if cap_ < 1 {
+		cap_ = 1
+	}
+
+	order := p.rng.Perm(n)
+	match := make([]int32, n)
+	for i := range match {
+		match[i] = -1
+	}
+	score := make(map[int32]float64)
+	for _, vi := range order {
+		v := int32(vi)
+		if match[v] >= 0 {
+			continue
+		}
+		// Score neighbors by heavy-edge rating w(e)/(|e|-1).
+		for k := range score {
+			delete(score, k)
+		}
+		for _, ei := range h.Inc[v] {
+			e := &h.Edges[ei]
+			r := float64(e.Weight) / float64(len(e.Pins)-1)
+			for _, u := range e.Pins {
+				if u != v && match[u] < 0 && h.VWeight[v]+h.VWeight[u] <= cap_ {
+					score[u] += r
+				}
+			}
+		}
+		var best int32 = -1
+		bestScore := 0.0
+		for u, s := range score {
+			if s > bestScore || (s == bestScore && best >= 0 && u < best) {
+				best, bestScore = u, s
+			}
+		}
+		if best >= 0 {
+			match[v] = best
+			match[best] = v
+		}
+	}
+
+	// Assign coarse IDs.
+	cmap := make([]int32, n)
+	for i := range cmap {
+		cmap[i] = -1
+	}
+	var nc int32
+	for v := int32(0); v < int32(n); v++ {
+		if cmap[v] >= 0 {
+			continue
+		}
+		cmap[v] = nc
+		if m := match[v]; m >= 0 {
+			cmap[m] = nc
+		}
+		nc++
+	}
+	cw := make([]int64, nc)
+	for v := 0; v < n; v++ {
+		cw[cmap[v]] += h.VWeight[v]
+	}
+	coarse := New(cw)
+
+	// Remap edges; merge identical ones.
+	type emap struct {
+		idx  int
+		pins []int32
+	}
+	byHash := map[uint64][]emap{}
+	hashPins := func(pins []int32) uint64 {
+		hsh := uint64(1469598103934665603)
+		for _, x := range pins {
+			hsh ^= uint64(uint32(x))
+			hsh *= 1099511628211
+		}
+		return hsh
+	}
+	equalPins := func(a, b []int32) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	var pinBuf []int32
+	for ei := range h.Edges {
+		pinBuf = pinBuf[:0]
+		for _, pv := range h.Edges[ei].Pins {
+			pinBuf = append(pinBuf, cmap[pv])
+		}
+		pins := sortedCopy(pinBuf)
+		// Dedup (sorted).
+		out := pins[:0]
+		for i, x := range pins {
+			if i == 0 || x != pins[i-1] {
+				out = append(out, x)
+			}
+		}
+		pins = out
+		if len(pins) < 2 {
+			continue
+		}
+		hsh := hashPins(pins)
+		merged := false
+		for _, em := range byHash[hsh] {
+			if equalPins(em.pins, pins) {
+				coarse.Edges[em.idx].Weight += h.Edges[ei].Weight
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			coarse.Edges = append(coarse.Edges, Edge{Pins: pins, Weight: h.Edges[ei].Weight})
+			byHash[hsh] = append(byHash[hsh], emap{idx: len(coarse.Edges) - 1, pins: pins})
+		}
+	}
+	coarse.Finish()
+	return coarse, cmap
+}
+
+// initialBisection tries several randomized greedy growths and returns the
+// best balanced assignment found.
+func (p *partitioner) initialBisection(h *H, _ int64, frac0 float64, max0, max1 int64) []int32 {
+	total := h.TotalVWeight()
+	target0 := int64(float64(total) * frac0)
+	var best []int32
+	var bestCut int64 = math.MaxInt64
+	bestBalanced := false
+	for run := 0; run < p.opt.InitRuns; run++ {
+		part := p.greedyGrow(h, target0)
+		p.fmRefine(h, part, max0, max1)
+		r := Evaluate(h, 2, part)
+		balanced := r.PartWeights[0] <= max0 && r.PartWeights[1] <= max1
+		if (balanced && !bestBalanced) ||
+			(balanced == bestBalanced && r.CutKm1 < bestCut) {
+			best = part
+			bestCut = r.CutKm1
+			bestBalanced = balanced
+		}
+	}
+	return best
+}
+
+// greedyGrow grows side 0 from a random seed via hyperedge-neighbor BFS
+// until its weight reaches target0.
+func (p *partitioner) greedyGrow(h *H, target0 int64) []int32 {
+	n := h.NumV
+	part := make([]int32, n)
+	for i := range part {
+		part[i] = 1
+	}
+	inQueue := make([]bool, n)
+	var queue []int32
+	var w0 int64
+	pick := func() int32 {
+		// Random vertex still on side 1.
+		for tries := 0; tries < 8; tries++ {
+			v := int32(p.rng.Intn(n))
+			if part[v] == 1 {
+				return v
+			}
+		}
+		for v := int32(0); v < int32(n); v++ {
+			if part[v] == 1 {
+				return v
+			}
+		}
+		return -1
+	}
+	for w0 < target0 {
+		if len(queue) == 0 {
+			v := pick()
+			if v < 0 {
+				break
+			}
+			queue = append(queue, v)
+			inQueue[v] = true
+		}
+		v := queue[0]
+		queue = queue[1:]
+		if part[v] == 0 {
+			continue
+		}
+		part[v] = 0
+		w0 += h.VWeight[v]
+		for _, ei := range h.Inc[v] {
+			for _, u := range h.Edges[ei].Pins {
+				if part[u] == 1 && !inQueue[u] {
+					inQueue[u] = true
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+	return part
+}
+
+// fmItem is a heap entry with lazy invalidation.
+type fmItem struct {
+	gain int64
+	v    int32
+}
+
+type fmHeap []fmItem
+
+func (h fmHeap) Len() int           { return len(h) }
+func (h fmHeap) Less(i, j int) bool { return h[i].gain > h[j].gain }
+func (h fmHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *fmHeap) Push(x any)        { *h = append(*h, x.(fmItem)) }
+func (h *fmHeap) Pop() any          { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+// fmRefine runs Fiduccia–Mattheyses passes on a 2-way partition in place.
+func (p *partitioner) fmRefine(h *H, part []int32, max0, max1 int64) {
+	n := h.NumV
+	if n == 0 {
+		return
+	}
+	maxSide := [2]int64{max0, max1}
+
+	pinCount := make([][2]int64, len(h.Edges))
+	var side [2]int64
+	recount := func() {
+		side = [2]int64{}
+		for v := 0; v < n; v++ {
+			side[part[v]] += h.VWeight[v]
+		}
+		for ei := range h.Edges {
+			pinCount[ei] = [2]int64{}
+			for _, pv := range h.Edges[ei].Pins {
+				pinCount[ei][part[pv]]++
+			}
+		}
+	}
+	gainOf := func(v int32) int64 {
+		s := part[v]
+		var g int64
+		for _, ei := range h.Inc[v] {
+			pc := pinCount[ei]
+			if pc[s] == int64(len(h.Edges[ei].Pins)) {
+				g -= h.Edges[ei].Weight // edge becomes cut
+			} else if pc[s] == 1 {
+				g += h.Edges[ei].Weight // edge becomes uncut
+			}
+		}
+		return g
+	}
+
+	for pass := 0; pass < p.opt.MaxFMPasses; pass++ {
+		recount()
+		locked := make([]bool, n)
+		gain := make([]int64, n)
+		hp := make(fmHeap, 0, n)
+		for v := int32(0); v < int32(n); v++ {
+			gain[v] = gainOf(v)
+			hp = append(hp, fmItem{gain: gain[v], v: v})
+		}
+		heap.Init(&hp)
+
+		type move struct {
+			v    int32
+			from int32
+		}
+		var moves []move
+		var cum, bestCum int64
+		bestIdx := -1
+
+		for hp.Len() > 0 {
+			it := heap.Pop(&hp).(fmItem)
+			v := it.v
+			if locked[v] || it.gain != gain[v] {
+				continue // stale entry
+			}
+			from := part[v]
+			to := 1 - from
+			if side[to]+h.VWeight[v] > maxSide[to] {
+				continue // would break balance; drop (vertex may re-enter via updates)
+			}
+			// Apply the move.
+			locked[v] = true
+			part[v] = to
+			side[from] -= h.VWeight[v]
+			side[to] += h.VWeight[v]
+			cum += it.gain
+			moves = append(moves, move{v: v, from: from})
+			if cum > bestCum {
+				bestCum = cum
+				bestIdx = len(moves) - 1
+			}
+			// Update pin counts and neighbor gains.
+			for _, ei := range h.Inc[v] {
+				pinCount[ei][from]--
+				pinCount[ei][to]++
+				for _, u := range h.Edges[ei].Pins {
+					if !locked[u] {
+						g := gainOf(u)
+						if g != gain[u] {
+							gain[u] = g
+							heap.Push(&hp, fmItem{gain: g, v: u})
+						}
+					}
+				}
+			}
+		}
+
+		// Roll back past the best prefix.
+		for i := len(moves) - 1; i > bestIdx; i-- {
+			m := moves[i]
+			side[part[m.v]] -= h.VWeight[m.v]
+			side[m.from] += h.VWeight[m.v]
+			part[m.v] = m.from
+		}
+		if bestCum <= 0 {
+			break
+		}
+	}
+}
+
+// repairBalance greedily moves vertices off an overweight side, choosing
+// the move that hurts the cut least. It runs on the coarsest level, where
+// vertex counts are small; uncoarsening preserves side weights, so balance
+// established here survives projection.
+func (p *partitioner) repairBalance(h *H, part []int32, max0, max1 int64) {
+	maxSide := [2]int64{max0, max1}
+	n := h.NumV
+	var side [2]int64
+	for v := 0; v < n; v++ {
+		side[part[v]] += h.VWeight[v]
+	}
+	pinCount := make([][2]int64, len(h.Edges))
+	recount := func() {
+		for ei := range h.Edges {
+			pinCount[ei] = [2]int64{}
+			for _, pv := range h.Edges[ei].Pins {
+				pinCount[ei][part[pv]]++
+			}
+		}
+	}
+	recount()
+	gainOf := func(v int32) int64 {
+		s := part[v]
+		var g int64
+		for _, ei := range h.Inc[v] {
+			pc := pinCount[ei]
+			if pc[s] == int64(len(h.Edges[ei].Pins)) {
+				g -= h.Edges[ei].Weight
+			} else if pc[s] == 1 {
+				g += h.Edges[ei].Weight
+			}
+		}
+		return g
+	}
+	for iter := 0; iter < n; iter++ {
+		var over int32 = -1
+		for s := int32(0); s < 2; s++ {
+			if side[s] > maxSide[s] {
+				over = s
+				break
+			}
+		}
+		if over < 0 {
+			return
+		}
+		best := int32(-1)
+		var bestGain int64 = math.MinInt64
+		for v := int32(0); v < int32(n); v++ {
+			if part[v] != over || h.VWeight[v] == 0 {
+				continue
+			}
+			if g := gainOf(v); g > bestGain {
+				best, bestGain = v, g
+			}
+		}
+		if best < 0 {
+			return
+		}
+		to := 1 - over
+		part[best] = to
+		side[over] -= h.VWeight[best]
+		side[to] += h.VWeight[best]
+		for _, ei := range h.Inc[best] {
+			pinCount[ei][over]--
+			pinCount[ei][to]++
+		}
+	}
+}

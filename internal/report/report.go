@@ -1,0 +1,112 @@
+// Package report renders experiment results as aligned ASCII tables and
+// CSV series, the output formats of the benchmark harness (cmd/benchall
+// and the bench_test.go targets).
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table accumulates rows and renders them column-aligned.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Row appends a row; values are formatted with %v (floats with %.4g via F).
+func (t *Table) Row(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	cols := len(t.Headers)
+	widths := make([]int, cols)
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i := 0; i < cols && i < len(r); i++ {
+			if len(r[i]) > widths[i] {
+				widths[i] = len(r[i])
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i := 0; i < cols; i++ {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i]+2, c)
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	sep := make([]string, cols)
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+// CSV renders the table as comma-separated values (for plotting).
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(t.Headers, ","))
+	sb.WriteString("\n")
+	for _, r := range t.rows {
+		sb.WriteString(strings.Join(r, ","))
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// Pct formats a fraction as a percentage string.
+func Pct(f float64) string { return fmt.Sprintf("%.2f%%", 100*f) }
+
+// F2 formats with two decimals.
+func F2(f float64) string { return fmt.Sprintf("%.2f", f) }
+
+// F1 formats with one decimal.
+func F1(f float64) string { return fmt.Sprintf("%.1f", f) }
+
+// SI formats a count with engineering suffixes (K/M/B), matching the
+// paper's Table 3 style.
+func SI(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.1fB", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fK", v/1e3)
+	}
+	return fmt.Sprintf("%.0f", v)
+}

@@ -1,0 +1,42 @@
+package sim
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Barrier is a sense-reversing centralized barrier. Waiters spin briefly
+// and then yield to the scheduler, so the barrier stays live even when
+// GOMAXPROCS is smaller than the participant count (pure spinning would
+// livelock a single-core host).
+type Barrier struct {
+	n     int32
+	count atomic.Int32
+	sense atomic.Uint32
+	_     [6]uint64 // keep the hot fields off neighboring lines
+}
+
+// NewBarrier creates a barrier for n participants.
+func NewBarrier(n int) *Barrier {
+	return &Barrier{n: int32(n)}
+}
+
+// Wait blocks the caller until all n participants have arrived. Each
+// participant must pass its own sense word, initialized to zero.
+func (b *Barrier) Wait(localSense *uint32) {
+	*localSense ^= 1
+	want := *localSense
+	if b.count.Add(1) == b.n {
+		b.count.Store(0)
+		b.sense.Store(want)
+		return
+	}
+	spins := 0
+	for b.sense.Load() != want {
+		spins++
+		if spins >= 64 {
+			runtime.Gosched()
+			spins = 0
+		}
+	}
+}

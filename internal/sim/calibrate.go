@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/cgraph"
+	"repro/internal/costmodel"
+	"repro/internal/firrtl"
+)
+
+// CalibrateModel fits the simulation cost model against *measured*
+// execution times of randomized circuit partitions on the current host —
+// the §4.3 regression loop ("a least squares linear regression on the
+// aforementioned attributes and simulation times for a variety of circuit
+// partitions"). It generates `samples` random circuits, times the serial
+// engine over `cycles` cycles each, and solves the least-squares system.
+//
+// The returned model's units are normalized like costmodel.Default's
+// (1 unit = 0.01 ns): use it anywhere a Model is accepted.
+func CalibrateModel(samples, cycles int, seed int64) (costmodel.Model, error) {
+	if samples < int(costmodel.NumClasses) {
+		samples = int(costmodel.NumClasses) * 4
+	}
+	if cycles <= 0 {
+		cycles = 200
+	}
+	rng := rand.New(rand.NewSource(seed))
+	obs := make([]costmodel.Sample, 0, samples)
+	for i := 0; i < samples; i++ {
+		g, err := calibrationCircuit(rng)
+		if err != nil {
+			return costmodel.Model{}, err
+		}
+		prog, err := Compile(g, SerialSpec(g), Config{OptLevel: 0})
+		if err != nil {
+			return costmodel.Model{}, err
+		}
+		e := NewEngine(prog)
+		e.Run(cycles / 4) // warm up
+		// Take the best of three timings: scheduler noise only ever adds
+		// time, so the minimum is the cleanest estimate.
+		best := float64(1 << 62)
+		for rep := 0; rep < 3; rep++ {
+			start := time.Now()
+			e.Run(cycles)
+			if ns := float64(time.Since(start).Nanoseconds()); ns < best {
+				best = ns
+			}
+		}
+		perCycleNs := best / float64(cycles)
+
+		var s costmodel.Sample
+		for vi := range g.Vs {
+			f := costmodel.Features(&g.Vs[vi])
+			for c := 0; c < int(costmodel.NumClasses); c++ {
+				s.Features[c] += f[c]
+			}
+		}
+		s.Time = costmodel.NanosToUnits(perCycleNs)
+		obs = append(obs, s)
+	}
+	return costmodel.Fit(obs)
+}
+
+// calibrationCircuit builds a random circuit with a randomized op mix so
+// the regression can separate the class weights.
+func calibrationCircuit(rng *rand.Rand) (*cgraph.Graph, error) {
+	b := firrtl.NewBuilder("Cal")
+	mb := b.Module("Cal")
+	w := 32
+	nRegs := 4 + rng.Intn(8)
+	regs := make([]*firrtl.Ref, nRegs)
+	for i := range regs {
+		regs[i] = mb.Reg(fmt.Sprintf("r%d", i), firrtl.UInt(w), rng.Uint64()|1)
+	}
+	mem := mb.Mem("m", firrtl.UInt(w), 64)
+	pick := func() firrtl.Expr { return regs[rng.Intn(nRegs)] }
+
+	// Emphasize a random class per circuit so the design matrix has
+	// spread.
+	focus := rng.Intn(6)
+	var vals []firrtl.Expr
+	n := 60 + rng.Intn(200)
+	for i := 0; i < n; i++ {
+		cls := rng.Intn(6)
+		if rng.Intn(2) == 0 {
+			cls = focus
+		}
+		var e firrtl.Expr
+		switch cls {
+		case 0:
+			e = firrtl.Xor(pick(), pick())
+		case 1:
+			e = firrtl.Trunc(w, firrtl.Add(pick(), pick()))
+		case 2:
+			e = firrtl.Trunc(w, firrtl.Mul(pick(), pick()))
+		case 3:
+			e = firrtl.P(firrtl.OpDiv, pick(), firrtl.Or(pick(), firrtl.U(w, 1)))
+		case 4:
+			e = mem.Read(firrtl.Trunc(6, firrtl.PadE(6, firrtl.BitsE(pick(), 5, 0))))
+		case 5:
+			e = firrtl.PadE(w, firrtl.XorrE(pick()))
+		}
+		vals = append(vals, mb.Node("", e))
+	}
+	mem.Write(firrtl.Trunc(6, firrtl.PadE(6, firrtl.BitsE(pick(), 5, 0))),
+		pick(), firrtl.U(1, 1))
+
+	// Feed everything back into the registers so nothing is dead.
+	for i, r := range regs {
+		acc := vals[i%len(vals)]
+		for j := i; j < len(vals); j += nRegs {
+			acc = firrtl.Xor(acc, vals[j])
+		}
+		mb.Connect(r, firrtl.Trunc(w, acc))
+	}
+	out := mb.Output("o", firrtl.UInt(w))
+	mb.Connect(out, regs[0])
+
+	c := b.Circuit()
+	lc, err := firrtl.Lower(c)
+	if err != nil {
+		return nil, err
+	}
+	return cgraph.Build(lc)
+}

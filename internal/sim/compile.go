@@ -1,0 +1,421 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitvec"
+	"repro/internal/cgraph"
+	"repro/internal/costmodel"
+	"repro/internal/firrtl"
+)
+
+// PartSpec describes one thread's share of the circuit: the vertices it
+// executes (topologically ordered, replication included) and the sink
+// vertices it owns.
+type PartSpec struct {
+	Vertices []cgraph.VID
+	Sinks    []cgraph.VID
+}
+
+// Config controls compilation.
+type Config struct {
+	// OptLevel: 0 = direct translation; 1 = constant folding + copy
+	// propagation; 2 = additionally fuse masking/truncation into producers
+	// (the "newer compiler" configuration of Figure 10).
+	OptLevel int
+	// Model attributes costs to threads (defaults to costmodel.Default()).
+	Model *costmodel.Model
+	// Shared stores every combinational value in the shared global array
+	// instead of thread-private temps. This is the Verilator-style
+	// compilation model: tasks on different threads communicate through
+	// shared slots mid-cycle. Shared mode records per-vertex code marks
+	// (for task boundaries) and skips the stream optimizer, whose motion
+	// would invalidate them.
+	Shared bool
+}
+
+// SerialSpec builds the single-partition PartSpec covering the whole graph.
+func SerialSpec(g *cgraph.Graph) []PartSpec {
+	var vs []cgraph.VID
+	for _, v := range g.Topo {
+		if !g.Vs[v].Kind.IsSource() {
+			vs = append(vs, v)
+		}
+	}
+	return []PartSpec{{Vertices: vs, Sinks: g.Sinks()}}
+}
+
+// Compile translates the graph into a Program with one instruction stream
+// per partition. Partitions must be self-contained (every non-source
+// predecessor of a partition vertex is in the partition, earlier in the
+// list) — core.Partition results and SerialSpec satisfy this.
+func Compile(g *cgraph.Graph, parts []PartSpec, cfg Config) (*Program, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("sim: no partitions")
+	}
+	model := costmodel.Default()
+	if cfg.Model != nil {
+		model = *cfg.Model
+	}
+	c := &compiler{
+		g:     g,
+		prog:  &Program{Design: g.Name, NumThreads: len(parts)},
+		model: model,
+		cfg:   cfg,
+	}
+	if err := c.layout(parts); err != nil {
+		return nil, err
+	}
+	for t := range parts {
+		if err := c.compileThread(t, parts[t]); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Shared {
+		// Scratch slots allocated during compilation extend the arrays.
+		c.prog.GlobalWords = int(c.nextWord)
+		c.prog.GlobalWide = int(c.nextWide)
+	}
+	if cfg.OptLevel > 0 && !cfg.Shared {
+		for t := range c.prog.Threads {
+			optimize(c.prog, &c.prog.Threads[t], cfg.OptLevel)
+		}
+	}
+	// Cost statistics per thread (after optimization the vertex set is
+	// unchanged; the model works on vertices, matching the paper's
+	// IR-level prediction).
+	for t := range parts {
+		th := &c.prog.Threads[t]
+		for _, v := range parts[t].Vertices {
+			f := costmodel.Features(&g.Vs[v])
+			for cl := 0; cl < int(costmodel.NumClasses); cl++ {
+				th.Features[cl] += f[cl]
+			}
+			th.CostUnits += model.VertexCost(&g.Vs[v])
+			switch {
+			case g.Vs[v].Kind == cgraph.KindMemWrite:
+				th.Branches++
+			case g.Vs[v].Kind == cgraph.KindLogic && g.Vs[v].Op == firrtl.OpMux:
+				th.Branches++
+			}
+		}
+	}
+	return c.prog, nil
+}
+
+type sinkSlot struct {
+	thread int
+	// narrow: index within the thread's shadow/segment; wide: index into
+	// the thread's wide-shadow list.
+	idx  uint32
+	wide bool
+}
+
+type compiler struct {
+	g     *cgraph.Graph
+	prog  *Program
+	model costmodel.Model
+	cfg   Config
+
+	// globalOf[v] is the global ref for source vertices and sink results
+	// (narrow); wideGlobalOf[v] for wide ones.
+	globalOf     map[cgraph.VID]uint32
+	wideGlobalOf map[cgraph.VID]uint32
+	sinkSlots    map[cgraph.VID]sinkSlot
+
+	immIndex     map[uint64]uint32
+	wideImmIndex map[string]uint32
+
+	// Shared mode: per-vertex global slots for combinational results and
+	// running allocation counters.
+	sharedOf     map[cgraph.VID]uint32
+	sharedWideOf map[cgraph.VID]uint32
+	nextWord     uint32
+	nextWide     uint32
+}
+
+func isWideType(t firrtl.Type) bool { return t.Width > 64 }
+
+// layout assigns global storage: an input region, then one padded segment
+// per thread holding its narrow sinks (registers first grouped by reader
+// thread and topo-ordered, per Figure 5), plus wide-global slots.
+func (c *compiler) layout(parts []PartSpec) error {
+	g := c.g
+	p := c.prog
+	c.globalOf = map[cgraph.VID]uint32{}
+	c.wideGlobalOf = map[cgraph.VID]uint32{}
+	c.sinkSlots = map[cgraph.VID]sinkSlot{}
+	c.immIndex = map[uint64]uint32{}
+	c.wideImmIndex = map[string]uint32{}
+
+	// Owner thread per sink.
+	owner := map[cgraph.VID]int{}
+	for t := range parts {
+		for _, s := range parts[t].Sinks {
+			if prev, dup := owner[s]; dup {
+				return fmt.Errorf("sim: sink %s owned by threads %d and %d", g.Vs[s].Name, prev, t)
+			}
+			owner[s] = t
+		}
+	}
+	for _, s := range g.Sinks() {
+		if _, ok := owner[s]; !ok {
+			return fmt.Errorf("sim: sink %s not owned by any thread", g.Vs[s].Name)
+		}
+	}
+
+	// Reader thread sets for register reads: which threads execute a
+	// vertex consuming the register's value.
+	partOf := make([][]int, g.NumVertices())
+	for t := range parts {
+		for _, v := range parts[t].Vertices {
+			partOf[v] = append(partOf[v], t)
+		}
+	}
+	minReader := func(read cgraph.VID) int {
+		best := 1 << 30
+		for _, succ := range g.Succs[read] {
+			for _, t := range partOf[succ] {
+				if t < best {
+					best = t
+				}
+			}
+		}
+		return best
+	}
+
+	// Input region.
+	var word uint32
+	var wide uint32
+	p.inputByName = map[string]int{}
+	p.outputByName = map[string]int{}
+	p.regByName = map[string]int{}
+	for _, in := range g.Inputs {
+		v := &g.Vs[in]
+		ps := PortSlot{Name: v.Name, Width: v.Type.Width, Wide: isWideType(v.Type)}
+		if ps.Wide {
+			ps.Slot = wide
+			c.wideGlobalOf[in] = wide
+			p.WideWidths = append(p.WideWidths, v.Type.Width)
+			wide++
+		} else {
+			ps.Slot = word
+			c.globalOf[in] = MakeRef(RefGlobal, word)
+			word++
+		}
+		p.inputByName[ps.Name] = len(p.Inputs)
+		p.Inputs = append(p.Inputs, ps)
+	}
+	// Pad input region to a segment boundary.
+	word = padTo(word, SegmentWords)
+
+	// Memories.
+	for mi := range g.Mems {
+		m := &g.Mems[mi]
+		p.Mems = append(p.Mems, MemSpec{
+			Name: m.Name, Depth: m.Depth, Width: m.Type.Width, Wide: isWideType(m.Type),
+		})
+	}
+
+	// Topo position for segment ordering.
+	pos := make([]int32, g.NumVertices())
+	for i, v := range g.Topo {
+		pos[v] = int32(i)
+	}
+
+	// Per-thread segments.
+	p.Threads = make([]ThreadCode, len(parts))
+	for t := range parts {
+		th := &p.Threads[t]
+		th.GlobalOff = int(word)
+		var narrow, wideSinks []cgraph.VID
+		for _, s := range parts[t].Sinks {
+			if g.Vs[s].Kind == cgraph.KindMemWrite {
+				continue // buffered, not laid out
+			}
+			if isWideType(g.Vs[s].Type) {
+				wideSinks = append(wideSinks, s)
+			} else {
+				narrow = append(narrow, s)
+			}
+		}
+		// Group by reader thread of the value (the register's read vertex
+		// or, for outputs, the owner), then topo order.
+		groupKey := func(s cgraph.VID) int {
+			v := &g.Vs[s]
+			if v.Kind == cgraph.KindRegWrite {
+				return minReader(g.Regs[v.Reg].Read)
+			}
+			return t
+		}
+		sort.Slice(narrow, func(a, b int) bool {
+			ka, kb := groupKey(narrow[a]), groupKey(narrow[b])
+			if ka != kb {
+				return ka < kb
+			}
+			return pos[narrow[a]] < pos[narrow[b]]
+		})
+		for i, s := range narrow {
+			c.sinkSlots[s] = sinkSlot{thread: t, idx: uint32(i)}
+			slot := word + uint32(i)
+			c.globalOf[s] = MakeRef(RefGlobal, slot)
+			v := &g.Vs[s]
+			switch v.Kind {
+			case cgraph.KindRegWrite:
+				// The register's read vertex shares the slot.
+				c.globalOf[g.Regs[v.Reg].Read] = MakeRef(RefGlobal, slot)
+				p.regByName[g.Regs[v.Reg].Name] = len(p.Regs)
+				p.Regs = append(p.Regs, RegSlot{
+					Name: g.Regs[v.Reg].Name, Width: v.Type.Width,
+					Slot: slot, Init: g.Regs[v.Reg].Init,
+				})
+			case cgraph.KindOutput:
+				p.outputByName[v.Name] = len(p.Outputs)
+				p.Outputs = append(p.Outputs, PortSlot{Name: v.Name, Width: v.Type.Width, Slot: slot})
+			}
+		}
+		th.ShadowWords = len(narrow)
+		word = padTo(word+uint32(len(narrow)), SegmentWords)
+
+		// Wide sinks: one wide-global slot each; shadow copies by index.
+		for i, s := range wideSinks {
+			c.sinkSlots[s] = sinkSlot{thread: t, idx: uint32(i), wide: true}
+			c.wideGlobalOf[s] = wide
+			p.WideWidths = append(p.WideWidths, g.Vs[s].Type.Width)
+			th.WideShadowSlots = append(th.WideShadowSlots, wide)
+			th.WideShadowTypes = append(th.WideShadowTypes, g.Vs[s].Type)
+			v := &g.Vs[s]
+			switch v.Kind {
+			case cgraph.KindRegWrite:
+				c.wideGlobalOf[g.Regs[v.Reg].Read] = wide
+				p.regByName[g.Regs[v.Reg].Name] = len(p.Regs)
+				p.Regs = append(p.Regs, RegSlot{
+					Name: g.Regs[v.Reg].Name, Width: v.Type.Width, Wide: true,
+					Slot: wide, Init: g.Regs[v.Reg].Init,
+				})
+			case cgraph.KindOutput:
+				p.outputByName[v.Name] = len(p.Outputs)
+				p.Outputs = append(p.Outputs, PortSlot{Name: v.Name, Width: v.Type.Width, Wide: true, Slot: wide})
+			}
+			wide++
+		}
+	}
+	c.nextWord = word
+	c.nextWide = wide
+	if c.cfg.Shared {
+		// Every combinational vertex gets a shared slot; one writer each.
+		c.sharedOf = map[cgraph.VID]uint32{}
+		c.sharedWideOf = map[cgraph.VID]uint32{}
+		for vi := range g.Vs {
+			v := cgraph.VID(vi)
+			k := g.Vs[v].Kind
+			if k.IsSource() || k.IsSink() {
+				continue
+			}
+			if isWideType(g.Vs[v].Type) {
+				c.sharedWideOf[v] = c.nextWide
+				p.WideWidths = append(p.WideWidths, g.Vs[v].Type.Width)
+				c.nextWide++
+			} else {
+				c.sharedOf[v] = c.nextWord
+				c.nextWord++
+			}
+		}
+	}
+	p.GlobalWords = int(c.nextWord)
+	p.GlobalWide = int(c.nextWide)
+
+	// Registers with no read-side slot assignment (write pruned? cannot
+	// happen: writes are sinks and always live). Defensive check.
+	for ri := range g.Regs {
+		r := &g.Regs[ri]
+		_, n := c.globalOf[r.Read]
+		_, w := c.wideGlobalOf[r.Read]
+		if !n && !w {
+			return fmt.Errorf("sim: register %s has no storage", r.Name)
+		}
+	}
+	return nil
+}
+
+func padTo(x, align uint32) uint32 {
+	if r := x % align; r != 0 {
+		x += align - r
+	}
+	return x
+}
+
+// internImm interns a narrow literal value.
+func (c *compiler) internImm(v uint64) uint32 {
+	if idx, ok := c.immIndex[v]; ok {
+		return idx
+	}
+	idx := uint32(len(c.prog.Imms))
+	c.prog.Imms = append(c.prog.Imms, v)
+	c.immIndex[v] = idx
+	return idx
+}
+
+// internWideImm interns a wide literal value.
+func (c *compiler) internWideImm(v bitvec.Vec) uint32 {
+	key := v.String()
+	if idx, ok := c.wideImmIndex[key]; ok {
+		return idx
+	}
+	idx := uint32(len(c.prog.WideImms))
+	c.prog.WideImms = append(c.prog.WideImms, v.Clone())
+	c.wideImmIndex[key] = idx
+	return idx
+}
+
+// threadCompiler holds per-thread compile state. Narrow temps (vertex
+// results and sign-extension scratches) are allocated from one sequential
+// counter.
+type threadCompiler struct {
+	c  *compiler
+	t  int
+	th *ThreadCode
+	// tempOf maps a combinational vertex to its narrow temp index;
+	// wideTempOf to its wide temp index.
+	tempOf     map[cgraph.VID]uint32
+	wideTempOf map[cgraph.VID]uint32
+	nextTemp   uint32
+	nextWide   uint32
+}
+
+func (c *compiler) compileThread(t int, part PartSpec) error {
+	tc := &threadCompiler{
+		c: c, t: t, th: &c.prog.Threads[t],
+		tempOf:     map[cgraph.VID]uint32{},
+		wideTempOf: map[cgraph.VID]uint32{},
+	}
+	for _, v := range part.Vertices {
+		if c.cfg.Shared {
+			tc.th.Marks = append(tc.th.Marks, len(tc.th.Code))
+		}
+		if err := tc.compileVertex(v); err != nil {
+			return fmt.Errorf("sim: thread %d vertex %s: %w", t, c.g.Vs[v].Name, err)
+		}
+	}
+	if c.cfg.Shared {
+		tc.th.Marks = append(tc.th.Marks, len(tc.th.Code))
+	}
+	tc.th.NumTemps = int(tc.nextTemp)
+	tc.th.NumWideTemps = int(tc.nextWide)
+	return nil
+}
+
+// newTemp allocates a fresh narrow temp.
+func (tc *threadCompiler) newTemp() uint32 {
+	idx := tc.nextTemp
+	tc.nextTemp++
+	return idx
+}
+
+// newWideTemp allocates a fresh wide temp.
+func (tc *threadCompiler) newWideTemp() uint32 {
+	idx := tc.nextWide
+	tc.nextWide++
+	return idx
+}

@@ -1,0 +1,320 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/cgraph"
+	"repro/internal/firrtl"
+)
+
+// buildAndRun compiles src at both opt levels, runs n cycles with the given
+// pokes, and cross-checks outputs against the reference evaluator.
+func buildAndRun(t *testing.T, src string, pokes map[string]uint64, n int) map[string]uint64 {
+	t.Helper()
+	c, err := firrtl.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := firrtl.Check(c); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	fc, err := firrtl.Flatten(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc, err := firrtl.Lower(fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := cgraph.Build(lc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := NewReference(g)
+	for name, v := range pokes {
+		if err := ref.PokeInputUint(name, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ref.Run(n)
+
+	outs := map[string]uint64{}
+	for _, opt := range []int{0, 2} {
+		prog, err := Compile(g, SerialSpec(g), Config{OptLevel: opt})
+		if err != nil {
+			t.Fatalf("compile O%d: %v", opt, err)
+		}
+		e := NewEngine(prog)
+		for name, v := range pokes {
+			if err := e.PokeInput(name, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		e.Run(n)
+		for _, o := range g.Outputs {
+			name := g.Vs[o].Name
+			got, err := e.PeekOutputVec(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, _ := ref.PeekOutput(name)
+			if !bitvec.Eq(got, want) {
+				t.Fatalf("O%d: output %s = %v, reference %v", opt, name, got, want)
+			}
+			outs[name] = got.Uint64()
+		}
+	}
+	return outs
+}
+
+// Signed division of the minimum value by -1 must wrap, not trap.
+func TestSignedDivMinByMinusOne(t *testing.T) {
+	src := `
+circuit D {
+  module D {
+    input a : SInt<64>
+    input b : SInt<64>
+    output q : SInt<65>
+    output r : SInt<64>
+    q <= div(a, b)
+    r <= rem(a, b)
+  }
+}
+`
+	outs := buildAndRun(t, src, map[string]uint64{
+		"a": 1 << 63, // MinInt64
+		"b": ^uint64(0),
+	}, 1)
+	// Result width is 65 so -MinInt64 is representable; the low 64 bits
+	// are 1<<63 and the engine must not panic.
+	if outs["q"] != 1<<63 {
+		t.Fatalf("q low bits = %#x", outs["q"])
+	}
+	if outs["r"] != 0 {
+		t.Fatalf("rem = %#x, want 0", outs["r"])
+	}
+}
+
+// Division and remainder by zero follow the hardware convention.
+func TestDivRemByZeroCircuit(t *testing.T) {
+	src := `
+circuit Z {
+  module Z {
+    input a : UInt<16>
+    output q : UInt<16>
+    output r : UInt<16>
+    q <= div(a, UInt<16>(0))
+    r <= rem(a, UInt<16>(0))
+  }
+}
+`
+	outs := buildAndRun(t, src, map[string]uint64{"a": 1234}, 1)
+	if outs["q"] != 0 || outs["r"] != 1234 {
+		t.Fatalf("div/rem by zero: q=%d r=%d", outs["q"], outs["r"])
+	}
+}
+
+// Dynamic shifts with amounts at and beyond the operand width.
+func TestDynamicShiftExtremes(t *testing.T) {
+	src := `
+circuit S {
+  module S {
+    input x : UInt<32>
+    input n : UInt<7>
+    output l : UInt<32>
+    output r : UInt<32>
+    l <= bits(dshl(x, n), 31, 0)
+    r <= dshr(x, n)
+  }
+}
+`
+	for _, n := range []uint64{0, 1, 31, 32, 63, 64, 100, 127} {
+		outs := buildAndRun(t, src, map[string]uint64{"x": 0xdeadbeef, "n": n}, 1)
+		var wantL, wantR uint64
+		if n < 64 {
+			wantL = (0xdeadbeef << n) & 0xffffffff
+			wantR = uint64(0xdeadbeef) >> n
+		}
+		if outs["l"] != wantL || outs["r"] != wantR {
+			t.Fatalf("n=%d: l=%#x (want %#x) r=%#x (want %#x)", n, outs["l"], wantL, outs["r"], wantR)
+		}
+	}
+}
+
+// Arithmetic dynamic shift of a negative signed value.
+func TestDynamicArithmeticShift(t *testing.T) {
+	src := `
+circuit A {
+  module A {
+    input x : SInt<8>
+    input n : UInt<4>
+    output y : SInt<8>
+    y <= dshr(x, n)
+  }
+}
+`
+	outs := buildAndRun(t, src, map[string]uint64{"x": 0x80, "n": 3}, 1) // -128 >> 3
+	if int8(outs["y"]) != -16 {
+		t.Fatalf("-128 >>> 3 = %d, want -16", int8(outs["y"]))
+	}
+	outs = buildAndRun(t, src, map[string]uint64{"x": 0x80, "n": 15}, 1)
+	if int8(outs["y"]) != -1 {
+		t.Fatalf("-128 >>> 15 = %d, want -1 (sign fill)", int8(outs["y"]))
+	}
+}
+
+// Out-of-range memory addresses: reads return zero, writes are dropped.
+func TestMemoryOutOfRange(t *testing.T) {
+	src := `
+circuit M {
+  module M {
+    input a : UInt<8>
+    output o : UInt<16>
+    mem m : UInt<16>[10]
+    node rd = read(m, a)
+    write(m, a, UInt<16>(7), UInt<1>(1))
+    o <= rd
+  }
+}
+`
+	// Address 200 is beyond depth 10.
+	outs := buildAndRun(t, src, map[string]uint64{"a": 200}, 3)
+	if outs["o"] != 0 {
+		t.Fatalf("OOB read = %d, want 0", outs["o"])
+	}
+	// In-range behaves.
+	outs = buildAndRun(t, src, map[string]uint64{"a": 5}, 3)
+	if outs["o"] != 7 {
+		t.Fatalf("in-range read = %d, want 7", outs["o"])
+	}
+}
+
+// Signed comparisons across widths (value semantics, not raw bits).
+func TestSignedCompareAcrossWidths(t *testing.T) {
+	src := `
+circuit C {
+  module C {
+    input a : SInt<4>
+    input b : SInt<8>
+    output eqo  : UInt<1>
+    output lto  : UInt<1>
+    eqo <= eq(a, b)
+    lto <= lt(a, b)
+  }
+}
+`
+	// a = -1 (4-bit 0xF), b = -1 (8-bit 0xFF): equal despite raw bits.
+	outs := buildAndRun(t, src, map[string]uint64{"a": 0xF, "b": 0xFF}, 1)
+	if outs["eqo"] != 1 || outs["lto"] != 0 {
+		t.Fatalf("-1 == -1 failed: eq=%d lt=%d", outs["eqo"], outs["lto"])
+	}
+	// a = -8 (0x8), b = 3: a < b.
+	outs = buildAndRun(t, src, map[string]uint64{"a": 0x8, "b": 3}, 1)
+	if outs["eqo"] != 0 || outs["lto"] != 1 {
+		t.Fatalf("-8 < 3 failed: eq=%d lt=%d", outs["eqo"], outs["lto"])
+	}
+}
+
+// Reductions at full 64-bit width (mask edge cases).
+func TestReductions64(t *testing.T) {
+	src := `
+circuit R {
+  module R {
+    input x : UInt<64>
+    output ao : UInt<1>
+    output oo : UInt<1>
+    output xo : UInt<1>
+    ao <= andr(x)
+    oo <= orr(x)
+    xo <= xorr(x)
+  }
+}
+`
+	outs := buildAndRun(t, src, map[string]uint64{"x": ^uint64(0)}, 1)
+	if outs["ao"] != 1 || outs["oo"] != 1 || outs["xo"] != 0 {
+		t.Fatalf("all-ones: andr=%d orr=%d xorr=%d", outs["ao"], outs["oo"], outs["xo"])
+	}
+	outs = buildAndRun(t, src, map[string]uint64{"x": 1}, 1)
+	if outs["ao"] != 0 || outs["oo"] != 1 || outs["xo"] != 1 {
+		t.Fatalf("one: andr=%d orr=%d xorr=%d", outs["ao"], outs["oo"], outs["xo"])
+	}
+}
+
+// Signed pad/cvt/neg pipeline.
+func TestSignedWidening(t *testing.T) {
+	src := `
+circuit W {
+  module W {
+    input a : SInt<4>
+    output p : SInt<12>
+    output n : SInt<5>
+    output c : SInt<9>
+    p <= pad(a, 12)
+    n <= neg(a)
+    c <= cvt(pad(asUInt(a), 8))
+  }
+}
+`
+	outs := buildAndRun(t, src, map[string]uint64{"a": 0x9}, 1) // -7
+	if int16(outs["p"]<<4)>>4 != -7 {
+		t.Fatalf("pad(-7) = %#x", outs["p"])
+	}
+	if outs["n"] != 7 {
+		t.Fatalf("neg(-7) = %#x, want 7", outs["n"])
+	}
+	// asUInt(-7 at 4 bits) = 9; pad to 8 = 9; cvt = +9.
+	if outs["c"] != 9 {
+		t.Fatalf("cvt(pad(asUInt(-7))) = %d, want 9", outs["c"])
+	}
+}
+
+// Wide (>64-bit) arithmetic through registers and memories end to end.
+func TestWidePipeline(t *testing.T) {
+	src := `
+circuit Wd {
+  module Wd {
+    input x : UInt<64>
+    output hi : UInt<64>
+    output lo : UInt<64>
+    reg acc : UInt<128> init 1
+    mem m : UInt<96>[4]
+    node prod = bits(mul(acc, UInt<64>(3)), 127, 0)
+    node mixed = xor(prod, pad(x, 128))
+    acc <= mixed
+    node rd = read(m, UInt<2>(1))
+    write(m, UInt<2>(1), bits(acc, 95, 0), UInt<1>(1))
+    hi <= bits(acc, 127, 64)
+    lo <= xor(bits(acc, 63, 0), bits(pad(rd, 128), 63, 0))
+  }
+}
+`
+	outs := buildAndRun(t, src, map[string]uint64{"x": 0x123456789abcdef0}, 8)
+	// The reference cross-check inside buildAndRun is the real assertion;
+	// just require the wide state to be live.
+	if outs["hi"] == 0 && outs["lo"] == 0 {
+		t.Fatalf("wide pipeline stuck at zero")
+	}
+}
+
+// Parallel equivalence on a circuit dominated by a single heavy divider
+// chain (stress for cost-model-driven partitioning).
+func TestParallelHeavyOpSkew(t *testing.T) {
+	var src = `
+circuit H {
+  module H {
+    input i : UInt<32>
+`
+	for r := 0; r < 12; r++ {
+		src += fmt.Sprintf("    reg r%d : UInt<32> init %d\n", r, r+1)
+		if r < 2 {
+			src += fmt.Sprintf("    node n%d = div(r%d, or(i, UInt<32>(1)))\n", r, r)
+		} else {
+			src += fmt.Sprintf("    node n%d = xor(r%d, i)\n", r, r)
+		}
+		src += fmt.Sprintf("    r%d <= n%d\n", r, r)
+	}
+	src += "    output o : UInt<32>\n    o <= n0\n  }\n}\n"
+	buildAndRun(t, src, map[string]uint64{"i": 77}, 10)
+}

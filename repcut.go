@@ -1,0 +1,188 @@
+// Package repcut is a Go reproduction of "RepCut: Superlinear Parallel RTL
+// Simulation with Replication-Aided Partitioning" (Wang & Beamer,
+// ASPLOS 2023): a full-cycle RTL simulation framework whose parallel
+// backend cuts the design into balanced, fully independent partitions by
+// replicating a small amount of overlapping logic, so threads synchronize
+// only twice per simulated cycle.
+//
+// The typical flow:
+//
+//	circ, err := repcut.ParseCircuit(src)       // or designs.Build / firrtl.Builder
+//	d, err := repcut.Elaborate(circ)            // flatten + lower + graph
+//	sim, err := d.CompileParallel(repcut.Options{Threads: 8})
+//	sim.PokeInput("io_in", 42)
+//	sim.Run(1000)
+//	v, _ := sim.PeekOutput("io_out")
+//
+// Serial compilation (CompileSerial), the Verilator-style baseline
+// (internal/verilator), the replication-aided partitioner (Partition), and
+// the paper's full evaluation harness (internal/experiments, cmd/benchall)
+// are built on the same primitives.
+package repcut
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/cgraph"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/firrtl"
+	"repro/internal/sim"
+)
+
+// Design is an elaborated circuit: flattened, lowered, and converted to the
+// split circuit DAG the partitioner and compilers operate on.
+type Design struct {
+	Circuit *firrtl.Circuit
+	Graph   *cgraph.Graph
+}
+
+// ParseCircuit parses the textual IR format (see internal/firrtl) and
+// checks it.
+func ParseCircuit(src string) (*firrtl.Circuit, error) {
+	c, err := firrtl.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := firrtl.Check(c); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// LoadCircuit reads and parses a circuit file.
+func LoadCircuit(path string) (*firrtl.Circuit, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseCircuit(string(data))
+}
+
+// Elaborate flattens the module hierarchy, lowers expressions to graph
+// normal form, and builds the split circuit DAG.
+func Elaborate(c *firrtl.Circuit) (*Design, error) {
+	fc, err := firrtl.Flatten(c)
+	if err != nil {
+		return nil, err
+	}
+	lc, err := firrtl.Lower(fc)
+	if err != nil {
+		return nil, err
+	}
+	g, err := cgraph.Build(lc)
+	if err != nil {
+		return nil, err
+	}
+	return &Design{Circuit: lc, Graph: g}, nil
+}
+
+// Stats returns the design's Table 1 statistics.
+func (d *Design) Stats() cgraph.Stats { return d.Graph.Stats() }
+
+// Options configure parallel compilation.
+type Options struct {
+	// Threads is the partition count (required, >= 1).
+	Threads int
+	// Epsilon is the balance tolerance (default 0.03).
+	Epsilon float64
+	// Seed makes partitioning deterministic (default 1).
+	Seed int64
+	// Unweighted disables the simulation cost model ("RepCut UW").
+	Unweighted bool
+	// OptLevel selects backend optimization: 0 none, 1 const-fold +
+	// copy-prop, 2 (default) additionally fuses truncations.
+	OptLevel int
+}
+
+func (o *Options) defaults() {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.OptLevel == 0 {
+		o.OptLevel = 2
+	}
+}
+
+// PartitionReport summarizes a replication-aided partitioning.
+type PartitionReport struct {
+	Threads            int
+	ReplicationCost    float64 // Formula 3
+	ImbalanceExcl      float64 // Formula 4 before replication
+	ImbalanceIncl      float64 // Formula 4 after replication
+	ReplicatedVertices int
+	PartWeights        []int64
+}
+
+// Partition runs the replication-aided partitioner without compiling.
+func (d *Design) Partition(opt Options) (*core.Result, *PartitionReport, error) {
+	opt.defaults()
+	model := costmodel.Default()
+	if opt.Unweighted {
+		model = costmodel.Unweighted()
+	}
+	res, err := core.Partition(d.Graph, core.Options{
+		K: opt.Threads, Epsilon: opt.Epsilon, Seed: opt.Seed, Model: model,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := &PartitionReport{
+		Threads:            opt.Threads,
+		ReplicationCost:    res.ReplicationCost,
+		ImbalanceExcl:      res.ImbalanceExcl,
+		ImbalanceIncl:      res.ImbalanceIncl,
+		ReplicatedVertices: res.ReplicatedVertices,
+	}
+	for i := range res.Parts {
+		rep.PartWeights = append(rep.PartWeights, res.Parts[i].Weight)
+	}
+	return res, rep, nil
+}
+
+// Simulator is a ready-to-run compiled simulator.
+type Simulator struct {
+	*sim.Engine
+	Report *PartitionReport // nil for serial compilation
+}
+
+// CompileSerial builds the single-threaded (ESSENT-style) simulator.
+func (d *Design) CompileSerial(optLevel int) (*Simulator, error) {
+	p, err := sim.Compile(d.Graph, sim.SerialSpec(d.Graph), sim.Config{OptLevel: optLevel})
+	if err != nil {
+		return nil, err
+	}
+	return &Simulator{Engine: sim.NewEngine(p)}, nil
+}
+
+// CompileParallel partitions the design and builds the RepCut parallel
+// simulator: Options.Threads goroutines executing independent partitions
+// with two barriers per simulated cycle.
+func (d *Design) CompileParallel(opt Options) (*Simulator, error) {
+	opt.defaults()
+	if opt.Threads < 1 {
+		return nil, fmt.Errorf("repcut: Threads must be >= 1")
+	}
+	if opt.Threads == 1 {
+		s, err := d.CompileSerial(opt.OptLevel)
+		if err != nil {
+			return nil, err
+		}
+		s.Report = &PartitionReport{Threads: 1}
+		return s, nil
+	}
+	res, rep, err := d.Partition(opt)
+	if err != nil {
+		return nil, err
+	}
+	specs := make([]sim.PartSpec, len(res.Parts))
+	for i := range res.Parts {
+		specs[i] = sim.PartSpec{Vertices: res.Parts[i].Vertices, Sinks: res.Parts[i].Sinks}
+	}
+	p, err := sim.Compile(d.Graph, specs, sim.Config{OptLevel: opt.OptLevel})
+	if err != nil {
+		return nil, err
+	}
+	return &Simulator{Engine: sim.NewEngine(p), Report: rep}, nil
+}
