@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build test check bench results
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Full gate: vet plus the whole suite under the race detector. The parallel
+# partition+compile pipeline must stay race-clean and deterministic.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem .
+
+results:
+	$(GO) run ./cmd/benchall -out results

@@ -319,3 +319,36 @@ func BenchmarkCompileMegaBoom(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkPartitionCompile measures the end-to-end partition+compile
+// pipeline serially (workers=1) and with the worker pool (workers=0, all
+// cores). Both arms produce bit-identical programs; the parallel arm only
+// helps on multi-core hosts.
+func BenchmarkPartitionCompile(b *testing.B) {
+	s := benchSuite()
+	g := s.Graph(designs.Config{Kind: designs.MegaBoom, Cores: 4, Scale: 1})
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				// Fresh seeds defeat suite memoization.
+				r, err := partitionForBenchWorkers(g, 16, int64(i+500), bc.workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				specs := make([]sim.PartSpec, len(r.Parts))
+				for p := range r.Parts {
+					specs[p] = sim.PartSpec{Vertices: r.Parts[p].Vertices, Sinks: r.Parts[p].Sinks}
+				}
+				if _, err := sim.Compile(g, specs, sim.Config{OptLevel: 2, Workers: bc.workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -20,21 +20,32 @@ import (
 
 	"repro/internal/designs"
 	"repro/internal/experiments"
+	"repro/internal/profiling"
 	"repro/internal/report"
 )
 
 func main() {
 	var (
-		full   = flag.Bool("full", false, "run all 12 designs and the full thread sweep")
-		outDir = flag.String("out", "", "directory to write .txt/.csv results into")
-		check  = flag.Bool("check", true, "run a real-engine equivalence spot check first")
+		full    = flag.Bool("full", false, "run all 12 designs and the full thread sweep")
+		outDir  = flag.String("out", "", "directory to write .txt/.csv results into")
+		check   = flag.Bool("check", true, "run a real-engine equivalence spot check first")
+		workers = flag.Int("workers", 0, "worker count for partitioning+compilation (0 = all cores, 1 = serial; results are identical)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	s := experiments.NewQuick()
 	if *full {
 		s = experiments.New()
 	}
+	s.Workers = *workers
 
 	write := func(name string, t *report.Table) {
 		fmt.Println(t.String())

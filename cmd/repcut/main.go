@@ -22,6 +22,7 @@ import (
 	"repro/internal/designs"
 	"repro/internal/firrtl"
 	"repro/internal/hostmodel"
+	"repro/internal/profiling"
 	"repro/internal/report"
 	"repro/internal/sim"
 )
@@ -38,8 +39,17 @@ func main() {
 		seed       = flag.Int64("seed", 1, "partitioning seed")
 		statsOnly  = flag.Bool("stats", false, "print design statistics and partition report, do not simulate")
 		vcdPath    = flag.String("vcd", "", "dump register/output waveforms to this VCD file")
+		workers    = flag.Int("workers", 0, "worker count for partitioning+compilation (0 = all cores, 1 = serial; output is identical)")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	circ, name, err := loadDesign(*designName, *file, *scale)
 	if err != nil {
@@ -53,7 +63,7 @@ func main() {
 	fmt.Printf("%s: %d IR nodes, %d edges, %d sinks (%.2f%%), %d reg writes\n",
 		name, st.IRNodes, st.Edges, st.SinkVtx, st.SinkPct, st.RegWrites)
 
-	opts := repcut.Options{Threads: *threads, Unweighted: *uw, OptLevel: *opt, Seed: *seed}
+	opts := repcut.Options{Threads: *threads, Unweighted: *uw, OptLevel: *opt, Seed: *seed, Workers: *workers}
 	start := time.Now()
 	s, err := d.CompileParallel(opts)
 	if err != nil {

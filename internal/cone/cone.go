@@ -10,13 +10,19 @@
 //
 // Source vertices (register reads, memory state, inputs) are not
 // partitioned and belong to no cone.
+//
+// Cone traversals are independent per sink, so AnalyzeWorkers fans them out
+// over a worker pool: each worker owns a contiguous range of cones and one
+// private stamp array. Cone *sets* are then rebuilt by inverting the
+// per-cone membership lists in ascending cone order, which yields sorted
+// sets without a sort pass and is byte-identical for every worker count.
 package cone
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/cgraph"
+	"repro/internal/par"
 )
 
 // NoCluster marks source vertices, which belong to no cluster.
@@ -50,51 +56,74 @@ type Analysis struct {
 	SinkCluster []int32
 }
 
-// Analyze runs cone traversal (Algorithm 1) and clustering over g.
-func Analyze(g *cgraph.Graph) (*Analysis, error) {
+// Analyze runs cone traversal (Algorithm 1) and clustering over g using
+// every available core. Output is identical for any worker count.
+func Analyze(g *cgraph.Graph) (*Analysis, error) { return AnalyzeWorkers(g, 0) }
+
+// AnalyzeWorkers is Analyze with an explicit worker count (<= 0 means all
+// cores, 1 forces the serial path). The result is bit-identical across
+// worker counts.
+func AnalyzeWorkers(g *cgraph.Graph, workers int) (*Analysis, error) {
 	n := g.NumVertices()
 	a := &Analysis{
 		Sinks:     g.Sinks(),
 		ConeSets:  make([][]int32, n),
 		ClusterOf: make([]int32, n),
 	}
+	pool := par.NewPool(workers)
 
-	// Traverse each cone bottom-up from its sink (Algorithm 1). The stamp
-	// array replaces a per-traversal visited set.
-	stamp := make([]int32, n)
-	for i := range stamp {
-		stamp[i] = -1
-	}
-	fringe := make([]cgraph.VID, 0, 1024)
-	for cid, seed := range a.Sinks {
-		id := int32(cid)
-		a.ConeSets[seed] = append(a.ConeSets[seed], id)
-		stamp[seed] = id
-		fringe = append(fringe[:0], g.Preds[seed]...)
-		for len(fringe) > 0 {
-			v := fringe[len(fringe)-1]
-			fringe = fringe[:len(fringe)-1]
-			if stamp[v] == id {
-				continue
+	// Traverse each cone bottom-up from its sink (Algorithm 1). Cones are
+	// independent, so workers take contiguous cone ranges; the stamp array
+	// (one per worker, replacing a per-traversal visited set) is valid
+	// across a worker's whole range because stamps are global cone IDs.
+	members := make([][]cgraph.VID, len(a.Sinks))
+	pool.Chunks(len(a.Sinks), func(lo, hi int) {
+		stamp := make([]int32, n)
+		for i := range stamp {
+			stamp[i] = -1
+		}
+		fringe := make([]cgraph.VID, 0, 1024)
+		for cid := lo; cid < hi; cid++ {
+			id := int32(cid)
+			seed := a.Sinks[cid]
+			mem := append([]cgraph.VID(nil), seed)
+			stamp[seed] = id
+			fringe = append(fringe[:0], g.Preds[seed]...)
+			for len(fringe) > 0 {
+				v := fringe[len(fringe)-1]
+				fringe = fringe[:len(fringe)-1]
+				if stamp[v] == id {
+					continue
+				}
+				stamp[v] = id
+				if g.Vs[v].Kind.IsSource() {
+					continue // sources are not partitioned
+				}
+				mem = append(mem, v)
+				fringe = append(fringe, g.Preds[v]...)
 			}
-			stamp[v] = id
-			if g.Vs[v].Kind.IsSource() {
-				continue // sources are not partitioned
-			}
-			a.ConeSets[v] = append(a.ConeSets[v], id)
-			fringe = append(fringe, g.Preds[v]...)
+			members[cid] = mem
+		}
+	})
+
+	// Invert per-cone membership into per-vertex cone sets. Appending in
+	// ascending cone order produces sorted sets directly, independent of
+	// the BFS visit order inside each cone.
+	for cid, mem := range members {
+		for _, v := range mem {
+			a.ConeSets[v] = append(a.ConeSets[v], int32(cid))
 		}
 	}
 
-	// Cone sets were appended in increasing cone ID order only for the
-	// seed; BFS order is arbitrary, so sort each set.
-	for v := range a.ConeSets {
-		sort.Slice(a.ConeSets[v], func(i, j int) bool {
-			return a.ConeSets[v][i] < a.ConeSets[v][j]
-		})
-	}
-
-	// Cluster vertices by cone set.
+	// Cluster vertices by cone set. Hashes are precomputed in parallel;
+	// the grouping pass itself stays sequential so cluster IDs are
+	// assigned in vertex order (deterministic and worker-count-free).
+	hashes := make([]uint64, n)
+	pool.Chunks(n, func(lo, hi int) {
+		for vi := lo; vi < hi; vi++ {
+			hashes[vi] = hashCones(a.ConeSets[vi])
+		}
+	})
 	type bucket struct {
 		cluster int32
 	}
@@ -110,14 +139,6 @@ func Analyze(g *cgraph.Graph) (*Analysis, error) {
 		}
 		return true
 	}
-	hash := func(s []int32) uint64 {
-		h := uint64(1469598103934665603)
-		for _, x := range s {
-			h ^= uint64(uint32(x))
-			h *= 1099511628211
-		}
-		return h
-	}
 	for vi := 0; vi < n; vi++ {
 		v := cgraph.VID(vi)
 		if g.Vs[v].Kind.IsSource() {
@@ -128,7 +149,7 @@ func Analyze(g *cgraph.Graph) (*Analysis, error) {
 		if len(cs) == 0 {
 			return nil, fmt.Errorf("cone: vertex %s reaches no sink (dead code not pruned?)", g.Vs[v].Name)
 		}
-		h := hash(cs)
+		h := hashes[vi]
 		found := int32(-1)
 		for _, b := range byHash[h] {
 			if equal(a.Clusters[b.cluster].Cones, cs) {
@@ -164,6 +185,16 @@ func Analyze(g *cgraph.Graph) (*Analysis, error) {
 		}
 	}
 	return a, nil
+}
+
+// hashCones is an FNV-1a hash over a cone set.
+func hashCones(s []int32) uint64 {
+	h := uint64(1469598103934665603)
+	for _, x := range s {
+		h ^= uint64(uint32(x))
+		h *= 1099511628211
+	}
+	return h
 }
 
 // NumSinkClusters returns the number of sink clusters (== number of cones).

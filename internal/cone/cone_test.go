@@ -1,6 +1,10 @@
 package cone
 
 import (
+	"fmt"
+	"reflect"
+	"strings"
+
 	"testing"
 
 	"repro/internal/cgraph"
@@ -205,5 +209,42 @@ circuit C {
 	}
 	if a.ConeSets[av][0] == a.ConeSets[bv][0] {
 		t.Fatalf("independent logic sharing a cone")
+	}
+}
+
+// genWideCircuit emits a synthetic circuit with many interleaved registers
+// so the analysis has enough cones to spread across workers.
+func genWideCircuit(regs int) string {
+	var b strings.Builder
+	b.WriteString("circuit G {\n  module G {\n    input i : UInt<8>\n    output o : UInt<8>\n")
+	for r := 0; r < regs; r++ {
+		fmt.Fprintf(&b, "    reg r%d : UInt<8> init 0\n", r)
+	}
+	for r := 0; r < regs; r++ {
+		fmt.Fprintf(&b, "    node n%d = tail(add(r%d, xor(r%d, i)), 1)\n", r, r, (r+7)%regs)
+	}
+	for r := 0; r < regs; r++ {
+		fmt.Fprintf(&b, "    r%d <= n%d\n", r, (r+3)%regs)
+	}
+	b.WriteString("    o <= n0\n  }\n}\n")
+	return b.String()
+}
+
+// The analysis must be bit-identical no matter how many workers traverse
+// the cones.
+func TestAnalyzeWorkerEquivalence(t *testing.T) {
+	g := mustGraph(t, genWideCircuit(64))
+	base, err := AnalyzeWorkers(g, 1)
+	if err != nil {
+		t.Fatalf("serial analyze: %v", err)
+	}
+	for _, w := range []int{2, 3, 8} {
+		got, err := AnalyzeWorkers(g, w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("workers=%d: analysis differs from serial result", w)
+		}
 	}
 }

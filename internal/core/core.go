@@ -20,6 +20,7 @@ import (
 	"repro/internal/cone"
 	"repro/internal/costmodel"
 	"repro/internal/hypergraph"
+	"repro/internal/par"
 )
 
 // Options configure the partitioner.
@@ -34,6 +35,11 @@ type Options struct {
 	// Model predicts per-vertex simulation cost (η). Use
 	// costmodel.Unweighted() for the RepCut UW configuration.
 	Model costmodel.Model
+	// Workers bounds the parallelism of the pipeline itself (cone
+	// traversal, cluster weighting, hypergraph partitioning, partition
+	// realization). <= 0 means all cores; 1 forces the serial path. The
+	// Result is bit-identical for every worker count.
+	Workers int
 	// Hypergraph overrides advanced partitioner knobs; zero values use
 	// defaults.
 	Hypergraph hypergraph.Options
@@ -85,7 +91,8 @@ func Partition(g *cgraph.Graph, opt Options) (*Result, error) {
 	if opt.K <= 0 {
 		return nil, fmt.Errorf("core: K must be positive, got %d", opt.K)
 	}
-	an, err := cone.Analyze(g)
+	pool := par.NewPool(opt.Workers)
+	an, err := cone.AnalyzeWorkers(g, opt.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -93,15 +100,20 @@ func Partition(g *cgraph.Graph, opt Options) (*Result, error) {
 		return nil, fmt.Errorf("core: circuit has no sinks to partition")
 	}
 
-	// Cluster weights η (predicted simulation cost).
+	// Cluster weights η (predicted simulation cost). Clusters are
+	// independent; the total is reduced serially afterwards.
 	eta := make([]int64, len(an.Clusters))
-	var totalWeight int64
-	for ci := range an.Clusters {
-		var w int64
-		for _, v := range an.Clusters[ci].Members {
-			w += opt.Model.VertexCost(&g.Vs[v])
+	pool.Chunks(len(an.Clusters), func(lo, hi int) {
+		for ci := lo; ci < hi; ci++ {
+			var w int64
+			for _, v := range an.Clusters[ci].Members {
+				w += opt.Model.VertexCost(&g.Vs[v])
+			}
+			eta[ci] = w
 		}
-		eta[ci] = w
+	})
+	var totalWeight int64
+	for _, w := range eta {
 		totalWeight += w
 	}
 
@@ -146,6 +158,9 @@ func Partition(g *cgraph.Graph, opt Options) (*Result, error) {
 	hopt.K = opt.K
 	hopt.Epsilon = opt.Epsilon
 	hopt.Seed = opt.Seed
+	if hopt.Workers == 0 {
+		hopt.Workers = opt.Workers
+	}
 	if hopt.InitRuns == 0 {
 		hopt.InitRuns = 24
 	}
@@ -157,13 +172,13 @@ func Partition(g *cgraph.Graph, opt Options) (*Result, error) {
 		return nil, err
 	}
 
-	return realize(g, an, eta, totalWeight, hr, opt.K)
+	return realize(g, an, eta, totalWeight, hr, opt.K, pool)
 }
 
 // realize turns a sink-cluster partition into per-thread vertex lists,
 // replicating shared clusters, and computes all cost metrics.
 func realize(g *cgraph.Graph, an *cone.Analysis, eta []int64, totalWeight int64,
-	hr *hypergraph.Result, k int) (*Result, error) {
+	hr *hypergraph.Result, k int, pool *par.Pool) (*Result, error) {
 
 	res := &Result{
 		K:             k,
@@ -211,15 +226,17 @@ func realize(g *cgraph.Graph, an *cone.Analysis, eta []int64, totalWeight int64,
 		res.Parts[hr.Part[cid]].Sinks = append(res.Parts[hr.Part[cid]].Sinks, s)
 	}
 
-	// Topologically order each partition's vertex list.
+	// Topologically order each partition's vertex list. Partitions sort
+	// independently; with replication these sorts dominate realization on
+	// large designs, so they fan out over the pool.
 	pos := make([]int32, g.NumVertices())
 	for i, v := range g.Topo {
 		pos[v] = int32(i)
 	}
-	for p := range res.Parts {
+	pool.ForEach(len(res.Parts), func(p int) {
 		vs := res.Parts[p].Vertices
 		sort.Slice(vs, func(a, b int) bool { return pos[vs[a]] < pos[vs[b]] })
-	}
+	})
 
 	// Metrics.
 	var sumPart, maxPart int64

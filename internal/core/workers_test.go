@@ -1,0 +1,63 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/costmodel"
+)
+
+// Partitioning must be bit-identical across worker counts and across
+// repeated runs: same parts, same per-sink assignment, same metrics.
+func TestPartitionWorkerEquivalence(t *testing.T) {
+	g := mustGraph(t, randomPipelineSrc(48, 5))
+	for _, k := range []int{2, 4, 7} {
+		base, err := Partition(g, Options{K: k, Seed: 3, Model: costmodel.Default(), Workers: 1})
+		if err != nil {
+			t.Fatalf("k=%d serial: %v", k, err)
+		}
+		if err := Verify(g, base); err != nil {
+			t.Fatalf("k=%d serial verify: %v", k, err)
+		}
+		for _, workers := range []int{1, 2, 8} {
+			got, err := Partition(g, Options{K: k, Seed: 3, Model: costmodel.Default(), Workers: workers})
+			if err != nil {
+				t.Fatalf("k=%d workers=%d: %v", k, workers, err)
+			}
+			if !reflect.DeepEqual(base.PartOfSink, got.PartOfSink) {
+				t.Fatalf("k=%d workers=%d: sink assignment differs from serial", k, workers)
+			}
+			for p := range base.Parts {
+				if !reflect.DeepEqual(base.Parts[p].Vertices, got.Parts[p].Vertices) {
+					t.Fatalf("k=%d workers=%d: part %d vertex list differs", k, workers, p)
+				}
+				if !reflect.DeepEqual(base.Parts[p].Sinks, got.Parts[p].Sinks) {
+					t.Fatalf("k=%d workers=%d: part %d sink list differs", k, workers, p)
+				}
+				if base.Parts[p].Weight != got.Parts[p].Weight {
+					t.Fatalf("k=%d workers=%d: part %d weight differs", k, workers, p)
+				}
+			}
+			if got.CutCost != base.CutCost || got.ReplicatedVertices != base.ReplicatedVertices {
+				t.Fatalf("k=%d workers=%d: metrics differ (cut %d vs %d, repl %d vs %d)",
+					k, workers, got.CutCost, base.CutCost, got.ReplicatedVertices, base.ReplicatedVertices)
+			}
+		}
+	}
+}
+
+// Default worker count (0 = all cores) must agree with the serial path too.
+func TestPartitionDefaultWorkersMatchSerial(t *testing.T) {
+	g := mustGraph(t, randomPipelineSrc(32, 11))
+	serial, err := Partition(g, Options{K: 4, Seed: 8, Model: costmodel.Default(), Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := Partition(g, Options{K: 4, Seed: 8, Model: costmodel.Default()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.PartOfSink, auto.PartOfSink) {
+		t.Fatal("default-worker partition differs from serial")
+	}
+}

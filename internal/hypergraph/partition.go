@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"repro/internal/par"
 )
 
 // Options control the multilevel partitioner.
@@ -19,6 +21,16 @@ type Options struct {
 	InitRuns int
 	// MaxFMPasses bounds FM refinement passes per level (default 4).
 	MaxFMPasses int
+	// Workers bounds the parallelism of the partitioner (initial bisection
+	// runs and recursive-bisection branches). <= 0 means all cores; 1 runs
+	// fully serial. The partition produced is bit-identical for every
+	// worker count: randomized stages draw from seeds derived per branch
+	// and per run (par.Derive), never from a shared sequential RNG.
+	Workers int
+	// ParallelDepth is the recursion depth below which the two branches of
+	// a bisection may run concurrently (default 3, i.e. up to 8 in-flight
+	// branches). Deeper branches run inline on their parent's goroutine.
+	ParallelDepth int
 }
 
 func (o *Options) defaults() {
@@ -34,6 +46,9 @@ func (o *Options) defaults() {
 	if o.Epsilon <= 0 {
 		o.Epsilon = 0.03
 	}
+	if o.ParallelDepth <= 0 {
+		o.ParallelDepth = 3
+	}
 }
 
 // Partition computes a k-way partition of h minimizing Σ(λ−1)·ω subject to
@@ -48,7 +63,6 @@ func Partition(h *H, opt Options) (*Result, error) {
 	}
 	part := make([]int32, h.NumV)
 	if opt.K > 1 {
-		rng := rand.New(rand.NewSource(opt.Seed))
 		// Spread the global ε over the bisection levels so the composed
 		// partition still meets it.
 		levels := int(math.Ceil(math.Log2(float64(opt.K))))
@@ -60,20 +74,34 @@ func Partition(h *H, opt Options) (*Result, error) {
 		for i := range verts {
 			verts[i] = int32(i)
 		}
-		p := &partitioner{opt: opt, rng: rng, epsB: epsB}
-		p.recurse(h, verts, opt.K, 0, part)
+		p := &partitioner{opt: opt, epsB: epsB, pool: par.NewPool(opt.Workers)}
+		p.recurse(h, verts, opt.K, 0, part, opt.Seed, 0)
 	}
 	return Evaluate(h, opt.K, part), nil
 }
 
 type partitioner struct {
 	opt  Options
-	rng  *rand.Rand
 	epsB float64
+	pool *par.Pool
 }
 
-// recurse assigns parts [off, off+k) to the given vertices of orig.
-func (p *partitioner) recurse(orig *H, verts []int32, k, off int, out []int32) {
+// Seed-stream labels. Each randomized stage derives its RNG from the
+// branch seed plus one of these labels, so adding a stage can never shift
+// another stage's stream.
+const (
+	seedBisect  = 0 // this branch's bisection
+	seedLeft    = 1 // left sub-branch
+	seedRight   = 2 // right sub-branch
+	seedCoarsen = 3 // per-level coarsening permutation
+	seedInit    = 4 // per-run initial bisection
+)
+
+// recurse assigns parts [off, off+k) to the given vertices of orig. Each
+// branch owns a disjoint slice of the vertex universe and a derived seed
+// stream, so sibling branches can run concurrently (up to ParallelDepth)
+// without affecting the result.
+func (p *partitioner) recurse(orig *H, verts []int32, k, off int, out []int32, seed int64, depth int) {
 	if k == 1 {
 		for _, v := range verts {
 			out[v] = int32(off)
@@ -83,7 +111,7 @@ func (p *partitioner) recurse(orig *H, verts []int32, k, off int, out []int32) {
 	sub := induce(orig, verts)
 	k0 := (k + 1) / 2
 	frac0 := float64(k0) / float64(k)
-	side := p.bisect(sub, frac0)
+	side := p.bisect(sub, frac0, par.Derive(seed, seedBisect))
 	var v0, v1 []int32
 	for i, v := range verts {
 		if side[i] == 0 {
@@ -92,8 +120,14 @@ func (p *partitioner) recurse(orig *H, verts []int32, k, off int, out []int32) {
 			v1 = append(v1, v)
 		}
 	}
-	p.recurse(orig, v0, k0, off, out)
-	p.recurse(orig, v1, k-k0, off+k0, out)
+	left := func() { p.recurse(orig, v0, k0, off, out, par.Derive(seed, seedLeft), depth+1) }
+	right := func() { p.recurse(orig, v1, k-k0, off+k0, out, par.Derive(seed, seedRight), depth+1) }
+	if depth < p.opt.ParallelDepth && k > 2 {
+		p.pool.Do(left, right)
+	} else {
+		left()
+		right()
+	}
 }
 
 // induce builds the sub-hypergraph over the given vertices with cut-net
@@ -128,18 +162,49 @@ type level struct {
 	toCoarse []int32 // fine vertex -> coarse vertex (nil at the finest level)
 }
 
+// scratch holds the reusable buffers of one bisection context. Coarsening
+// and FM refinement run many times across the levels of one bisection (and
+// across FM passes); reusing these slices keeps the partitioner's
+// allocation rate flat in the level count. Scratch is confined to a single
+// goroutine: every concurrent task (initial-bisection run, recursion
+// branch) allocates its own.
+type scratch struct {
+	pinCount [][2]int64
+	locked   []bool
+	gain     []int64
+	hp       fmHeap
+	moves    []fmMove
+	match    []int32
+	pinBuf   []int32
+	score    map[int32]float64
+}
+
+func newScratch() *scratch { return &scratch{score: map[int32]float64{}} }
+
+// grow returns s resized to n, reallocating only when capacity is short.
+// Contents are unspecified; callers must overwrite what they read.
+func grow[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
+}
+
 // bisect produces a 0/1 side assignment for h with side 0 targeting frac0
-// of the total weight, within p.epsB.
-func (p *partitioner) bisect(h *H, frac0 float64) []int32 {
+// of the total weight, within p.epsB. All randomness comes from streams
+// derived from seed, so the result does not depend on worker count.
+func (p *partitioner) bisect(h *H, frac0 float64, seed int64) []int32 {
 	total := h.TotalVWeight()
 	max0 := int64(math.Ceil(float64(total) * frac0 * (1 + p.epsB)))
 	max1 := int64(math.Ceil(float64(total) * (1 - frac0) * (1 + p.epsB)))
+	sc := newScratch()
 
 	// Coarsen.
 	levels := []level{{h: h}}
 	cur := h
-	for cur.NumV > p.opt.CoarsenTo {
-		coarse, m := p.coarsen(cur, total)
+	for li := int64(0); cur.NumV > p.opt.CoarsenTo; li++ {
+		rng := rand.New(rand.NewSource(par.Derive(seed, seedCoarsen, li)))
+		coarse, m := p.coarsen(cur, total, rng, sc)
 		if coarse.NumV >= cur.NumV*19/20 {
 			break // diminishing returns
 		}
@@ -149,9 +214,9 @@ func (p *partitioner) bisect(h *H, frac0 float64) []int32 {
 
 	// Initial partition on the coarsest level.
 	coarsest := levels[len(levels)-1].h
-	part := p.initialBisection(coarsest, total, frac0, max0, max1)
-	p.repairBalance(coarsest, part, max0, max1)
-	p.fmRefine(coarsest, part, max0, max1)
+	part := p.initialBisection(coarsest, frac0, max0, max1, seed)
+	p.repairBalance(coarsest, part, max0, max1, sc)
+	p.fmRefine(coarsest, part, max0, max1, sc)
 
 	// Uncoarsen and refine.
 	for li := len(levels) - 1; li > 0; li-- {
@@ -162,13 +227,13 @@ func (p *partitioner) bisect(h *H, frac0 float64) []int32 {
 			finePart[v] = part[m[v]]
 		}
 		part = finePart
-		p.fmRefine(fine, part, max0, max1)
+		p.fmRefine(fine, part, max0, max1, sc)
 	}
 	return part
 }
 
 // coarsen performs one round of heavy-edge matching and contraction.
-func (p *partitioner) coarsen(h *H, totalWeight int64) (*H, []int32) {
+func (p *partitioner) coarsen(h *H, totalWeight int64, rng *rand.Rand, sc *scratch) (*H, []int32) {
 	n := h.NumV
 	// Cap the weight of contracted vertices so coarsening cannot create a
 	// vertex too heavy to balance.
@@ -177,12 +242,13 @@ func (p *partitioner) coarsen(h *H, totalWeight int64) (*H, []int32) {
 		cap_ = 1
 	}
 
-	order := p.rng.Perm(n)
-	match := make([]int32, n)
+	order := rng.Perm(n)
+	match := grow(sc.match, n)
+	sc.match = match
 	for i := range match {
 		match[i] = -1
 	}
-	score := make(map[int32]float64)
+	score := sc.score
 	for _, vi := range order {
 		v := int32(vi)
 		if match[v] >= 0 {
@@ -214,7 +280,8 @@ func (p *partitioner) coarsen(h *H, totalWeight int64) (*H, []int32) {
 		}
 	}
 
-	// Assign coarse IDs.
+	// Assign coarse IDs. cmap outlives this call (it becomes the level's
+	// fine→coarse projection), so it is always freshly allocated.
 	cmap := make([]int32, n)
 	for i := range cmap {
 		cmap[i] = -1
@@ -261,7 +328,7 @@ func (p *partitioner) coarsen(h *H, totalWeight int64) (*H, []int32) {
 		}
 		return true
 	}
-	var pinBuf []int32
+	pinBuf := sc.pinBuf
 	for ei := range h.Edges {
 		pinBuf = pinBuf[:0]
 		for _, pv := range h.Edges[ei].Pins {
@@ -293,36 +360,51 @@ func (p *partitioner) coarsen(h *H, totalWeight int64) (*H, []int32) {
 			byHash[hsh] = append(byHash[hsh], emap{idx: len(coarse.Edges) - 1, pins: pins})
 		}
 	}
+	sc.pinBuf = pinBuf
 	coarse.Finish()
 	return coarse, cmap
 }
 
-// initialBisection tries several randomized greedy growths and returns the
-// best balanced assignment found.
-func (p *partitioner) initialBisection(h *H, _ int64, frac0 float64, max0, max1 int64) []int32 {
+// initialBisection tries several randomized greedy growths — concurrently
+// when the pool allows — and returns the best balanced assignment. Each run
+// draws from its own derived seed and the winner is chosen by a total
+// order (balanced, then cut, then run index), so the choice is identical
+// for every worker count and schedule.
+func (p *partitioner) initialBisection(h *H, frac0 float64, max0, max1 int64, seed int64) []int32 {
 	total := h.TotalVWeight()
 	target0 := int64(float64(total) * frac0)
-	var best []int32
-	var bestCut int64 = math.MaxInt64
-	bestBalanced := false
-	for run := 0; run < p.opt.InitRuns; run++ {
-		part := p.greedyGrow(h, target0)
-		p.fmRefine(h, part, max0, max1)
+	type runOut struct {
+		part     []int32
+		cut      int64
+		balanced bool
+	}
+	outs := make([]runOut, p.opt.InitRuns)
+	p.pool.ForEach(p.opt.InitRuns, func(run int) {
+		rng := rand.New(rand.NewSource(par.Derive(seed, seedInit, int64(run))))
+		sc := newScratch()
+		part := p.greedyGrow(h, target0, rng)
+		p.fmRefine(h, part, max0, max1, sc)
 		r := Evaluate(h, 2, part)
-		balanced := r.PartWeights[0] <= max0 && r.PartWeights[1] <= max1
-		if (balanced && !bestBalanced) ||
-			(balanced == bestBalanced && r.CutKm1 < bestCut) {
-			best = part
-			bestCut = r.CutKm1
-			bestBalanced = balanced
+		outs[run] = runOut{
+			part:     part,
+			cut:      r.CutKm1,
+			balanced: r.PartWeights[0] <= max0 && r.PartWeights[1] <= max1,
+		}
+	})
+	best := 0
+	for run := 1; run < len(outs); run++ {
+		a, b := &outs[run], &outs[best]
+		if (a.balanced && !b.balanced) ||
+			(a.balanced == b.balanced && a.cut < b.cut) {
+			best = run
 		}
 	}
-	return best
+	return outs[best].part
 }
 
 // greedyGrow grows side 0 from a random seed via hyperedge-neighbor BFS
 // until its weight reaches target0.
-func (p *partitioner) greedyGrow(h *H, target0 int64) []int32 {
+func (p *partitioner) greedyGrow(h *H, target0 int64, rng *rand.Rand) []int32 {
 	n := h.NumV
 	part := make([]int32, n)
 	for i := range part {
@@ -334,7 +416,7 @@ func (p *partitioner) greedyGrow(h *H, target0 int64) []int32 {
 	pick := func() int32 {
 		// Random vertex still on side 1.
 		for tries := 0; tries < 8; tries++ {
-			v := int32(p.rng.Intn(n))
+			v := int32(rng.Intn(n))
 			if part[v] == 1 {
 				return v
 			}
@@ -388,15 +470,22 @@ func (h fmHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
 func (h *fmHeap) Push(x any)        { *h = append(*h, x.(fmItem)) }
 func (h *fmHeap) Pop() any          { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
 
+// fmMove records one applied FM move for rollback.
+type fmMove struct {
+	v    int32
+	from int32
+}
+
 // fmRefine runs Fiduccia–Mattheyses passes on a 2-way partition in place.
-func (p *partitioner) fmRefine(h *H, part []int32, max0, max1 int64) {
+func (p *partitioner) fmRefine(h *H, part []int32, max0, max1 int64, sc *scratch) {
 	n := h.NumV
 	if n == 0 {
 		return
 	}
 	maxSide := [2]int64{max0, max1}
 
-	pinCount := make([][2]int64, len(h.Edges))
+	pinCount := grow(sc.pinCount, len(h.Edges))
+	sc.pinCount = pinCount
 	var side [2]int64
 	recount := func() {
 		side = [2]int64{}
@@ -426,25 +515,26 @@ func (p *partitioner) fmRefine(h *H, part []int32, max0, max1 int64) {
 
 	for pass := 0; pass < p.opt.MaxFMPasses; pass++ {
 		recount()
-		locked := make([]bool, n)
-		gain := make([]int64, n)
-		hp := make(fmHeap, 0, n)
+		locked := grow(sc.locked, n)
+		sc.locked = locked
+		for i := range locked {
+			locked[i] = false
+		}
+		gain := grow(sc.gain, n)
+		sc.gain = gain
+		sc.hp = sc.hp[:0]
 		for v := int32(0); v < int32(n); v++ {
 			gain[v] = gainOf(v)
-			hp = append(hp, fmItem{gain: gain[v], v: v})
+			sc.hp = append(sc.hp, fmItem{gain: gain[v], v: v})
 		}
-		heap.Init(&hp)
+		heap.Init(&sc.hp)
 
-		type move struct {
-			v    int32
-			from int32
-		}
-		var moves []move
+		moves := sc.moves[:0]
 		var cum, bestCum int64
 		bestIdx := -1
 
-		for hp.Len() > 0 {
-			it := heap.Pop(&hp).(fmItem)
+		for sc.hp.Len() > 0 {
+			it := heap.Pop(&sc.hp).(fmItem)
 			v := it.v
 			if locked[v] || it.gain != gain[v] {
 				continue // stale entry
@@ -460,7 +550,7 @@ func (p *partitioner) fmRefine(h *H, part []int32, max0, max1 int64) {
 			side[from] -= h.VWeight[v]
 			side[to] += h.VWeight[v]
 			cum += it.gain
-			moves = append(moves, move{v: v, from: from})
+			moves = append(moves, fmMove{v: v, from: from})
 			if cum > bestCum {
 				bestCum = cum
 				bestIdx = len(moves) - 1
@@ -474,12 +564,13 @@ func (p *partitioner) fmRefine(h *H, part []int32, max0, max1 int64) {
 						g := gainOf(u)
 						if g != gain[u] {
 							gain[u] = g
-							heap.Push(&hp, fmItem{gain: g, v: u})
+							heap.Push(&sc.hp, fmItem{gain: g, v: u})
 						}
 					}
 				}
 			}
 		}
+		sc.moves = moves
 
 		// Roll back past the best prefix.
 		for i := len(moves) - 1; i > bestIdx; i-- {
@@ -498,23 +589,21 @@ func (p *partitioner) fmRefine(h *H, part []int32, max0, max1 int64) {
 // the move that hurts the cut least. It runs on the coarsest level, where
 // vertex counts are small; uncoarsening preserves side weights, so balance
 // established here survives projection.
-func (p *partitioner) repairBalance(h *H, part []int32, max0, max1 int64) {
+func (p *partitioner) repairBalance(h *H, part []int32, max0, max1 int64, sc *scratch) {
 	maxSide := [2]int64{max0, max1}
 	n := h.NumV
 	var side [2]int64
 	for v := 0; v < n; v++ {
 		side[part[v]] += h.VWeight[v]
 	}
-	pinCount := make([][2]int64, len(h.Edges))
-	recount := func() {
-		for ei := range h.Edges {
-			pinCount[ei] = [2]int64{}
-			for _, pv := range h.Edges[ei].Pins {
-				pinCount[ei][part[pv]]++
-			}
+	pinCount := grow(sc.pinCount, len(h.Edges))
+	sc.pinCount = pinCount
+	for ei := range h.Edges {
+		pinCount[ei] = [2]int64{}
+		for _, pv := range h.Edges[ei].Pins {
+			pinCount[ei][part[pv]]++
 		}
 	}
-	recount()
 	gainOf := func(v int32) int64 {
 		s := part[v]
 		var g int64

@@ -2,6 +2,7 @@ package hypergraph
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -290,6 +291,45 @@ func BenchmarkPartition1kVerts(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := Partition(h, Options{K: 8, Seed: int64(i)}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// The partition must be bit-identical for every worker count: randomized
+// stages draw from per-branch derived seed streams, not a shared RNG.
+func TestPartitionWorkerEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	n := 300
+	w := make([]int64, n)
+	for i := range w {
+		w[i] = int64(1 + rng.Intn(6))
+	}
+	h := New(w)
+	for e := 0; e < 900; e++ {
+		sz := 2 + rng.Intn(4)
+		pins := make([]int32, sz)
+		for i := range pins {
+			pins[i] = int32(rng.Intn(n))
+		}
+		h.AddEdge(int64(1+rng.Intn(4)), pins)
+	}
+	h.Finish()
+	for _, k := range []int{2, 5, 8} {
+		base, err := Partition(h, Options{K: k, Seed: 9, Workers: 1})
+		if err != nil {
+			t.Fatalf("k=%d serial: %v", k, err)
+		}
+		for _, workers := range []int{2, 8} {
+			got, err := Partition(h, Options{K: k, Seed: 9, Workers: workers})
+			if err != nil {
+				t.Fatalf("k=%d workers=%d: %v", k, workers, err)
+			}
+			if !reflect.DeepEqual(base.Part, got.Part) {
+				t.Fatalf("k=%d workers=%d: partition differs from serial", k, workers)
+			}
+			if got.CutKm1 != base.CutKm1 {
+				t.Fatalf("k=%d workers=%d: cut %d != %d", k, workers, got.CutKm1, base.CutKm1)
+			}
 		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cgraph"
 	"repro/internal/costmodel"
 	"repro/internal/firrtl"
+	"repro/internal/par"
 )
 
 // PartSpec describes one thread's share of the circuit: the vertices it
@@ -33,6 +34,14 @@ type Config struct {
 	// (for task boundaries) and skips the stream optimizer, whose motion
 	// would invalidate them.
 	Shared bool
+	// Workers bounds the parallelism of compilation itself: per-thread
+	// code emission and optimization fan out one task per partition.
+	// <= 0 means all cores; 1 forces serial compilation. The Program is
+	// bit-identical for every worker count: threads compile against
+	// private constant pools and wide-node lists that are merged in
+	// thread order afterwards. Shared mode always compiles serially (its
+	// scratch-slot allocator mutates compiler-global counters).
+	Workers int
 }
 
 // SerialSpec builds the single-partition PartSpec covering the whole graph.
@@ -67,25 +76,50 @@ func Compile(g *cgraph.Graph, parts []PartSpec, cfg Config) (*Program, error) {
 	if err := c.layout(parts); err != nil {
 		return nil, err
 	}
-	for t := range parts {
-		if err := c.compileThread(t, parts[t]); err != nil {
-			return nil, err
-		}
+
+	// Phase A: emit (and optimize) every thread's code, one task per
+	// partition. Each task writes only its own ThreadCode and thread-local
+	// constant pools, so scheduling cannot influence the output. Shared
+	// mode allocates scratch slots from compiler-global counters and must
+	// stay serial.
+	workers := cfg.Workers
+	if cfg.Shared {
+		workers = 1
 	}
+	pool := par.NewPool(workers)
+	tcs := make([]*threadCompiler, len(parts))
+	err := pool.ForEachErr(len(parts), func(t int) error {
+		tc := newThreadCompiler(c, t)
+		tcs[t] = tc
+		if err := tc.compileAll(parts[t]); err != nil {
+			return err
+		}
+		if cfg.OptLevel > 0 && !cfg.Shared {
+			// Optimize against the thread-local view; folding may extend
+			// the local immediate pool.
+			lp := &Program{Imms: tc.imms, WideImms: tc.wideImms, WideNodes: tc.wideNodes}
+			optimize(lp, tc.th, cfg.OptLevel)
+			tc.imms = lp.Imms
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase B: merge thread-local pools into the Program in thread order —
+	// a deterministic, worker-count-independent renumbering.
+	c.merge(tcs)
+
 	if cfg.Shared {
 		// Scratch slots allocated during compilation extend the arrays.
 		c.prog.GlobalWords = int(c.nextWord)
 		c.prog.GlobalWide = int(c.nextWide)
 	}
-	if cfg.OptLevel > 0 && !cfg.Shared {
-		for t := range c.prog.Threads {
-			optimize(c.prog, &c.prog.Threads[t], cfg.OptLevel)
-		}
-	}
 	// Cost statistics per thread (after optimization the vertex set is
 	// unchanged; the model works on vertices, matching the paper's
 	// IR-level prediction).
-	for t := range parts {
+	pool.ForEach(len(parts), func(t int) {
 		th := &c.prog.Threads[t]
 		for _, v := range parts[t].Vertices {
 			f := costmodel.Features(&g.Vs[v])
@@ -100,8 +134,55 @@ func Compile(g *cgraph.Graph, parts []PartSpec, cfg Config) (*Program, error) {
 				th.Branches++
 			}
 		}
-	}
+	})
 	return c.prog, nil
+}
+
+// merge folds each thread's private immediate pools and wide-node lists
+// into the Program, in thread order, rewriting the thread's code to the
+// global indices. Running it serially over an always-identical per-thread
+// input is what makes the compiled Program bit-identical regardless of how
+// many workers ran phase A.
+func (c *compiler) merge(tcs []*threadCompiler) {
+	p := c.prog
+	for _, tc := range tcs {
+		immMap := make([]uint32, len(tc.imms))
+		for i, v := range tc.imms {
+			immMap[i] = c.internImm(v)
+		}
+		wideImmMap := make([]uint32, len(tc.wideImms))
+		for i := range tc.wideImms {
+			wideImmMap[i] = c.internWideImm(tc.wideImms[i])
+		}
+		remap := func(ref *uint32) {
+			if RefTag(*ref) == RefImm {
+				*ref = MakeRef(RefImm, immMap[RefIdx(*ref)])
+			}
+		}
+		wideOff := uint32(len(p.WideNodes))
+		for i := range tc.wideNodes {
+			wn := &tc.wideNodes[i]
+			for a := range wn.Args {
+				switch wn.Args[a].Space {
+				case wsWideImm:
+					wn.Args[a].Idx = wideImmMap[wn.Args[a].Idx]
+				case wsNarrow:
+					remap(&wn.Args[a].Idx)
+				}
+			}
+		}
+		p.WideNodes = append(p.WideNodes, tc.wideNodes...)
+		for i := range tc.th.Code {
+			in := &tc.th.Code[i]
+			if in.Op == OpWide {
+				in.Aux += wideOff
+				continue
+			}
+			remap(&in.A)
+			remap(&in.B)
+			remap(&in.C)
+		}
+	}
 }
 
 type sinkSlot struct {
@@ -346,7 +427,8 @@ func padTo(x, align uint32) uint32 {
 	return x
 }
 
-// internImm interns a narrow literal value.
+// internImm interns a narrow literal into the Program's global pool
+// (merge phase only).
 func (c *compiler) internImm(v uint64) uint32 {
 	if idx, ok := c.immIndex[v]; ok {
 		return idx
@@ -357,7 +439,8 @@ func (c *compiler) internImm(v uint64) uint32 {
 	return idx
 }
 
-// internWideImm interns a wide literal value.
+// internWideImm interns a wide literal into the Program's global pool
+// (merge phase only).
 func (c *compiler) internWideImm(v bitvec.Vec) uint32 {
 	key := v.String()
 	if idx, ok := c.wideImmIndex[key]; ok {
@@ -371,7 +454,9 @@ func (c *compiler) internWideImm(v bitvec.Vec) uint32 {
 
 // threadCompiler holds per-thread compile state. Narrow temps (vertex
 // results and sign-extension scratches) are allocated from one sequential
-// counter.
+// counter. Immediates and wide nodes go to thread-private pools so
+// threads can compile concurrently; compiler.merge renumbers them into
+// the Program afterwards.
 type threadCompiler struct {
 	c  *compiler
 	t  int
@@ -382,23 +467,60 @@ type threadCompiler struct {
 	wideTempOf map[cgraph.VID]uint32
 	nextTemp   uint32
 	nextWide   uint32
+
+	// Thread-local constant pools and wide-node list. Code emitted in
+	// phase A references these by local index.
+	imms         []uint64
+	immIndex     map[uint64]uint32
+	wideImms     []bitvec.Vec
+	wideImmIndex map[string]uint32
+	wideNodes    []WideNode
 }
 
-func (c *compiler) compileThread(t int, part PartSpec) error {
-	tc := &threadCompiler{
+func newThreadCompiler(c *compiler, t int) *threadCompiler {
+	return &threadCompiler{
 		c: c, t: t, th: &c.prog.Threads[t],
-		tempOf:     map[cgraph.VID]uint32{},
-		wideTempOf: map[cgraph.VID]uint32{},
+		tempOf:       map[cgraph.VID]uint32{},
+		wideTempOf:   map[cgraph.VID]uint32{},
+		immIndex:     map[uint64]uint32{},
+		wideImmIndex: map[string]uint32{},
 	}
+}
+
+// internImm interns a narrow literal into the thread-local pool.
+func (tc *threadCompiler) internImm(v uint64) uint32 {
+	if idx, ok := tc.immIndex[v]; ok {
+		return idx
+	}
+	idx := uint32(len(tc.imms))
+	tc.imms = append(tc.imms, v)
+	tc.immIndex[v] = idx
+	return idx
+}
+
+// internWideImm interns a wide literal into the thread-local pool.
+func (tc *threadCompiler) internWideImm(v bitvec.Vec) uint32 {
+	key := v.String()
+	if idx, ok := tc.wideImmIndex[key]; ok {
+		return idx
+	}
+	idx := uint32(len(tc.wideImms))
+	tc.wideImms = append(tc.wideImms, v.Clone())
+	tc.wideImmIndex[key] = idx
+	return idx
+}
+
+// compileAll emits the code for one thread's partition.
+func (tc *threadCompiler) compileAll(part PartSpec) error {
 	for _, v := range part.Vertices {
-		if c.cfg.Shared {
+		if tc.c.cfg.Shared {
 			tc.th.Marks = append(tc.th.Marks, len(tc.th.Code))
 		}
 		if err := tc.compileVertex(v); err != nil {
-			return fmt.Errorf("sim: thread %d vertex %s: %w", t, c.g.Vs[v].Name, err)
+			return fmt.Errorf("sim: thread %d vertex %s: %w", tc.t, tc.c.g.Vs[v].Name, err)
 		}
 	}
-	if c.cfg.Shared {
+	if tc.c.cfg.Shared {
 		tc.th.Marks = append(tc.th.Marks, len(tc.th.Code))
 	}
 	tc.th.NumTemps = int(tc.nextTemp)

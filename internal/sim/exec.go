@@ -30,9 +30,11 @@ type threadCtx struct {
 	wideShadow []bitvec.Vec
 	memBuf     []memWrite
 	wideMemBuf []wideMemWrite
-	// pad keeps threadCtx structs out of each other's cache lines when
-	// stored contiguously.
-	_ [4]uint64
+	// pad rounds the struct up to a whole number of 64-byte cache lines so
+	// contiguously stored threadCtx values never share a line (six slice
+	// headers = 144 bytes; +48 = 192 = 3 lines). A test asserts the size
+	// stays a multiple of 64 if fields change.
+	_ [6]uint64
 }
 
 // globalState is the shared simulator state.

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/bitvec"
 	"repro/internal/costmodel"
@@ -173,4 +174,145 @@ func (p *Program) TotalInstrs() int {
 func (p *Program) String() string {
 	return fmt.Sprintf("program %s: %d threads, %d instrs, %d global words, %d mems",
 		p.Design, p.NumThreads, p.TotalInstrs(), p.GlobalWords, len(p.Mems))
+}
+
+// Fingerprint hashes every observable part of the compiled program (code,
+// layout, constant pools, statistics) into one value. Two programs with the
+// same fingerprint execute identically; determinism tests compare
+// fingerprints across worker counts and repeated compiles.
+func (p *Program) Fingerprint() uint64 {
+	h := fnv{1469598103934665603}
+	h.str(p.Design)
+	h.u64(uint64(p.NumThreads))
+	h.u64(uint64(p.GlobalWords))
+	h.u64(uint64(p.GlobalWide))
+	h.u64(uint64(len(p.Imms)))
+	for _, v := range p.Imms {
+		h.u64(v)
+	}
+	h.u64(uint64(len(p.WideImms)))
+	for i := range p.WideImms {
+		h.str(p.WideImms[i].String())
+	}
+	h.u64(uint64(len(p.Mems)))
+	for i := range p.Mems {
+		m := &p.Mems[i]
+		h.str(m.Name)
+		h.u64(uint64(m.Depth))
+		h.u64(uint64(m.Width))
+		h.bool(m.Wide)
+	}
+	h.u64(uint64(len(p.WideNodes)))
+	for i := range p.WideNodes {
+		h.wideNode(&p.WideNodes[i])
+	}
+	for _, ps := range [2][]PortSlot{p.Inputs, p.Outputs} {
+		h.u64(uint64(len(ps)))
+		for _, s := range ps {
+			h.str(s.Name)
+			h.u64(uint64(s.Width))
+			h.bool(s.Wide)
+			h.u64(uint64(s.Slot))
+		}
+	}
+	h.u64(uint64(len(p.Regs)))
+	for i := range p.Regs {
+		r := &p.Regs[i]
+		h.str(r.Name)
+		h.u64(uint64(r.Width))
+		h.bool(r.Wide)
+		h.u64(uint64(r.Slot))
+		h.str(r.Init.String())
+	}
+	h.u64(uint64(len(p.WideWidths)))
+	for _, w := range p.WideWidths {
+		h.u64(uint64(w))
+	}
+	h.u64(uint64(len(p.Threads)))
+	for t := range p.Threads {
+		th := &p.Threads[t]
+		h.u64(uint64(len(th.Code)))
+		for _, in := range th.Code {
+			h.u64(uint64(in.Op))
+			h.u64(uint64(in.Dst))
+			h.u64(uint64(in.A))
+			h.u64(uint64(in.B))
+			h.u64(uint64(in.C))
+			h.u64(uint64(in.Aux))
+			h.u64(in.Mask)
+		}
+		h.u64(uint64(th.NumTemps))
+		h.u64(uint64(th.NumWideTemps))
+		h.u64(uint64(th.ShadowWords))
+		h.u64(uint64(th.GlobalOff))
+		h.u64(uint64(len(th.WideShadowSlots)))
+		for _, s := range th.WideShadowSlots {
+			h.u64(uint64(s))
+		}
+		for _, ty := range th.WideShadowTypes {
+			h.u64(uint64(ty.Kind))
+			h.u64(uint64(ty.Width))
+		}
+		h.u64(uint64(len(th.Marks)))
+		for _, m := range th.Marks {
+			h.u64(uint64(m))
+		}
+		for _, f := range th.Features {
+			h.u64(math.Float64bits(f))
+		}
+		h.u64(uint64(th.CostUnits))
+		h.u64(uint64(th.Branches))
+	}
+	return h.h
+}
+
+// fnv is a tiny FNV-1a accumulator used by Fingerprint.
+type fnv struct{ h uint64 }
+
+func (f *fnv) u64(v uint64) {
+	for i := 0; i < 8; i++ {
+		f.h ^= v & 0xff
+		f.h *= 1099511628211
+		v >>= 8
+	}
+}
+
+func (f *fnv) str(s string) {
+	f.u64(uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		f.h ^= uint64(s[i])
+		f.h *= 1099511628211
+	}
+}
+
+func (f *fnv) bool(b bool) {
+	if b {
+		f.u64(1)
+	} else {
+		f.u64(0)
+	}
+}
+
+func (f *fnv) wideNode(wn *WideNode) {
+	f.u64(uint64(wn.Kind))
+	f.u64(uint64(wn.Op))
+	f.u64(uint64(len(wn.Consts)))
+	for _, c := range wn.Consts {
+		f.u64(uint64(c))
+	}
+	f.u64(uint64(wn.RType.Kind))
+	f.u64(uint64(wn.RType.Width))
+	f.u64(uint64(len(wn.Args)))
+	for i := range wn.Args {
+		f.wideOperand(&wn.Args[i])
+	}
+	f.wideOperand(&wn.Dst)
+	f.u64(uint64(wn.Mem))
+}
+
+func (f *fnv) wideOperand(a *WideOperand) {
+	f.u64(uint64(a.Space))
+	f.u64(uint64(a.Idx))
+	f.u64(uint64(a.Type.Kind))
+	f.u64(uint64(a.Type.Width))
 }

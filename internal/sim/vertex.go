@@ -51,7 +51,7 @@ func (tc *threadCompiler) operandType(a cgraph.Operand) firrtl.Type {
 // narrowRef resolves a narrow operand to an interpreter reference.
 func (tc *threadCompiler) narrowRef(a cgraph.Operand) (uint32, error) {
 	if a.V == cgraph.None {
-		return MakeRef(RefImm, tc.c.internImm(a.Lit.Val.Uint64())), nil
+		return MakeRef(RefImm, tc.internImm(a.Lit.Val.Uint64())), nil
 	}
 	vx := &tc.c.g.Vs[a.V]
 	if vx.Kind.IsSource() {
@@ -104,7 +104,7 @@ func (tc *threadCompiler) compileVertex(v cgraph.VID) error {
 	switch vx.Kind {
 	case cgraph.KindConst:
 		dst := tc.defineTemp(v)
-		ref := MakeRef(RefImm, tc.c.internImm(vx.Args[0].Lit.Val.Uint64()))
+		ref := MakeRef(RefImm, tc.internImm(vx.Args[0].Lit.Val.Uint64()))
 		tc.emit(Instr{Op: OpCopy, Dst: dst, A: ref, Mask: maskOf(vx.Type.Width)})
 		return nil
 	case cgraph.KindLogic:
@@ -332,9 +332,9 @@ func (tc *threadCompiler) compileWide(v cgraph.VID) error {
 		t := tc.operandType(a)
 		if a.V == cgraph.None {
 			if isWideType(t) {
-				return WideOperand{Space: wsWideImm, Idx: tc.c.internWideImm(a.Lit.Val), Type: t}, nil
+				return WideOperand{Space: wsWideImm, Idx: tc.internWideImm(a.Lit.Val), Type: t}, nil
 			}
-			return WideOperand{Space: wsNarrow, Idx: MakeRef(RefImm, tc.c.internImm(a.Lit.Val.Uint64())), Type: t}, nil
+			return WideOperand{Space: wsNarrow, Idx: MakeRef(RefImm, tc.internImm(a.Lit.Val.Uint64())), Type: t}, nil
 		}
 		av := &tc.c.g.Vs[a.V]
 		if isWideType(t) {
@@ -439,11 +439,13 @@ func (tc *threadCompiler) compileWide(v cgraph.VID) error {
 		wn.Dst = WideOperand{Space: wsWideLocal, Idx: idx, Type: vx.Type}
 	default:
 		// Narrow result computed from wide operands (bits, eq, orr ...).
-		idx := tc.defineTemp(v)
-		wn.Dst = WideOperand{Space: wsNarrow, Idx: MakeRef(RefLocal, idx), Type: vx.Type}
+		// defineTemp already returns a complete ref: a local temp normally
+		// (RefLocal tag is zero) or the vertex's RefGlobal slot in Shared
+		// mode — re-tagging it would corrupt the shared case.
+		wn.Dst = WideOperand{Space: wsNarrow, Idx: tc.defineTemp(v), Type: vx.Type}
 	}
 
-	tc.c.prog.WideNodes = append(tc.c.prog.WideNodes, wn)
-	tc.emit(Instr{Op: OpWide, Aux: uint32(len(tc.c.prog.WideNodes) - 1)})
+	tc.wideNodes = append(tc.wideNodes, wn)
+	tc.emit(Instr{Op: OpWide, Aux: uint32(len(tc.wideNodes) - 1)})
 	return nil
 }

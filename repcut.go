@@ -94,6 +94,11 @@ type Options struct {
 	// OptLevel selects backend optimization: 0 none, 1 const-fold +
 	// copy-prop, 2 (default) additionally fuses truncations.
 	OptLevel int
+	// Workers bounds the parallelism of partitioning and compilation
+	// themselves (not of the resulting simulator). <= 0 uses all cores;
+	// 1 forces the serial pipeline. Output is bit-identical for every
+	// worker count.
+	Workers int
 }
 
 func (o *Options) defaults() {
@@ -124,6 +129,7 @@ func (d *Design) Partition(opt Options) (*core.Result, *PartitionReport, error) 
 	}
 	res, err := core.Partition(d.Graph, core.Options{
 		K: opt.Threads, Epsilon: opt.Epsilon, Seed: opt.Seed, Model: model,
+		Workers: opt.Workers,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -156,6 +162,17 @@ func (d *Design) CompileSerial(optLevel int) (*Simulator, error) {
 	return &Simulator{Engine: sim.NewEngine(p)}, nil
 }
 
+// compileSerialWorkers is CompileSerial with an explicit compile worker
+// bound (a one-partition compile has no fan-out, but the knob keeps the
+// pipeline uniform).
+func (d *Design) compileSerialWorkers(optLevel, workers int) (*Simulator, error) {
+	p, err := sim.Compile(d.Graph, sim.SerialSpec(d.Graph), sim.Config{OptLevel: optLevel, Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	return &Simulator{Engine: sim.NewEngine(p)}, nil
+}
+
 // CompileParallel partitions the design and builds the RepCut parallel
 // simulator: Options.Threads goroutines executing independent partitions
 // with two barriers per simulated cycle.
@@ -165,7 +182,7 @@ func (d *Design) CompileParallel(opt Options) (*Simulator, error) {
 		return nil, fmt.Errorf("repcut: Threads must be >= 1")
 	}
 	if opt.Threads == 1 {
-		s, err := d.CompileSerial(opt.OptLevel)
+		s, err := d.compileSerialWorkers(opt.OptLevel, opt.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -180,7 +197,7 @@ func (d *Design) CompileParallel(opt Options) (*Simulator, error) {
 	for i := range res.Parts {
 		specs[i] = sim.PartSpec{Vertices: res.Parts[i].Vertices, Sinks: res.Parts[i].Sinks}
 	}
-	p, err := sim.Compile(d.Graph, specs, sim.Config{OptLevel: opt.OptLevel})
+	p, err := sim.Compile(d.Graph, specs, sim.Config{OptLevel: opt.OptLevel, Workers: opt.Workers})
 	if err != nil {
 		return nil, err
 	}
