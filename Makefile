@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench results
+.PHONY: build test lint check bench results
 
 build:
 	$(GO) build ./...
@@ -8,10 +8,15 @@ build:
 test:
 	$(GO) test ./...
 
-# Full gate: vet plus the whole suite under the race detector. The parallel
-# partition+compile pipeline must stay race-clean and deterministic.
-check:
+# Style gate: gofmt must produce no diffs, vet must be clean.
+lint:
+	@fmtout="$$(gofmt -l .)"; if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 	$(GO) vet ./...
+
+# Full gate: lint plus the whole suite under the race detector. The parallel
+# partition+compile pipeline must stay race-clean and deterministic.
+check: lint
 	$(GO) test -race ./...
 
 bench:

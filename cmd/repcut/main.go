@@ -40,6 +40,7 @@ func main() {
 		statsOnly  = flag.Bool("stats", false, "print design statistics and partition report, do not simulate")
 		vcdPath    = flag.String("vcd", "", "dump register/output waveforms to this VCD file")
 		workers    = flag.Int("workers", 0, "worker count for partitioning+compilation (0 = all cores, 1 = serial; output is identical)")
+		verifyFlag = flag.Bool("verify", false, "statically prove the compiled program race-free and partition-closed; fail on any violation")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -63,13 +64,17 @@ func main() {
 	fmt.Printf("%s: %d IR nodes, %d edges, %d sinks (%.2f%%), %d reg writes\n",
 		name, st.IRNodes, st.Edges, st.SinkVtx, st.SinkPct, st.RegWrites)
 
-	opts := repcut.Options{Threads: *threads, Unweighted: *uw, OptLevel: *opt, Seed: *seed, Workers: *workers}
+	opts := repcut.Options{Threads: *threads, Unweighted: *uw, OptLevel: *opt, Seed: *seed,
+		Workers: *workers, Verify: *verifyFlag}
 	start := time.Now()
 	s, err := d.CompileParallel(opts)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("partitioned + compiled for %d threads in %v\n", *threads, time.Since(start).Round(time.Millisecond))
+	if s.Verification != nil {
+		fmt.Println(s.Verification)
+	}
 	if r := s.Report; r != nil && *threads > 1 {
 		fmt.Printf("replication cost: %s   imbalance (excl/incl): %.3f / %.3f   replicated vertices: %d\n",
 			report.Pct(r.ReplicationCost), r.ImbalanceExcl, r.ImbalanceIncl, r.ReplicatedVertices)

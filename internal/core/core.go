@@ -43,6 +43,11 @@ type Options struct {
 	// Hypergraph overrides advanced partitioner knobs; zero values use
 	// defaults.
 	Hypergraph hypergraph.Options
+	// Verify re-checks the realized partitioning (self-containment, unique
+	// sink ownership, coverage, topological order) before returning it,
+	// turning a latent partitioner bug into a hard error instead of a
+	// miscompiled simulator.
+	Verify bool
 }
 
 // Part is one independent partition.
@@ -172,7 +177,16 @@ func Partition(g *cgraph.Graph, opt Options) (*Result, error) {
 		return nil, err
 	}
 
-	return realize(g, an, eta, totalWeight, hr, opt.K, pool)
+	res, err := realize(g, an, eta, totalWeight, hr, opt.K, pool)
+	if err != nil {
+		return nil, err
+	}
+	if opt.Verify {
+		if err := Verify(g, res); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
 }
 
 // realize turns a sink-cluster partition into per-thread vertex lists,

@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"repro/internal/costmodel"
+	"repro/internal/sim"
+	"repro/internal/verify"
 )
 
 // Partitioning must be bit-identical across worker counts and across
@@ -42,6 +44,43 @@ func TestPartitionWorkerEquivalence(t *testing.T) {
 				t.Fatalf("k=%d workers=%d: metrics differ (cut %d vs %d, repl %d vs %d)",
 					k, workers, got.CutCost, base.CutCost, got.ReplicatedVertices, base.ReplicatedVertices)
 			}
+		}
+	}
+}
+
+// The static verifier is an independent oracle for PR 1's determinism
+// claim: for every worker count the compiled program must not only be
+// fingerprint-identical but also *provably sound* — race-free, closed, and
+// well-scheduled. A worker-count-dependent scheduling bug that happened to
+// keep the fingerprint stable would still have to survive a full soundness
+// proof to slip through.
+func TestWorkersVerifiedByStaticAnalyzer(t *testing.T) {
+	g := mustGraph(t, randomPipelineSrc(48, 5))
+	var baseFP uint64
+	for i, workers := range []int{0, 1, 2, 8} {
+		res, err := Partition(g, Options{
+			K: 4, Seed: 3, Model: costmodel.Default(), Workers: workers, Verify: true,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		parts := make([]sim.PartSpec, len(res.Parts))
+		for p := range res.Parts {
+			parts[p] = sim.PartSpec{Vertices: res.Parts[p].Vertices, Sinks: res.Parts[p].Sinks}
+		}
+		prog, err := sim.Compile(g, parts, sim.Config{OptLevel: 2, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d compile: %v", workers, err)
+		}
+		rep := verify.Program(prog, verify.Options{Graph: g, Parts: parts})
+		if err := rep.Err(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		fp := prog.Fingerprint()
+		if i == 0 {
+			baseFP = fp
+		} else if fp != baseFP {
+			t.Fatalf("workers=%d: fingerprint %#x differs from workers=0 %#x", workers, fp, baseFP)
 		}
 	}
 }

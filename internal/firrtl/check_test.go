@@ -1,0 +1,181 @@
+package firrtl
+
+// Error-path coverage for Check beyond parser_test.go's TestCheckErrors:
+// instance port discipline, memory typing, and the width/type validations
+// the parser cannot reach (zero widths and clock-typed declarations are
+// rejected at parse time, so those cases build the AST directly).
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bitvec"
+)
+
+// checkSrc parses src (which must parse cleanly) and returns Check's error.
+func checkSrc(t *testing.T, src string) error {
+	t.Helper()
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Check(c)
+}
+
+func wantErr(t *testing.T, err error, sub string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("expected error containing %q, got nil", sub)
+	}
+	if !strings.Contains(err.Error(), sub) {
+		t.Fatalf("error %q does not contain %q", err, sub)
+	}
+}
+
+func TestCheckInstanceErrors(t *testing.T) {
+	const sub = `
+  module Sub {
+    input  a : UInt<4>
+    input  clk : Clock
+    output z : UInt<4>
+    z <= not(a)
+  }`
+	cases := []struct {
+		name string
+		body string
+		want string
+	}{
+		{"unknownModule", `inst u of Nope output o : UInt<1> o <= UInt<1>(0)`,
+			"unknown module"},
+		{"instAsValue", `inst u of Sub u.a <= UInt<4>(0) output o : UInt<4> o <= not(u)`,
+			"used as value"},
+		{"fieldOfNonInst", `input w : UInt<4> output o : UInt<4> o <= w.z`,
+			"undefined instance"},
+		{"unknownPortRead", `inst u of Sub u.a <= UInt<4>(0) output o : UInt<4> o <= u.nope`,
+			"has no port"},
+		{"readInputPort", `inst u of Sub u.a <= UInt<4>(0) output o : UInt<4> o <= u.a`,
+			"cannot read input port"},
+		{"driveOutputPort", `inst u of Sub u.a <= UInt<4>(0) u.z <= UInt<4>(1) output o : UInt<4> o <= u.z`,
+			"cannot drive output port"},
+		{"unknownPortDrive", `inst u of Sub u.a <= UInt<4>(0) u.b <= UInt<4>(1) output o : UInt<4> o <= u.z`,
+			"has no port"},
+		{"driveUndefInstance", `v.a <= UInt<4>(0) output o : UInt<1> o <= UInt<1>(0)`,
+			"undefined instance"},
+		{"undrivenInstInput", `inst u of Sub output o : UInt<4> o <= u.z`,
+			"never driven"},
+		{"instInputTruncation", `input w : UInt<8> inst u of Sub u.a <= w output o : UInt<4> o <= u.z`,
+			"truncation"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			src := "circuit X {" + sub + "\n  module X { " + c.body + " } }"
+			wantErr(t, checkSrc(t, src), c.want)
+		})
+	}
+
+	// Positive case: clock inputs of an instance are exempt from the
+	// driven requirement (single implicit clock domain).
+	ok := "circuit X {" + sub + `
+  module X {
+    inst u of Sub
+    u.a <= UInt<4>(3)
+    output o : UInt<4>
+    o <= u.z
+  } }`
+	if err := checkSrc(t, ok); err != nil {
+		t.Fatalf("undriven clock input rejected: %v", err)
+	}
+}
+
+func TestCheckMemoryErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want string
+	}{
+		{"readUndefMem", `input a : UInt<3> output o : UInt<4> o <= read(nope, a)`,
+			"undefined memory"},
+		{"writeUndefMem", `input a : UInt<3> write(nope, a, a, UInt<1>(1)) output o : UInt<1> o <= UInt<1>(0)`,
+			"undefined memory"},
+		{"readNonMem", `input a : UInt<3> wire w : UInt<4> w <= UInt<4>(0) output o : UInt<4> o <= read(w, a)`,
+			"undefined memory"},
+		{"signedReadAddr", `mem m : UInt<4>[8] input a : SInt<3> output o : UInt<4> o <= read(m, a)`,
+			"address must be UInt"},
+		{"signedWriteAddr", `mem m : UInt<4>[8] input a : SInt<3> write(m, a, UInt<4>(0), UInt<1>(1)) output o : UInt<1> o <= UInt<1>(0)`,
+			"address must be UInt"},
+		{"writeDataTruncation", `mem m : UInt<4>[8] input a : UInt<3> input d : UInt<8> write(m, a, d, UInt<1>(1)) output o : UInt<1> o <= UInt<1>(0)`,
+			"truncation"},
+		{"writeDataSignedness", `mem m : UInt<4>[8] input a : UInt<3> input d : SInt<4> write(m, a, d, UInt<1>(1)) output o : UInt<1> o <= UInt<1>(0)`,
+			"signedness"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			src := "circuit X { module X { " + c.body + " } }"
+			wantErr(t, checkSrc(t, src), c.want)
+		})
+	}
+}
+
+func TestCheckConnectTargetErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want string
+	}{
+		{"undefTarget", `nope <= UInt<1>(0) output o : UInt<1> o <= UInt<1>(0)`,
+			"undefined target"},
+		{"driveNode", `node n = UInt<1>(0) n <= UInt<1>(1) output o : UInt<1> o <= n`,
+			"not connectable"},
+		{"driveMem", `mem m : UInt<4>[8] m <= UInt<4>(0) output o : UInt<1> o <= UInt<1>(0)`,
+			"not connectable"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			src := "circuit X { module X { " + c.body + " } }"
+			wantErr(t, checkSrc(t, src), c.want)
+		})
+	}
+}
+
+// The parser rejects zero widths and clock-typed declarations before Check
+// can see them, so these guards are only reachable through a hand-built
+// AST (as a programmatic frontend like the Builder could produce).
+func TestCheckASTOnlyErrors(t *testing.T) {
+	mod := func(stmts []Stmt, ports ...*Port) *Circuit {
+		return &Circuit{Name: "X", Modules: []*Module{{Name: "X", Ports: ports, Stmts: stmts}}}
+	}
+	drive := func(loc string, width int) Stmt {
+		return &Connect{Loc: loc, Expr: &Lit{Typ: UInt(width), Val: bitvec.New(width)}}
+	}
+	out := &Port{Name: "o", Dir: Output, Type: UInt(1)}
+
+	cases := []struct {
+		name string
+		c    *Circuit
+		want string
+	}{
+		{"zeroWidthPort",
+			mod([]Stmt{drive("o", 1)}, out, &Port{Name: "p", Dir: Input, Type: UInt(0)}),
+			"width must be positive"},
+		{"zeroWidthLit",
+			mod([]Stmt{&Connect{Loc: "o", Expr: &Lit{Typ: UInt(0)}}}, out),
+			"non-positive width"},
+		{"clockWire",
+			mod([]Stmt{&Wire{Name: "w", Type: ClockType()}, drive("o", 1)}, out),
+			"bad type"},
+		{"zeroWidthReg",
+			mod([]Stmt{&Reg{Name: "r", Type: UInt(0)}, drive("o", 1)}, out),
+			"bad type"},
+		{"clockMem",
+			mod([]Stmt{&Mem{Name: "m", Type: ClockType(), Depth: 8}, drive("o", 1)}, out),
+			"bad element type"},
+		{"zeroDepthMem",
+			mod([]Stmt{&Mem{Name: "m", Type: UInt(4), Depth: 0}, drive("o", 1)}, out),
+			"bad depth"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			wantErr(t, Check(c.c), c.want)
+		})
+	}
+}

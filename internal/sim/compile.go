@@ -69,7 +69,7 @@ func Compile(g *cgraph.Graph, parts []PartSpec, cfg Config) (*Program, error) {
 	}
 	c := &compiler{
 		g:     g,
-		prog:  &Program{Design: g.Name, NumThreads: len(parts)},
+		prog:  &Program{Design: g.Name, NumThreads: len(parts), Shared: cfg.Shared},
 		model: model,
 		cfg:   cfg,
 	}

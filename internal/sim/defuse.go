@@ -1,0 +1,120 @@
+package sim
+
+import "fmt"
+
+// RefSpace names one of the storage spaces a compiled instruction can
+// touch. It unifies the narrow operand encoding (RefLocal/RefGlobal/
+// RefImm/RefShadow) with the wide-operand spaces and memories so static
+// analyses (internal/verify) can reason about def/use sets without knowing
+// either encoding.
+type RefSpace uint8
+
+// Storage spaces, in narrow-then-wide order.
+const (
+	SpaceLocal      RefSpace = iota // thread-private narrow temp
+	SpaceGlobal                     // shared narrow global word
+	SpaceImm                        // narrow immediate pool (read-only)
+	SpaceShadow                     // thread-private narrow shadow (sink) word
+	SpaceWideLocal                  // thread-private wide temp
+	SpaceWideGlobal                 // shared wide-global slot
+	SpaceWideImm                    // wide immediate pool (read-only)
+	SpaceWideShadow                 // thread-private wide shadow slot
+	SpaceMem                        // a whole memory; Idx is the memory index
+	numRefSpaces
+)
+
+var refSpaceNames = [numRefSpaces]string{
+	"local", "global", "imm", "shadow",
+	"wide-local", "wide-global", "wide-imm", "wide-shadow", "mem",
+}
+
+func (s RefSpace) String() string {
+	if int(s) < len(refSpaceNames) {
+		return refSpaceNames[s]
+	}
+	return fmt.Sprintf("?space(%d)", uint8(s))
+}
+
+// Loc is one storage location touched by an instruction.
+type Loc struct {
+	Space RefSpace
+	Idx   uint32
+}
+
+func (l Loc) String() string { return fmt.Sprintf("%s[%d]", l.Space, l.Idx) }
+
+// OpReads reports how many narrow operand refs (A, B, C) op reads.
+func OpReads(op OpCode) int { return opReads(op) }
+
+// NarrowLoc decodes a narrow operand reference into a Loc.
+func NarrowLoc(ref uint32) Loc {
+	idx := RefIdx(ref)
+	switch RefTag(ref) {
+	case RefLocal:
+		return Loc{SpaceLocal, idx}
+	case RefGlobal:
+		return Loc{SpaceGlobal, idx}
+	case RefImm:
+		return Loc{SpaceImm, idx}
+	default:
+		return Loc{SpaceShadow, idx}
+	}
+}
+
+// WideLoc decodes a wide operand into a Loc. Narrow operands embedded in
+// wide nodes decode through NarrowLoc.
+func WideLoc(a WideOperand) Loc {
+	switch a.Space {
+	case wsWideLocal:
+		return Loc{SpaceWideLocal, a.Idx}
+	case wsWideGlobal:
+		return Loc{SpaceWideGlobal, a.Idx}
+	case wsWideImm:
+		return Loc{SpaceWideImm, a.Idx}
+	case wsWideShadow:
+		return Loc{SpaceWideShadow, a.Idx}
+	default:
+		return NarrowLoc(a.Idx)
+	}
+}
+
+// InstrDefUse appends the locations instruction in defines and reads to
+// defs and uses and returns the extended slices (pass nil or recycled
+// slices; no other state is needed, so the same Program can be analyzed
+// from many goroutines). For OpWide the referenced wide node's operands are
+// expanded; in.Aux must be a valid index into p.WideNodes. Memory writes
+// (OpMemWr and wide memory-write nodes) def the whole memory: the write is
+// buffered during evaluation and only published in the commit phase.
+func (p *Program) InstrDefUse(in *Instr, defs, uses []Loc) ([]Loc, []Loc) {
+	switch in.Op {
+	case OpNop:
+	case OpWide:
+		wn := &p.WideNodes[in.Aux]
+		for i := range wn.Args {
+			uses = append(uses, WideLoc(wn.Args[i]))
+		}
+		switch wn.Kind {
+		case wkMemRd:
+			uses = append(uses, Loc{SpaceMem, uint32(wn.Mem)})
+			defs = append(defs, WideLoc(wn.Dst))
+		case wkMemWr:
+			// Dst is unset for memory writes; the def is the memory.
+			defs = append(defs, Loc{SpaceMem, uint32(wn.Mem)})
+		default:
+			defs = append(defs, WideLoc(wn.Dst))
+		}
+	case OpMemRd:
+		uses = append(uses, NarrowLoc(in.A), Loc{SpaceMem, in.Aux})
+		defs = append(defs, NarrowLoc(in.Dst))
+	case OpMemWr:
+		uses = append(uses, NarrowLoc(in.A), NarrowLoc(in.B), NarrowLoc(in.C))
+		defs = append(defs, Loc{SpaceMem, in.Aux})
+	default:
+		refs := [3]uint32{in.A, in.B, in.C}
+		for k := 0; k < opReads(in.Op); k++ {
+			uses = append(uses, NarrowLoc(refs[k]))
+		}
+		defs = append(defs, NarrowLoc(in.Dst))
+	}
+	return defs, uses
+}

@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/firrtl"
+)
+
+func TestNarrowLoc(t *testing.T) {
+	cases := []struct {
+		ref  uint32
+		want Loc
+	}{
+		{MakeRef(RefLocal, 5), Loc{SpaceLocal, 5}},
+		{MakeRef(RefGlobal, 9), Loc{SpaceGlobal, 9}},
+		{MakeRef(RefImm, 2), Loc{SpaceImm, 2}},
+		{MakeRef(RefShadow, 0), Loc{SpaceShadow, 0}},
+	}
+	for _, c := range cases {
+		if got := NarrowLoc(c.ref); got != c.want {
+			t.Errorf("NarrowLoc(%#x) = %v, want %v", c.ref, got, c.want)
+		}
+	}
+	if s := (Loc{SpaceShadow, 3}).String(); s != "shadow[3]" {
+		t.Errorf("Loc.String = %q", s)
+	}
+}
+
+func TestWideLoc(t *testing.T) {
+	cases := []struct {
+		a    WideOperand
+		want Loc
+	}{
+		{WideOperand{Space: wsWideLocal, Idx: 1}, Loc{SpaceWideLocal, 1}},
+		{WideOperand{Space: wsWideGlobal, Idx: 2}, Loc{SpaceWideGlobal, 2}},
+		{WideOperand{Space: wsWideImm, Idx: 3}, Loc{SpaceWideImm, 3}},
+		{WideOperand{Space: wsWideShadow, Idx: 4}, Loc{SpaceWideShadow, 4}},
+		{WideOperand{Space: wsNarrow, Idx: MakeRef(RefGlobal, 7)}, Loc{SpaceGlobal, 7}},
+	}
+	for _, c := range cases {
+		if got := WideLoc(c.a); got != c.want {
+			t.Errorf("WideLoc(%v) = %v, want %v", c.a, got, c.want)
+		}
+	}
+}
+
+func TestInstrDefUse(t *testing.T) {
+	ty := firrtl.UInt(80)
+	p := &Program{
+		WideNodes: []WideNode{
+			{Kind: wkPrim, Op: firrtl.OpXor, RType: ty,
+				Args: []WideOperand{{Space: wsWideLocal, Idx: 0}, {Space: wsWideGlobal, Idx: 1}},
+				Dst:  WideOperand{Space: wsWideLocal, Idx: 2}},
+			{Kind: wkMemRd, Mem: 4, RType: ty,
+				Args: []WideOperand{{Space: wsNarrow, Idx: MakeRef(RefLocal, 3)}},
+				Dst:  WideOperand{Space: wsWideLocal, Idx: 5}},
+			{Kind: wkMemWr, Mem: 6,
+				Args: []WideOperand{
+					{Space: wsNarrow, Idx: MakeRef(RefLocal, 0)},
+					{Space: wsWideLocal, Idx: 1},
+					{Space: wsNarrow, Idx: MakeRef(RefLocal, 2)},
+				}},
+		},
+	}
+	cases := []struct {
+		name string
+		in   Instr
+		defs []Loc
+		uses []Loc
+	}{
+		{"nop", Instr{Op: OpNop}, nil, nil},
+		{"add", Instr{Op: OpAdd, Dst: MakeRef(RefLocal, 4), A: MakeRef(RefGlobal, 1), B: MakeRef(RefImm, 0)},
+			[]Loc{{SpaceLocal, 4}},
+			[]Loc{{SpaceGlobal, 1}, {SpaceImm, 0}}},
+		{"copy-to-shadow", Instr{Op: OpCopy, Dst: MakeRef(RefShadow, 2), A: MakeRef(RefLocal, 9)},
+			[]Loc{{SpaceShadow, 2}},
+			[]Loc{{SpaceLocal, 9}}},
+		{"mux", Instr{Op: OpMux, Dst: MakeRef(RefLocal, 1), A: MakeRef(RefLocal, 2), B: MakeRef(RefLocal, 3), C: MakeRef(RefLocal, 4)},
+			[]Loc{{SpaceLocal, 1}},
+			[]Loc{{SpaceLocal, 2}, {SpaceLocal, 3}, {SpaceLocal, 4}}},
+		{"memrd", Instr{Op: OpMemRd, Dst: MakeRef(RefLocal, 0), A: MakeRef(RefLocal, 1), Aux: 3},
+			[]Loc{{SpaceLocal, 0}},
+			[]Loc{{SpaceLocal, 1}, {SpaceMem, 3}}},
+		{"memwr", Instr{Op: OpMemWr, A: MakeRef(RefLocal, 1), B: MakeRef(RefLocal, 2), C: MakeRef(RefLocal, 3), Aux: 5},
+			[]Loc{{SpaceMem, 5}},
+			[]Loc{{SpaceLocal, 1}, {SpaceLocal, 2}, {SpaceLocal, 3}}},
+		{"wide-prim", Instr{Op: OpWide, Aux: 0},
+			[]Loc{{SpaceWideLocal, 2}},
+			[]Loc{{SpaceWideLocal, 0}, {SpaceWideGlobal, 1}}},
+		{"wide-memrd", Instr{Op: OpWide, Aux: 1},
+			[]Loc{{SpaceWideLocal, 5}},
+			[]Loc{{SpaceLocal, 3}, {SpaceMem, 4}}},
+		// A wide memory write's zero-value Dst must not read as a def of
+		// wide-local 0; the def is the memory itself.
+		{"wide-memwr", Instr{Op: OpWide, Aux: 2},
+			[]Loc{{SpaceMem, 6}},
+			[]Loc{{SpaceLocal, 0}, {SpaceWideLocal, 1}, {SpaceLocal, 2}}},
+	}
+	for _, c := range cases {
+		defs, uses := p.InstrDefUse(&c.in, nil, nil)
+		if !locsEq(defs, c.defs) {
+			t.Errorf("%s: defs = %v, want %v", c.name, defs, c.defs)
+		}
+		if !locsEq(uses, c.uses) {
+			t.Errorf("%s: uses = %v, want %v", c.name, uses, c.uses)
+		}
+	}
+}
+
+func locsEq(a, b []Loc) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// InstrDefUse must append to recycled slices without reallocating when
+// capacity suffices (the verifier calls it once per instruction).
+func TestInstrDefUseRecycles(t *testing.T) {
+	p := &Program{}
+	defs := make([]Loc, 0, 4)
+	uses := make([]Loc, 0, 4)
+	in := Instr{Op: OpAdd, Dst: MakeRef(RefLocal, 1), A: MakeRef(RefLocal, 2), B: MakeRef(RefLocal, 3)}
+	d1, u1 := p.InstrDefUse(&in, defs[:0], uses[:0])
+	d2, u2 := p.InstrDefUse(&in, d1[:0], u1[:0])
+	if &d1[0] != &d2[0] || &u1[0] != &u2[0] {
+		t.Error("recycled slices reallocated")
+	}
+}
+
+// Program.String must disclose the wide pools (satellite: the old format
+// omitted GlobalWide and WideImms, misleading on wide-heavy designs).
+func TestProgramStringIncludesWideCounts(t *testing.T) {
+	p := &Program{Design: "D", NumThreads: 2, GlobalWords: 40, GlobalWide: 7,
+		Imms: make([]uint64, 3)}
+	s := p.String()
+	for _, want := range []string{"40 global words", "(7 wide)", "3 imms", "(0 wide)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

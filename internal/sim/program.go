@@ -112,7 +112,13 @@ func (t *ThreadCode) CodeBytes() int { return len(t.Code) * InstrBytes }
 type Program struct {
 	Design     string
 	NumThreads int
-	Threads    []ThreadCode
+	// Shared records that the program was compiled in the Verilator-style
+	// shared-slot model (Config.Shared): combinational values live in the
+	// global word array and threads communicate mid-cycle. Static analyses
+	// (internal/verify) use it to scope the RepCut race-freedom invariants,
+	// which only the private-temp model promises.
+	Shared  bool
+	Threads []ThreadCode
 
 	GlobalWords int
 	GlobalWide  int
@@ -170,10 +176,12 @@ func (p *Program) TotalInstrs() int {
 	return n
 }
 
-// String summarizes the program.
+// String summarizes the program, including the wide pools that matter when
+// debugging wide-heavy designs.
 func (p *Program) String() string {
-	return fmt.Sprintf("program %s: %d threads, %d instrs, %d global words, %d mems",
-		p.Design, p.NumThreads, p.TotalInstrs(), p.GlobalWords, len(p.Mems))
+	return fmt.Sprintf("program %s: %d threads, %d instrs, %d global words (%d wide), %d imms (%d wide), %d mems",
+		p.Design, p.NumThreads, p.TotalInstrs(), p.GlobalWords, p.GlobalWide,
+		len(p.Imms), len(p.WideImms), len(p.Mems))
 }
 
 // Fingerprint hashes every observable part of the compiled program (code,
@@ -184,6 +192,7 @@ func (p *Program) Fingerprint() uint64 {
 	h := fnv{1469598103934665603}
 	h.str(p.Design)
 	h.u64(uint64(p.NumThreads))
+	h.bool(p.Shared)
 	h.u64(uint64(p.GlobalWords))
 	h.u64(uint64(p.GlobalWide))
 	h.u64(uint64(len(p.Imms)))

@@ -1,0 +1,273 @@
+package verify
+
+// Mutation tests prove the detector is live: each test injects one fault
+// class into a correctly compiled program and asserts the verifier reports
+// it with full thread/PC/slot provenance. A verifier that cannot catch
+// these would pass clean programs vacuously.
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// mutProgram compiles the standard two-thread test program the mutations
+// corrupt.
+func mutProgram(t *testing.T) *sim.Program {
+	t.Helper()
+	g := mustGraph(t, memMixSrc)
+	p, _ := compileParts(t, g, 2, 0) // O0: keep every def so mutations have targets
+	if p.NumThreads != 2 {
+		t.Fatalf("want 2 threads, got %d", p.NumThreads)
+	}
+	return p
+}
+
+// findDiag returns the first Error diagnostic of the given check family.
+func findDiag(t *testing.T, rep *Report, c Check) Diag {
+	t.Helper()
+	for _, d := range rep.Diags {
+		if d.Check == c && d.Severity == Error {
+			return d
+		}
+	}
+	t.Fatalf("no %s error reported; report:\n%s", c, rep.String())
+	return Diag{}
+}
+
+// requireProvenance asserts a diagnostic names its thread, PC, and slot.
+func requireProvenance(t *testing.T, d Diag) {
+	t.Helper()
+	if d.Thread < 0 || d.PC < 0 || d.Slot == "" {
+		t.Fatalf("diagnostic lacks provenance (thread=%d pc=%d slot=%q): %s",
+			d.Thread, d.PC, d.Slot, d)
+	}
+}
+
+// firstLocalDef returns the pc of the first plain instruction on thread t
+// whose destination is a private temp (OpWide is excluded: its real
+// destination lives in the wide node, not Instr.Dst).
+func firstLocalDef(t *testing.T, p *sim.Program, th int) int {
+	t.Helper()
+	for pc := range p.Threads[th].Code {
+		in := &p.Threads[th].Code[pc]
+		if in.Op == sim.OpNop || in.Op == sim.OpWide || in.Op == sim.OpMemWr {
+			continue
+		}
+		if sim.NarrowLoc(in.Dst).Space == sim.SpaceLocal {
+			return pc
+		}
+	}
+	t.Fatalf("thread %d has no plain local def", th)
+	return -1
+}
+
+// firstLocalUse returns the first (defPC, usePC) pair on thread t where
+// usePC reads a private temp that defPC defines.
+func firstLocalUse(t *testing.T, p *sim.Program, th int) (defPC, usePC int) {
+	t.Helper()
+	def := map[uint32]int{}
+	var defs, uses []sim.Loc
+	code := p.Threads[th].Code
+	for pc := range code {
+		in := &code[pc]
+		if in.Op == sim.OpWide && int(in.Aux) >= len(p.WideNodes) {
+			continue
+		}
+		defs, uses = p.InstrDefUse(in, defs[:0], uses[:0])
+		for _, u := range uses {
+			if u.Space == sim.SpaceLocal {
+				if dp, ok := def[u.Idx]; ok {
+					return dp, pc
+				}
+			}
+		}
+		for _, d := range defs {
+			if d.Space == sim.SpaceLocal {
+				def[d.Idx] = pc
+			}
+		}
+	}
+	t.Fatalf("thread %d has no local def/use pair", th)
+	return -1, -1
+}
+
+// Fault class 1 — cross-thread write: thread 0 retargets a store into
+// thread 1's commit segment, racing with thread 1's commit memcpy and
+// every eval-phase reader of that word.
+func TestMutationCrossThreadWrite(t *testing.T) {
+	p := mutProgram(t)
+	victim := uint32(p.Threads[1].GlobalOff)
+	if int(victim) >= p.GlobalWords {
+		victim = 0 // degenerate layout: clobber the input region instead
+	}
+	mutPC := firstLocalDef(t, p, 0)
+	p.Threads[0].Code[mutPC].Dst = sim.MakeRef(sim.RefGlobal, victim)
+
+	rep := Program(p, Options{})
+	if rep.Err() == nil {
+		t.Fatal("cross-thread write not detected")
+	}
+	d := findDiag(t, rep, CheckRace)
+	requireProvenance(t, d)
+	if d.Thread != 0 || d.PC != mutPC {
+		t.Fatalf("wrong provenance: got thread %d pc %d, want thread 0 pc %d: %s",
+			d.Thread, d.PC, mutPC, d)
+	}
+}
+
+// Fault class 2 — missing definition: delete the instruction that defines
+// a temp another instruction reads; the partition is no longer closed.
+func TestMutationMissingDef(t *testing.T) {
+	p := mutProgram(t)
+	defPC, usePC := firstLocalUse(t, p, 0)
+	p.Threads[0].Code[defPC] = sim.Instr{Op: sim.OpNop}
+
+	rep := Program(p, Options{})
+	if rep.Err() == nil {
+		t.Fatal("missing definition not detected")
+	}
+	d := findDiag(t, rep, CheckClosure)
+	requireProvenance(t, d)
+	if d.Thread != 0 || d.PC != usePC {
+		t.Fatalf("wrong provenance: got thread %d pc %d, want thread 0 pc %d: %s",
+			d.Thread, d.PC, usePC, d)
+	}
+}
+
+// Fault class 3 — phase violation: an eval-phase instruction reads an
+// output slot, which only becomes valid after the commit barrier. This is
+// the cross-thread read-after-write the two-phase protocol forbids.
+func TestMutationPhaseViolation(t *testing.T) {
+	p := mutProgram(t)
+	var outSlot uint32
+	found := false
+	for _, o := range p.Outputs {
+		if !o.Wide {
+			outSlot, found = o.Slot, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no narrow output to cross-wire")
+	}
+	mutPC := -1
+	for pc := range p.Threads[0].Code {
+		in := &p.Threads[0].Code[pc]
+		if in.Op == sim.OpNop || in.Op == sim.OpWide {
+			continue
+		}
+		if in.Op == sim.OpMemRd || in.Op == sim.OpMemWr || sim.OpReads(in.Op) > 0 {
+			if sim.NarrowLoc(in.A).Space == sim.SpaceLocal {
+				mutPC = pc
+				break
+			}
+		}
+	}
+	if mutPC < 0 {
+		t.Fatal("no retargetable operand on thread 0")
+	}
+	p.Threads[0].Code[mutPC].A = sim.MakeRef(sim.RefGlobal, outSlot)
+
+	rep := Program(p, Options{})
+	if rep.Err() == nil {
+		t.Fatal("phase violation not detected")
+	}
+	d := findDiag(t, rep, CheckClosure)
+	requireProvenance(t, d)
+	if d.Thread != 0 || d.PC != mutPC {
+		t.Fatalf("wrong provenance: got thread %d pc %d, want thread 0 pc %d: %s",
+			d.Thread, d.PC, mutPC, d)
+	}
+}
+
+// Fault class 4 — cross-wired shadow ref: a sink store redirected to a
+// sibling shadow word leaves one sink stale and double-drives the other.
+func TestMutationCrossWiredShadow(t *testing.T) {
+	p := mutProgram(t)
+	mutThread, mutPC := -1, -1
+	var other uint32
+	for ti := range p.Threads {
+		th := &p.Threads[ti]
+		if th.ShadowWords < 2 {
+			continue
+		}
+		for pc := range th.Code {
+			in := &th.Code[pc]
+			if in.Op != sim.OpNop && in.Op != sim.OpWide &&
+				sim.NarrowLoc(in.Dst).Space == sim.SpaceShadow {
+				other = (sim.RefIdx(in.Dst) + 1) % uint32(th.ShadowWords)
+				mutThread, mutPC = ti, pc
+				break
+			}
+		}
+		if mutPC >= 0 {
+			break
+		}
+	}
+	if mutPC < 0 {
+		t.Skip("no thread with two narrow shadow words")
+	}
+	p.Threads[mutThread].Code[mutPC].Dst = sim.MakeRef(sim.RefShadow, other)
+
+	rep := Program(p, Options{})
+	if rep.Err() == nil {
+		t.Fatal("cross-wired shadow ref not detected")
+	}
+	d := findDiag(t, rep, CheckSchedule)
+	if d.Thread != mutThread || d.Slot == "" {
+		t.Fatalf("wrong provenance: %s", d)
+	}
+}
+
+// Fault class 5 — corrupted wide-node index: an OpWide instruction whose
+// Aux points past the wide-node table.
+func TestMutationWideIndexOutOfRange(t *testing.T) {
+	p := mutProgram(t)
+	mutThread, mutPC := -1, -1
+	for ti := range p.Threads {
+		for pc := range p.Threads[ti].Code {
+			if p.Threads[ti].Code[pc].Op == sim.OpWide {
+				mutThread, mutPC = ti, pc
+				break
+			}
+		}
+		if mutPC >= 0 {
+			break
+		}
+	}
+	if mutPC < 0 {
+		t.Fatal("program has no wide instructions")
+	}
+	p.Threads[mutThread].Code[mutPC].Aux = uint32(len(p.WideNodes)) + 7
+
+	rep := Program(p, Options{})
+	if rep.Err() == nil {
+		t.Fatal("wide-node index corruption not detected")
+	}
+	d := findDiag(t, rep, CheckSchedule)
+	requireProvenance(t, d)
+	if d.Thread != mutThread || d.PC != mutPC {
+		t.Fatalf("wrong provenance: got thread %d pc %d, want thread %d pc %d: %s",
+			d.Thread, d.PC, mutThread, mutPC, d)
+	}
+}
+
+// Fault class 6 — overlapping commit segments: two threads claim the same
+// global words, so their commit memcpys race.
+func TestMutationOverlappingSegments(t *testing.T) {
+	p := mutProgram(t)
+	if p.Threads[0].ShadowWords == 0 || p.Threads[1].ShadowWords == 0 {
+		t.Skip("both threads need narrow sinks")
+	}
+	p.Threads[1].GlobalOff = p.Threads[0].GlobalOff
+
+	rep := Program(p, Options{})
+	if rep.Err() == nil {
+		t.Fatal("overlapping commit segments not detected")
+	}
+	d := findDiag(t, rep, CheckRace)
+	if d.Thread < 0 || d.Slot == "" {
+		t.Fatalf("layout diagnostic lacks thread/slot: %s", d)
+	}
+}

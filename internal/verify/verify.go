@@ -1,0 +1,731 @@
+// Package verify statically proves that a compiled sim.Program upholds the
+// invariants RepCut's parallel runtime depends on, instead of trusting the
+// partitioner and code generator end-to-end. It reconstructs per-instruction
+// def/use sets from the instruction encoding (sim.InstrDefUse) and checks
+// three invariant families:
+//
+//   - Race freedom (§5.1, Figure 5): during the evaluation phase threads
+//     write only private temps and their own shadow; every shared global
+//     word a thread reads is a register or input source, stable until the
+//     commit phase; commit segments and wide commit slots are written by
+//     exactly one thread and do not overlap.
+//
+//   - Replication closure (§4.2, Formulas 1–2): every value a thread reads
+//     is an immediate, a register/input source, or defined earlier in the
+//     same thread's instruction stream — the executable form of the paper's
+//     guarantee that replication drives the intra-cycle cut to zero.
+//
+//   - Schedule well-formedness (§4.1): per-thread def-before-use ordering,
+//     every sink slot written exactly once per cycle, all operand indices in
+//     bounds, memory instructions consistent with the program's MemSpecs.
+//
+// The verifier reports structured diagnostics with thread/PC/slot
+// provenance rather than a boolean, so an injected fault names exactly
+// where the emitted program went wrong. Shared-mode (Verilator-style)
+// programs intentionally communicate mid-cycle; for those only the
+// well-formedness family applies and the reduced scope is reported as an
+// Info diagnostic.
+package verify
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cgraph"
+	"repro/internal/sim"
+)
+
+// Severity ranks a diagnostic.
+type Severity uint8
+
+// Severities. Only Error makes Report.Err non-nil.
+const (
+	Info Severity = iota
+	Warning
+	Error
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	}
+	return fmt.Sprintf("?severity(%d)", uint8(s))
+}
+
+// Check names the invariant family a diagnostic belongs to.
+type Check string
+
+// The three invariant families.
+const (
+	CheckRace     Check = "race-freedom"
+	CheckClosure  Check = "replication-closure"
+	CheckSchedule Check = "schedule"
+)
+
+// Diag is one finding, with full provenance: which thread's code, which
+// instruction, and which storage slot.
+type Diag struct {
+	Check    Check
+	Severity Severity
+	Thread   int    // executing/owning thread; -1 when not thread-specific
+	PC       int    // instruction index within the thread's code; -1 for layout findings
+	Slot     string // human-readable storage location, e.g. "global word 37 (reg 'r3', segment of thread 1)"
+	Msg      string
+}
+
+func (d Diag) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s [%s]", d.Severity, d.Check)
+	if d.Thread >= 0 {
+		fmt.Fprintf(&sb, " thread %d", d.Thread)
+	}
+	if d.PC >= 0 {
+		fmt.Fprintf(&sb, " pc %d", d.PC)
+	}
+	if d.Slot != "" {
+		fmt.Fprintf(&sb, " at %s", d.Slot)
+	}
+	fmt.Fprintf(&sb, ": %s", d.Msg)
+	return sb.String()
+}
+
+// Options supply optional context that enables deeper cross-checks.
+type Options struct {
+	// Graph, with Parts, enables the graph-level closure cross-check: each
+	// partition must contain every non-source predecessor of its vertices
+	// (earlier in the list), own its sinks uniquely, and agree with the
+	// program's shadow layout on sink counts.
+	Graph *cgraph.Graph
+	// Parts is the partitioning the program was compiled from (one spec per
+	// thread, e.g. from core.Partition or sim.SerialSpec).
+	Parts []sim.PartSpec
+}
+
+// Report is the outcome of verifying one program.
+type Report struct {
+	Design  string
+	Threads int
+	Instrs  int // instructions scanned
+	Locs    int // def/use locations examined
+	Diags   []Diag
+	Elapsed time.Duration
+}
+
+// Count returns the number of diagnostics at the given severity.
+func (r *Report) Count(sev Severity) int {
+	n := 0
+	for i := range r.Diags {
+		if r.Diags[i].Severity == sev {
+			n++
+		}
+	}
+	return n
+}
+
+// Err returns nil when no Error-severity diagnostics were found, and
+// otherwise an error quoting the first few.
+func (r *Report) Err() error {
+	errs := r.Count(Error)
+	if errs == 0 {
+		return nil
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "verify %s: %d error(s)", r.Design, errs)
+	shown := 0
+	for i := range r.Diags {
+		if r.Diags[i].Severity != Error {
+			continue
+		}
+		sb.WriteString("\n  ")
+		sb.WriteString(r.Diags[i].String())
+		if shown++; shown == 5 {
+			if errs > shown {
+				fmt.Fprintf(&sb, "\n  ... and %d more", errs-shown)
+			}
+			break
+		}
+	}
+	return fmt.Errorf("%s", sb.String())
+}
+
+// String summarizes the report in one line.
+func (r *Report) String() string {
+	verdict := "proven race-free and partition-closed"
+	if n := r.Count(Error); n > 0 {
+		verdict = fmt.Sprintf("%d ERRORS", n)
+	}
+	extra := ""
+	if n := r.Count(Warning); n > 0 {
+		extra = fmt.Sprintf(", %d warnings", n)
+	}
+	return fmt.Sprintf("verify %s: %d threads, %d instrs, %d locations in %v: %s%s",
+		r.Design, r.Threads, r.Instrs, r.Locs, r.Elapsed.Round(10*time.Microsecond), verdict, extra)
+}
+
+// slotClass classifies a global (narrow or wide) slot by what the layout
+// says lives there.
+type slotClass uint8
+
+const (
+	clPad    slotClass = iota // padding or shared-mode scratch
+	clInput                   // top-level input port
+	clReg                     // register (read source and committed write)
+	clOutput                  // top-level output port (committed write only)
+)
+
+func (c slotClass) String() string {
+	switch c {
+	case clInput:
+		return "input"
+	case clReg:
+		return "reg"
+	case clOutput:
+		return "output"
+	}
+	return "pad"
+}
+
+type verifier struct {
+	p    *sim.Program
+	opts Options
+	rep  *Report
+
+	// Narrow global-word model: class, committing thread (-1 none), name.
+	wordClass []slotClass
+	wordSeg   []int
+	wordName  []string
+	// Wide-global model, same shape.
+	wideClass []slotClass
+	wideSeg   []int
+	wideName  []string
+
+	// memWriters[m] is the set of threads holding write ports of memory m.
+	memWriters [][]int
+}
+
+// Program statically verifies a compiled program and returns the full
+// diagnostic report. It never modifies the program and is safe to run
+// concurrently with other analyses of the same Program.
+func Program(p *sim.Program, opts Options) *Report {
+	start := time.Now()
+	v := &verifier{
+		p:    p,
+		opts: opts,
+		rep:  &Report{Design: p.Design, Threads: p.NumThreads},
+	}
+	if p.Shared {
+		v.diag(CheckRace, Info, -1, -1, "",
+			"shared-slot (Verilator-style) program: threads communicate mid-cycle by design; race-freedom and closure checks are out of scope, schedule checks only")
+	}
+	v.layout()
+	for t := range p.Threads {
+		v.scanThread(t)
+	}
+	v.checkMems()
+	v.crossCheck()
+	v.rep.Elapsed = time.Since(start)
+	return v.rep
+}
+
+func (v *verifier) diag(c Check, sev Severity, thread, pc int, slot, msg string) {
+	v.rep.Diags = append(v.rep.Diags, Diag{
+		Check: c, Severity: sev, Thread: thread, PC: pc, Slot: slot, Msg: msg,
+	})
+}
+
+// wordDesc names a narrow global word for diagnostics.
+func (v *verifier) wordDesc(idx uint32) string {
+	if int(idx) >= len(v.wordClass) {
+		return fmt.Sprintf("global word %d (out of range)", idx)
+	}
+	desc := fmt.Sprintf("global word %d (%s", idx, v.wordClass[idx])
+	if n := v.wordName[idx]; n != "" {
+		desc += fmt.Sprintf(" %q", n)
+	}
+	if s := v.wordSeg[idx]; s >= 0 {
+		desc += fmt.Sprintf(", segment of thread %d", s)
+	}
+	return desc + ")"
+}
+
+// wideDesc names a wide-global slot for diagnostics.
+func (v *verifier) wideDesc(idx uint32) string {
+	if int(idx) >= len(v.wideClass) {
+		return fmt.Sprintf("wide-global slot %d (out of range)", idx)
+	}
+	desc := fmt.Sprintf("wide-global slot %d (%s", idx, v.wideClass[idx])
+	if n := v.wideName[idx]; n != "" {
+		desc += fmt.Sprintf(" %q", n)
+	}
+	if s := v.wideSeg[idx]; s >= 0 {
+		desc += fmt.Sprintf(", committed by thread %d", s)
+	}
+	return desc + ")"
+}
+
+// layout reconstructs the global storage model from the program and checks
+// the commit-phase half of race freedom: thread segments and wide commit
+// slots must be disjoint, cache-line aligned, and cover every register and
+// output.
+func (v *verifier) layout() {
+	p := v.p
+	v.wordClass = make([]slotClass, p.GlobalWords)
+	v.wordSeg = make([]int, p.GlobalWords)
+	v.wordName = make([]string, p.GlobalWords)
+	v.wideClass = make([]slotClass, p.GlobalWide)
+	v.wideSeg = make([]int, p.GlobalWide)
+	v.wideName = make([]string, p.GlobalWide)
+	for i := range v.wordSeg {
+		v.wordSeg[i] = -1
+	}
+	for i := range v.wideSeg {
+		v.wideSeg[i] = -1
+	}
+	v.memWriters = make([][]int, len(p.Mems))
+
+	classify := func(name string, wide bool, slot uint32, cl slotClass) {
+		if wide {
+			if int(slot) >= p.GlobalWide {
+				v.diag(CheckSchedule, Error, -1, -1, fmt.Sprintf("wide-global slot %d", slot),
+					fmt.Sprintf("%s %q slot out of range (%d wide slots)", cl, name, p.GlobalWide))
+				return
+			}
+			v.wideClass[slot], v.wideName[slot] = cl, name
+			return
+		}
+		if int(slot) >= p.GlobalWords {
+			v.diag(CheckSchedule, Error, -1, -1, fmt.Sprintf("global word %d", slot),
+				fmt.Sprintf("%s %q slot out of range (%d words)", cl, name, p.GlobalWords))
+			return
+		}
+		v.wordClass[slot], v.wordName[slot] = cl, name
+	}
+	for _, in := range p.Inputs {
+		classify(in.Name, in.Wide, in.Slot, clInput)
+	}
+	for i := range p.Regs {
+		classify(p.Regs[i].Name, p.Regs[i].Wide, p.Regs[i].Slot, clReg)
+	}
+	for _, out := range p.Outputs {
+		classify(out.Name, out.Wide, out.Slot, clOutput)
+	}
+
+	// Per-thread commit segments (narrow) and wide commit slots.
+	for t := range p.Threads {
+		th := &p.Threads[t]
+		if th.GlobalOff%sim.SegmentWords != 0 {
+			v.diag(CheckRace, Warning, t, -1, fmt.Sprintf("global word %d", th.GlobalOff),
+				fmt.Sprintf("commit segment not aligned to %d-word cache lines: false sharing with the neighboring segment", sim.SegmentWords))
+		}
+		for i := 0; i < th.ShadowWords; i++ {
+			w := th.GlobalOff + i
+			if w >= p.GlobalWords {
+				v.diag(CheckSchedule, Error, t, -1, fmt.Sprintf("global word %d", w),
+					fmt.Sprintf("commit segment [%d,%d) overruns the %d-word global array", th.GlobalOff, th.GlobalOff+th.ShadowWords, p.GlobalWords))
+				break
+			}
+			if v.wordClass[w] == clInput {
+				v.diag(CheckRace, Error, t, -1, v.wordDesc(uint32(w)),
+					"commit segment overlaps the input region: commit-phase memcpy would clobber poked inputs")
+				continue
+			}
+			if prev := v.wordSeg[w]; prev >= 0 {
+				v.diag(CheckRace, Error, t, -1, v.wordDesc(uint32(w)),
+					fmt.Sprintf("commit segments of threads %d and %d overlap: concurrent commit-phase writes race", prev, t))
+				continue
+			}
+			v.wordSeg[w] = t
+		}
+		for i, s := range th.WideShadowSlots {
+			if int(s) >= p.GlobalWide {
+				v.diag(CheckSchedule, Error, t, -1, fmt.Sprintf("wide-global slot %d", s),
+					fmt.Sprintf("wide shadow slot %d out of range (%d wide slots)", i, p.GlobalWide))
+				continue
+			}
+			if v.wideClass[s] == clInput {
+				v.diag(CheckRace, Error, t, -1, v.wideDesc(s),
+					"wide commit slot aliases an input: commit would clobber poked inputs")
+				continue
+			}
+			if prev := v.wideSeg[s]; prev >= 0 {
+				v.diag(CheckRace, Error, t, -1, v.wideDesc(s),
+					fmt.Sprintf("wide-global slot committed by threads %d and %d: concurrent commit-phase writes race", prev, t))
+				continue
+			}
+			v.wideSeg[s] = t
+		}
+	}
+
+	// Every register and output must be published by exactly one thread's
+	// commit, or it silently holds its reset value forever.
+	for i := range p.Regs {
+		r := &p.Regs[i]
+		if r.Wide {
+			if int(r.Slot) < p.GlobalWide && v.wideSeg[r.Slot] < 0 {
+				v.diag(CheckSchedule, Error, -1, -1, v.wideDesc(r.Slot),
+					fmt.Sprintf("register %q is in no thread's wide commit list: never published", r.Name))
+			}
+		} else if int(r.Slot) < p.GlobalWords && v.wordSeg[r.Slot] < 0 {
+			v.diag(CheckSchedule, Error, -1, -1, v.wordDesc(r.Slot),
+				fmt.Sprintf("register %q is outside every commit segment: never published", r.Name))
+		}
+	}
+	for _, o := range p.Outputs {
+		if o.Wide {
+			if int(o.Slot) < p.GlobalWide && v.wideSeg[o.Slot] < 0 {
+				v.diag(CheckSchedule, Error, -1, -1, v.wideDesc(o.Slot),
+					fmt.Sprintf("output %q is in no thread's wide commit list: never published", o.Name))
+			}
+		} else if int(o.Slot) < p.GlobalWords && v.wordSeg[o.Slot] < 0 {
+			v.diag(CheckSchedule, Error, -1, -1, v.wordDesc(o.Slot),
+				fmt.Sprintf("output %q is outside every commit segment: never published", o.Name))
+		}
+	}
+}
+
+// scanThread walks one thread's instruction stream in order, proving
+// def-before-use for private state, phase discipline for shared state, and
+// exactly-once sink writes.
+func (v *verifier) scanThread(t int) {
+	p := v.p
+	th := &p.Threads[t]
+	definedLocal := make([]bool, th.NumTemps)
+	definedWide := make([]bool, th.NumWideTemps)
+	shadowWrites := make([]int, th.ShadowWords)
+	wideShadowWrites := make([]int, len(th.WideShadowSlots))
+	localReads := make([]int, th.NumTemps)
+	wideReads := make([]int, th.NumWideTemps)
+	type defSite struct {
+		pc   int
+		loc  sim.Loc
+		used *int
+	}
+	var defSites []defSite
+
+	var defs, uses []sim.Loc
+	for pc := range th.Code {
+		in := &th.Code[pc]
+		v.rep.Instrs++
+		if in.Op == sim.OpWide && int(in.Aux) >= len(p.WideNodes) {
+			v.diag(CheckSchedule, Error, t, pc, fmt.Sprintf("wide node %d", in.Aux),
+				fmt.Sprintf("wide-node index out of range (%d nodes)", len(p.WideNodes)))
+			continue
+		}
+		defs, uses = p.InstrDefUse(in, defs[:0], uses[:0])
+		v.rep.Locs += len(defs) + len(uses)
+
+		for _, u := range uses {
+			switch u.Space {
+			case sim.SpaceLocal:
+				if int(u.Idx) >= th.NumTemps {
+					v.diag(CheckSchedule, Error, t, pc, u.String(),
+						fmt.Sprintf("temp index out of range (%d temps)", th.NumTemps))
+					continue
+				}
+				if !definedLocal[u.Idx] {
+					v.diag(CheckClosure, Error, t, pc, u.String(),
+						"read of a temp with no earlier definition in this thread: the partition is not closed")
+				}
+				localReads[u.Idx]++
+			case sim.SpaceGlobal:
+				if int(u.Idx) >= p.GlobalWords {
+					v.diag(CheckSchedule, Error, t, pc, u.String(),
+						fmt.Sprintf("global word out of range (%d words)", p.GlobalWords))
+					continue
+				}
+				if p.Shared {
+					continue
+				}
+				switch v.wordClass[u.Idx] {
+				case clInput, clReg:
+					// Stable for the whole evaluation phase: inputs are
+					// poked outside Run, registers flip only after the
+					// evaluation barrier.
+				case clOutput:
+					v.diag(CheckClosure, Error, t, pc, v.wordDesc(u.Idx),
+						"eval-phase read of an output slot: outputs are commit-only, not sources — a mid-cycle value crossed threads")
+				default:
+					v.diag(CheckClosure, Error, t, pc, v.wordDesc(u.Idx),
+						"eval-phase read of a padding word that no source or sink owns")
+				}
+			case sim.SpaceImm:
+				if int(u.Idx) >= len(p.Imms) {
+					v.diag(CheckSchedule, Error, t, pc, u.String(),
+						fmt.Sprintf("immediate index out of range (%d imms)", len(p.Imms)))
+				}
+			case sim.SpaceShadow:
+				if int(u.Idx) >= th.ShadowWords {
+					v.diag(CheckSchedule, Error, t, pc, u.String(),
+						fmt.Sprintf("shadow index out of range (%d shadow words)", th.ShadowWords))
+					continue
+				}
+				if shadowWrites[u.Idx] == 0 {
+					v.diag(CheckSchedule, Error, t, pc, u.String(),
+						"shadow word read before this thread wrote it this cycle")
+				}
+			case sim.SpaceWideLocal:
+				if int(u.Idx) >= th.NumWideTemps {
+					v.diag(CheckSchedule, Error, t, pc, u.String(),
+						fmt.Sprintf("wide temp out of range (%d wide temps)", th.NumWideTemps))
+					continue
+				}
+				if !definedWide[u.Idx] {
+					v.diag(CheckClosure, Error, t, pc, u.String(),
+						"read of a wide temp with no earlier definition in this thread: the partition is not closed")
+				}
+				wideReads[u.Idx]++
+			case sim.SpaceWideGlobal:
+				if int(u.Idx) >= p.GlobalWide {
+					v.diag(CheckSchedule, Error, t, pc, u.String(),
+						fmt.Sprintf("wide-global slot out of range (%d slots)", p.GlobalWide))
+					continue
+				}
+				if p.Shared {
+					continue
+				}
+				switch v.wideClass[u.Idx] {
+				case clInput, clReg:
+				case clOutput:
+					v.diag(CheckClosure, Error, t, pc, v.wideDesc(u.Idx),
+						"eval-phase read of a wide output slot: outputs are commit-only, not sources")
+				default:
+					v.diag(CheckClosure, Error, t, pc, v.wideDesc(u.Idx),
+						"eval-phase read of an unowned wide-global slot")
+				}
+			case sim.SpaceWideImm:
+				if int(u.Idx) >= len(p.WideImms) {
+					v.diag(CheckSchedule, Error, t, pc, u.String(),
+						fmt.Sprintf("wide immediate out of range (%d wide imms)", len(p.WideImms)))
+				}
+			case sim.SpaceWideShadow:
+				if int(u.Idx) >= len(wideShadowWrites) {
+					v.diag(CheckSchedule, Error, t, pc, u.String(),
+						fmt.Sprintf("wide shadow index out of range (%d slots)", len(wideShadowWrites)))
+					continue
+				}
+				if wideShadowWrites[u.Idx] == 0 {
+					v.diag(CheckSchedule, Error, t, pc, u.String(),
+						"wide shadow slot read before this thread wrote it this cycle")
+				}
+			case sim.SpaceMem:
+				if int(u.Idx) >= len(p.Mems) {
+					v.diag(CheckSchedule, Error, t, pc, u.String(),
+						fmt.Sprintf("memory index out of range (%d mems)", len(p.Mems)))
+				}
+				// Memory state is stable during evaluation: writes are
+				// buffered and only applied in the commit phase.
+			}
+		}
+
+		for _, d := range defs {
+			switch d.Space {
+			case sim.SpaceLocal:
+				if int(d.Idx) >= th.NumTemps {
+					v.diag(CheckSchedule, Error, t, pc, d.String(),
+						fmt.Sprintf("temp destination out of range (%d temps)", th.NumTemps))
+					continue
+				}
+				if definedLocal[d.Idx] {
+					v.diag(CheckSchedule, Warning, t, pc, d.String(),
+						"temp redefined: single-assignment form expected from the compiler")
+				}
+				definedLocal[d.Idx] = true
+				defSites = append(defSites, defSite{pc, d, &localReads[d.Idx]})
+			case sim.SpaceShadow:
+				if int(d.Idx) >= th.ShadowWords {
+					v.diag(CheckSchedule, Error, t, pc, d.String(),
+						fmt.Sprintf("shadow destination out of range (%d shadow words)", th.ShadowWords))
+					continue
+				}
+				shadowWrites[d.Idx]++
+			case sim.SpaceWideLocal:
+				if int(d.Idx) >= th.NumWideTemps {
+					v.diag(CheckSchedule, Error, t, pc, d.String(),
+						fmt.Sprintf("wide temp destination out of range (%d wide temps)", th.NumWideTemps))
+					continue
+				}
+				if definedWide[d.Idx] {
+					v.diag(CheckSchedule, Warning, t, pc, d.String(),
+						"wide temp redefined: single-assignment form expected from the compiler")
+				}
+				definedWide[d.Idx] = true
+				defSites = append(defSites, defSite{pc, d, &wideReads[d.Idx]})
+			case sim.SpaceWideShadow:
+				if int(d.Idx) >= len(wideShadowWrites) {
+					v.diag(CheckSchedule, Error, t, pc, d.String(),
+						fmt.Sprintf("wide shadow destination out of range (%d slots)", len(wideShadowWrites)))
+					continue
+				}
+				wideShadowWrites[d.Idx]++
+			case sim.SpaceGlobal:
+				if int(d.Idx) >= p.GlobalWords {
+					v.diag(CheckSchedule, Error, t, pc, d.String(),
+						fmt.Sprintf("global destination out of range (%d words)", p.GlobalWords))
+					continue
+				}
+				if !p.Shared {
+					v.diag(CheckRace, Error, t, pc, v.wordDesc(d.Idx),
+						"eval-phase write to a shared global word: races with concurrent readers and the owner's commit")
+				}
+			case sim.SpaceWideGlobal:
+				if int(d.Idx) >= p.GlobalWide {
+					v.diag(CheckSchedule, Error, t, pc, d.String(),
+						fmt.Sprintf("wide-global destination out of range (%d slots)", p.GlobalWide))
+					continue
+				}
+				if !p.Shared {
+					v.diag(CheckRace, Error, t, pc, v.wideDesc(d.Idx),
+						"eval-phase write to a wide-global slot: races with concurrent readers and the owner's commit")
+				}
+			case sim.SpaceMem:
+				if int(d.Idx) >= len(p.Mems) {
+					v.diag(CheckSchedule, Error, t, pc, d.String(),
+						fmt.Sprintf("memory index out of range (%d mems)", len(p.Mems)))
+					continue
+				}
+				// Buffered until commit; record the writer for the
+				// cross-thread disjointness check.
+				ws := v.memWriters[d.Idx]
+				if len(ws) == 0 || ws[len(ws)-1] != t {
+					v.memWriters[d.Idx] = append(ws, t)
+				}
+			case sim.SpaceImm, sim.SpaceWideImm:
+				v.diag(CheckSchedule, Error, t, pc, d.String(),
+					"write to the immutable immediate pool")
+			}
+		}
+	}
+
+	// Exactly-once sink writes: every shadow word the commit memcpy
+	// publishes must be produced exactly once per cycle.
+	for i, n := range shadowWrites {
+		slot := v.wordDesc(uint32(th.GlobalOff + i))
+		switch {
+		case n == 0:
+			v.diag(CheckSchedule, Error, t, -1, slot,
+				"sink shadow word never written: the commit publishes a stale value every cycle")
+		case n > 1:
+			v.diag(CheckSchedule, Error, t, -1, slot,
+				fmt.Sprintf("sink shadow word written %d times per cycle: drivers conflict", n))
+		}
+	}
+	for i, n := range wideShadowWrites {
+		slot := fmt.Sprintf("wide shadow %d", i)
+		if int(th.WideShadowSlots[i]) < p.GlobalWide {
+			slot = v.wideDesc(th.WideShadowSlots[i])
+		}
+		switch {
+		case n == 0:
+			v.diag(CheckSchedule, Error, t, -1, slot,
+				"wide sink never written: the commit publishes a stale value every cycle")
+		case n > 1:
+			v.diag(CheckSchedule, Error, t, -1, slot,
+				fmt.Sprintf("wide sink written %d times per cycle: drivers conflict", n))
+		}
+	}
+
+	// Dead stores: a defined temp nobody reads is wasted eval work (and
+	// usually a symptom of a miscompiled use). Warning only — OptLevel 0
+	// programs legitimately keep some.
+	for _, ds := range defSites {
+		if *ds.used == 0 {
+			v.diag(CheckSchedule, Warning, t, ds.pc, ds.loc.String(),
+				"dead store: destination is never read by this thread")
+		}
+	}
+}
+
+// checkMems flags memories whose write ports span threads: the commit
+// phase applies each thread's buffered writes concurrently, so address
+// disjointness cannot be proven statically.
+func (v *verifier) checkMems() {
+	for m, ws := range v.memWriters {
+		if len(ws) > 1 {
+			v.diag(CheckRace, Warning, -1, -1, fmt.Sprintf("mem %q", v.p.Mems[m].Name),
+				fmt.Sprintf("write ports owned by threads %v: concurrent commit-phase writes race if addresses collide (not statically provable)", ws))
+		}
+	}
+}
+
+// crossCheck validates the program against the partition it was compiled
+// from: graph-level closure (every non-source predecessor present and
+// earlier), unique sink ownership, and agreement between the partition's
+// sink sets and the program's shadow layout.
+func (v *verifier) crossCheck() {
+	g, parts := v.opts.Graph, v.opts.Parts
+	if g == nil || len(parts) == 0 {
+		return
+	}
+	p := v.p
+	if len(parts) != len(p.Threads) {
+		v.diag(CheckClosure, Error, -1, -1, "",
+			fmt.Sprintf("partition count %d does not match thread count %d", len(parts), len(p.Threads)))
+		return
+	}
+	sinkOwner := map[cgraph.VID]int{}
+	for t := range parts {
+		in := make(map[cgraph.VID]int, len(parts[t].Vertices))
+		for i, vid := range parts[t].Vertices {
+			if prev, dup := in[vid]; dup {
+				v.diag(CheckClosure, Error, t, -1, g.Vs[vid].Name,
+					fmt.Sprintf("vertex appears twice in the partition (positions %d and %d)", prev, i))
+				continue
+			}
+			in[vid] = i
+		}
+		for _, vid := range parts[t].Vertices {
+			for _, pr := range g.Preds[vid] {
+				if g.Vs[pr].Kind.IsSource() {
+					continue
+				}
+				pi, ok := in[pr]
+				switch {
+				case !ok:
+					v.diag(CheckClosure, Error, t, -1, g.Vs[vid].Name,
+						fmt.Sprintf("predecessor %s is not replicated into this partition: the cut is not zero", g.Vs[pr].Name))
+				case pi >= in[vid]:
+					v.diag(CheckClosure, Error, t, -1, g.Vs[vid].Name,
+						fmt.Sprintf("scheduled before its predecessor %s: not a topological order", g.Vs[pr].Name))
+				}
+			}
+		}
+		// Sink ownership and layout agreement.
+		narrow, wide := 0, 0
+		for _, s := range parts[t].Sinks {
+			if prev, dup := sinkOwner[s]; dup {
+				v.diag(CheckClosure, Error, t, -1, g.Vs[s].Name,
+					fmt.Sprintf("sink also owned by thread %d: double commit", prev))
+			}
+			sinkOwner[s] = t
+			if g.Vs[s].Kind == cgraph.KindMemWrite {
+				continue // buffered, no shadow slot
+			}
+			if g.Vs[s].Type.Width > 64 {
+				wide++
+			} else {
+				narrow++
+			}
+		}
+		th := &p.Threads[t]
+		if narrow != th.ShadowWords {
+			v.diag(CheckSchedule, Error, t, -1, "",
+				fmt.Sprintf("partition owns %d narrow sinks but the thread's shadow has %d words", narrow, th.ShadowWords))
+		}
+		if wide != len(th.WideShadowSlots) {
+			v.diag(CheckSchedule, Error, t, -1, "",
+				fmt.Sprintf("partition owns %d wide sinks but the thread commits %d wide slots", wide, len(th.WideShadowSlots)))
+		}
+	}
+	for _, s := range g.Sinks() {
+		if _, ok := sinkOwner[s]; !ok {
+			v.diag(CheckClosure, Error, -1, -1, g.Vs[s].Name,
+				"sink owned by no partition: its state is never updated")
+		}
+	}
+}

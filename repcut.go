@@ -29,6 +29,7 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/firrtl"
 	"repro/internal/sim"
+	"repro/internal/verify"
 )
 
 // Design is an elaborated circuit: flattened, lowered, and converted to the
@@ -99,6 +100,11 @@ type Options struct {
 	// 1 forces the serial pipeline. Output is bit-identical for every
 	// worker count.
 	Workers int
+	// Verify statically proves the compiled program race-free,
+	// partition-closed, and well-scheduled (internal/verify) before
+	// returning it; compilation fails on any violation, and the full
+	// diagnostic report is attached to the Simulator.
+	Verify bool
 }
 
 func (o *Options) defaults() {
@@ -129,7 +135,7 @@ func (d *Design) Partition(opt Options) (*core.Result, *PartitionReport, error) 
 	}
 	res, err := core.Partition(d.Graph, core.Options{
 		K: opt.Threads, Epsilon: opt.Epsilon, Seed: opt.Seed, Model: model,
-		Workers: opt.Workers,
+		Workers: opt.Workers, Verify: opt.Verify,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -151,6 +157,9 @@ func (d *Design) Partition(opt Options) (*core.Result, *PartitionReport, error) 
 type Simulator struct {
 	*sim.Engine
 	Report *PartitionReport // nil for serial compilation
+	// Verification is the static soundness report (nil unless
+	// Options.Verify was set).
+	Verification *verify.Report
 }
 
 // CompileSerial builds the single-threaded (ESSENT-style) simulator.
@@ -187,6 +196,11 @@ func (d *Design) CompileParallel(opt Options) (*Simulator, error) {
 			return nil, err
 		}
 		s.Report = &PartitionReport{Threads: 1}
+		if opt.Verify {
+			if err := d.attachVerification(s, sim.SerialSpec(d.Graph)); err != nil {
+				return nil, err
+			}
+		}
 		return s, nil
 	}
 	res, rep, err := d.Partition(opt)
@@ -201,5 +215,19 @@ func (d *Design) CompileParallel(opt Options) (*Simulator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Simulator{Engine: sim.NewEngine(p), Report: rep}, nil
+	s := &Simulator{Engine: sim.NewEngine(p), Report: rep}
+	if opt.Verify {
+		if err := d.attachVerification(s, specs); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// attachVerification runs the static soundness verifier over the compiled
+// program and attaches the report; Error-severity diagnostics fail the
+// compilation.
+func (d *Design) attachVerification(s *Simulator, parts []sim.PartSpec) error {
+	s.Verification = verify.Program(s.Program(), verify.Options{Graph: d.Graph, Parts: parts})
+	return s.Verification.Err()
 }

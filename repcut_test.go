@@ -106,3 +106,34 @@ func TestOptionsValidation(t *testing.T) {
 		t.Fatal("bad source must error")
 	}
 }
+
+func TestCompileParallelVerify(t *testing.T) {
+	c, err := ParseCircuit(counterSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Elaborate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, threads := range []int{1, 2} {
+		s, err := d.CompileParallel(Options{Threads: threads, Verify: true})
+		if err != nil {
+			t.Fatalf("threads=%d: %v", threads, err)
+		}
+		if s.Verification == nil {
+			t.Fatalf("threads=%d: no verification report attached", threads)
+		}
+		if err := s.Verification.Err(); err != nil {
+			t.Fatalf("threads=%d: %v", threads, err)
+		}
+	}
+	// Without the flag the report must stay nil (no analysis cost paid).
+	s, err := d.CompileParallel(Options{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Verification != nil {
+		t.Fatal("verification ran without Options.Verify")
+	}
+}
