@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint check bench results
+.PHONY: build test lint check bench results serve loadgen
 
 build:
 	$(GO) build ./...
@@ -24,3 +24,14 @@ bench:
 
 results:
 	$(GO) run ./cmd/benchall -out results
+
+# Boot the simulation service on the default local address.
+serve:
+	$(GO) run ./cmd/repcutd -addr 127.0.0.1:8372
+
+# Drive a self-hosted repcutd with the deterministic load generator and
+# record throughput (sessions/s, cycles/s, cache hit rate) into results/.
+loadgen:
+	@mkdir -p results
+	$(GO) run ./cmd/repcutd -loadgen -addr "" -duration 2s \
+		-out results/service_throughput.txt -min-hit-rate 0.5

@@ -12,16 +12,22 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"repro/internal/designs"
 	"repro/internal/experiments"
 	"repro/internal/profiling"
 	"repro/internal/report"
+	"repro/internal/service"
 )
 
 func main() {
@@ -30,6 +36,7 @@ func main() {
 		outDir  = flag.String("out", "", "directory to write .txt/.csv results into")
 		check   = flag.Bool("check", true, "run a real-engine equivalence spot check first")
 		doVerif = flag.Bool("verify", true, "statically verify every compiled program (race freedom, replication closure, schedule)")
+		svcDur  = flag.Duration("service-duration", 2*time.Second, "length of the repcutd service throughput run (0 disables)")
 		workers = flag.Int("workers", 0, "worker count for partitioning+compilation (0 = all cores, 1 = serial; results are identical)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -123,6 +130,55 @@ func main() {
 
 	step("Table 3 (performance counters)")
 	write("table3", s.Table3())
+
+	if *svcDur > 0 {
+		step("repcutd service throughput")
+		t, summary, err := serviceThroughput(*svcDur, *workers)
+		if err != nil {
+			fatal(err)
+		}
+		write("service_throughput", t)
+		fmt.Println(summary)
+		if *outDir != "" {
+			path := filepath.Join(*outDir, "service_throughput.txt")
+			body := t.String() + "\n" + summary + "\n"
+			if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
+
+// serviceThroughput boots an in-process repcutd and drives it with the
+// deterministic load generator, measuring end-to-end session and cycle
+// rates through the HTTP wire (compile cache included).
+func serviceThroughput(dur time.Duration, workers int) (*report.Table, string, error) {
+	cfg := service.Config{
+		Workers: workers,
+		Logger:  slog.New(slog.NewTextHandler(io.Discard, nil)),
+	}
+	srv := service.New(cfg)
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	defer srv.Shutdown(shutCtx)
+
+	res, err := service.RunLoadgen(hs.URL, service.LoadgenConfig{
+		Designs: []service.CompileRequest{
+			{Design: "RocketChip-1C", Scale: 0.5, Threads: 2},
+			{Design: "SmallBOOM-1C", Scale: 0.5, Threads: 2},
+			{Design: "MegaBOOM-1C", Scale: 0.5, Threads: 2},
+		},
+		Duration: dur,
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	if res.Errors > 0 {
+		return nil, "", fmt.Errorf("service loadgen hit %d errors", res.Errors)
+	}
+	return res.Table(), strings.TrimRight(res.Summary(), "\n"), nil
 }
 
 var t0 = time.Now()

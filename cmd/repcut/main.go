@@ -3,19 +3,21 @@
 // report (replication cost, imbalance), runs the requested number of
 // cycles on the real parallel engine, and reports both measured host
 // throughput and modeled throughput on the paper's reference machine.
+// With -json the same report is emitted machine-readable, using the exact
+// response types the repcutd service serves, so the two cannot drift.
 //
 // Usage:
 //
 //	repcut -design MegaBOOM-4C -threads 8 -cycles 1000
 //	repcut -file mydesign.fir -threads 4 -stats
+//	repcut -design SmallBOOM-1C -threads 4 -json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 	"time"
 
 	repcut "repro"
@@ -24,8 +26,28 @@ import (
 	"repro/internal/hostmodel"
 	"repro/internal/profiling"
 	"repro/internal/report"
+	"repro/internal/service"
 	"repro/internal/sim"
 )
+
+// jsonOutput is the machine-readable result: the shared CLI/server
+// DesignReport plus CLI-side measurements.
+type jsonOutput struct {
+	service.DesignReport
+	CompileMs  float64           `json:"compile_ms"`
+	ModeledKHz float64           `json:"modeled_khz"`
+	Run        *jsonRun          `json:"run,omitempty"`
+	Verified   bool              `json:"verified,omitempty"`
+	Outputs    map[string]uint64 `json:"outputs,omitempty"`
+}
+
+// jsonRun records the measured simulation, when one was run.
+type jsonRun struct {
+	Cycles        int     `json:"cycles"`
+	ElapsedSec    float64 `json:"elapsed_sec"`
+	KHz           float64 `json:"khz"`
+	InstrsRetired uint64  `json:"instrs_retired"`
+}
 
 func main() {
 	var (
@@ -38,6 +60,7 @@ func main() {
 		opt        = flag.Int("opt", 2, "backend optimization level (0..2)")
 		seed       = flag.Int64("seed", 1, "partitioning seed")
 		statsOnly  = flag.Bool("stats", false, "print design statistics and partition report, do not simulate")
+		jsonOut    = flag.Bool("json", false, "emit the report as JSON (same encoding as the repcutd service)")
 		vcdPath    = flag.String("vcd", "", "dump register/output waveforms to this VCD file")
 		workers    = flag.Int("workers", 0, "worker count for partitioning+compilation (0 = all cores, 1 = serial; output is identical)")
 		verifyFlag = flag.Bool("verify", false, "statically prove the compiled program race-free and partition-closed; fail on any violation")
@@ -61,56 +84,95 @@ func main() {
 		fatal(err)
 	}
 	st := d.Stats()
-	fmt.Printf("%s: %d IR nodes, %d edges, %d sinks (%.2f%%), %d reg writes\n",
-		name, st.IRNodes, st.Edges, st.SinkVtx, st.SinkPct, st.RegWrites)
+	if !*jsonOut {
+		fmt.Printf("%s: %d IR nodes, %d edges, %d sinks (%.2f%%), %d reg writes\n",
+			name, st.IRNodes, st.Edges, st.SinkVtx, st.SinkPct, st.RegWrites)
+	}
 
 	opts := repcut.Options{Threads: *threads, Unweighted: *uw, OptLevel: *opt, Seed: *seed,
 		Workers: *workers, Verify: *verifyFlag}
 	start := time.Now()
-	s, err := d.CompileParallel(opts)
+	compiled, err := d.CompileProgram(opts)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("partitioned + compiled for %d threads in %v\n", *threads, time.Since(start).Round(time.Millisecond))
-	if s.Verification != nil {
-		fmt.Println(s.Verification)
+	compileTime := time.Since(start)
+	s := compiled.NewSimulator()
+
+	out := jsonOutput{
+		DesignReport: service.ReportFor(name, st, compiled),
+		CompileMs:    float64(compileTime.Microseconds()) / 1000,
+		Verified:     s.Verification != nil,
 	}
-	if r := s.Report; r != nil && *threads > 1 {
-		fmt.Printf("replication cost: %s   imbalance (excl/incl): %.3f / %.3f   replicated vertices: %d\n",
-			report.Pct(r.ReplicationCost), r.ImbalanceExcl, r.ImbalanceIncl, r.ReplicatedVertices)
+
+	if !*jsonOut {
+		fmt.Printf("partitioned + compiled for %d threads in %v\n", *threads, compileTime.Round(time.Millisecond))
+		if s.Verification != nil {
+			fmt.Println(s.Verification)
+		}
+		if r := s.Report; r != nil && *threads > 1 {
+			fmt.Printf("replication cost: %s   imbalance (excl/incl): %.3f / %.3f   replicated vertices: %d\n",
+				report.Pct(r.ReplicationCost), r.ImbalanceExcl, r.ImbalanceIncl, r.ReplicatedVertices)
+		}
 	}
 
 	// Modeled throughput on the paper's (scaled) reference host.
 	cpu := hostmodel.ScaledXeon8260()
 	ev := hostmodel.Evaluate(cpu, hostmodel.WorkFromProgram(s.Program()), hostmodel.SameSocket)
-	fmt.Printf("modeled on %s: %.1f KHz (cycle %.0f ns, IPC %.2f)\n",
-		cpu.Name, ev.KHz, ev.CycleNs, ev.Counters.IPC)
+	out.ModeledKHz = ev.KHz
+	if !*jsonOut {
+		fmt.Printf("modeled on %s: %.1f KHz (cycle %.0f ns, IPC %.2f)\n",
+			cpu.Name, ev.KHz, ev.CycleNs, ev.Counters.IPC)
+	}
 
-	if *statsOnly {
-		return
-	}
-	start = time.Now()
-	if *vcdPath != "" {
-		f, err := os.Create(*vcdPath)
-		if err != nil {
-			fatal(err)
+	if !*statsOnly {
+		start = time.Now()
+		if *vcdPath != "" {
+			f, err := os.Create(*vcdPath)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			vw := sim.NewVCDWriter(f, s.Engine)
+			if err := vw.RunSampled(*cycles); err != nil {
+				fatal(err)
+			}
+			if !*jsonOut {
+				fmt.Printf("wrote waveforms to %s\n", *vcdPath)
+			}
+		} else {
+			s.Run(*cycles)
 		}
-		defer f.Close()
-		vw := sim.NewVCDWriter(f, s.Engine)
-		if err := vw.RunSampled(*cycles); err != nil {
-			fatal(err)
+		el := time.Since(start)
+		out.Run = &jsonRun{
+			Cycles:        *cycles,
+			ElapsedSec:    el.Seconds(),
+			KHz:           float64(*cycles) / el.Seconds() / 1000,
+			InstrsRetired: s.InstrsRetired(),
 		}
-		fmt.Printf("wrote waveforms to %s\n", *vcdPath)
-	} else {
-		s.Run(*cycles)
+		out.Outputs = map[string]uint64{}
+		for _, o := range s.Program().Outputs {
+			if !o.Wide {
+				v, _ := s.PeekOutput(o.Name)
+				out.Outputs[o.Name] = v
+			}
+		}
+		if !*jsonOut {
+			fmt.Printf("simulated %d cycles in %v (%.1f KHz on this host, %d instrs retired)\n",
+				*cycles, el.Round(time.Millisecond), out.Run.KHz, s.InstrsRetired())
+			for _, o := range s.Program().Outputs {
+				if !o.Wide {
+					fmt.Printf("  output %s = %#x\n", o.Name, out.Outputs[o.Name])
+				}
+			}
+		}
 	}
-	el := time.Since(start)
-	fmt.Printf("simulated %d cycles in %v (%.1f KHz on this host, %d instrs retired)\n",
-		*cycles, el.Round(time.Millisecond), float64(*cycles)/el.Seconds()/1000, s.InstrsRetired())
-	for _, o := range s.Program().Outputs {
-		if !o.Wide {
-			v, _ := s.PeekOutput(o.Name)
-			fmt.Printf("  output %s = %#x\n", o.Name, v)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
 		}
 	}
 }
@@ -127,11 +189,11 @@ func loadDesign(designName, file string, scale float64) (*firrtl.Circuit, string
 		}
 		return c, file, nil
 	case designName != "":
-		kind, cores, err := parseDesignName(designName)
+		cfg, err := designs.ParseName(designName)
 		if err != nil {
 			return nil, "", err
 		}
-		cfg := designs.Config{Kind: kind, Cores: cores, Scale: scale}
+		cfg.Scale = scale
 		return designs.BuildCircuit(cfg), cfg.Name(), nil
 	}
 	return nil, "", fmt.Errorf("specify -design <name> or -file <path>")
@@ -140,22 +202,4 @@ func loadDesign(designName, file string, scale float64) (*firrtl.Circuit, string
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "repcut:", err)
 	os.Exit(1)
-}
-
-// parseDesignName splits "SmallBOOM-2C" into kind and core count.
-func parseDesignName(s string) (designs.Kind, int, error) {
-	i := strings.LastIndex(s, "-")
-	if i < 0 || !strings.HasSuffix(s, "C") {
-		return "", 0, fmt.Errorf("bad design name %q (want e.g. MegaBOOM-4C)", s)
-	}
-	n, err := strconv.Atoi(strings.TrimSuffix(s[i+1:], "C"))
-	if err != nil {
-		return "", 0, err
-	}
-	kind := designs.Kind(s[:i])
-	switch kind {
-	case designs.Rocket, designs.SmallBoom, designs.LargeBoom, designs.MegaBoom:
-		return kind, n, nil
-	}
-	return "", 0, fmt.Errorf("unknown design family %q", s[:i])
 }

@@ -1,0 +1,208 @@
+// Command repcutd serves RepCut simulations over HTTP: a content-addressed
+// compile cache (one partition+compile per unique design+options, shared
+// by every client), stateful simulation sessions, and an observability
+// surface. The same binary doubles as the load generator.
+//
+// Serve:
+//
+//	repcutd -addr 127.0.0.1:8372
+//
+// Generate load against a running server (writes the throughput table):
+//
+//	repcutd -loadgen -addr http://127.0.0.1:8372 -duration 2s \
+//	        -designs RocketChip-1C,SmallBOOM-1C,MegaBOOM-1C -out results/service_throughput.txt
+//
+// With -loadgen and no -addr, repcutd boots an in-process server first
+// (self-hosted benchmark mode).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8372", "listen address (serve mode) or server base URL (loadgen mode; empty = self-host)")
+		cacheBytes = flag.Int64("cache-bytes", 256<<20, "compile cache resident-byte budget")
+		maxSess    = flag.Int("max-sessions", 1024, "live session admission limit (429 beyond)")
+		maxComp    = flag.Int("max-compiles", 0, "concurrent compile admission limit (503 beyond; 0 = NumCPU)")
+		idle       = flag.Duration("idle-timeout", 2*time.Minute, "reap sessions idle longer than this")
+		workers    = flag.Int("workers", 0, "per-compile worker bound (0 = all cores)")
+		portFile   = flag.String("portfile", "", "write the bound host:port to this file once listening")
+		logJSON    = flag.Bool("log-json", false, "emit request logs as JSON instead of text")
+		quiet      = flag.Bool("quiet", false, "suppress per-request logs")
+
+		loadgen  = flag.Bool("loadgen", false, "run the load generator instead of serving")
+		duration = flag.Duration("duration", 2*time.Second, "loadgen: how long to generate load")
+		clients  = flag.Int("clients", 8, "loadgen: concurrent client workers")
+		designsF = flag.String("designs", "RocketChip-1C,SmallBOOM-1C,MegaBOOM-1C", "loadgen: comma-separated built-in designs")
+		scale    = flag.Float64("scale", 0.5, "loadgen: design size scale")
+		threads  = flag.Int("threads", 2, "loadgen: partition/thread count per design")
+		cyclesPS = flag.Int("cycles-per-session", 200, "loadgen: simulated cycles per session")
+		outFile  = flag.String("out", "", "loadgen: write the throughput table to this file")
+		minHit   = flag.Float64("min-hit-rate", 0, "loadgen: exit non-zero unless the cache hit rate reaches this (CI gate)")
+	)
+	flag.Parse()
+
+	logger := newLogger(*logJSON, *quiet)
+	if *loadgen {
+		if err := runLoadgen(logger, *addr, *duration, *clients, *designsF, *scale,
+			*threads, *cyclesPS, *outFile, *minHit, *workers); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	cfg := service.Config{
+		CacheBytes:  *cacheBytes,
+		MaxSessions: *maxSess,
+		MaxCompiles: *maxComp,
+		IdleTimeout: *idle,
+		Workers:     *workers,
+		Logger:      logger,
+	}
+	if err := serve(cfg, *addr, *portFile, logger); err != nil {
+		fatal(err)
+	}
+}
+
+// newLogger builds the structured logger for request logs.
+func newLogger(jsonFmt, quiet bool) *slog.Logger {
+	level := slog.LevelInfo
+	if quiet {
+		level = slog.LevelWarn
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	if jsonFmt {
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts))
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, opts))
+}
+
+// serve runs the daemon until SIGINT/SIGTERM, then shuts down gracefully:
+// stop accepting, drain in-flight steps, close sessions.
+func serve(cfg service.Config, addr, portFile string, logger *slog.Logger) error {
+	srv := service.New(cfg)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+
+	bound := ln.Addr().String()
+	fmt.Printf("repcutd listening on http://%s\n", bound)
+	if portFile != "" {
+		if err := os.WriteFile(portFile, []byte(bound), 0o644); err != nil {
+			return err
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Info("shutting down", "reason", "signal")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	logger.Info("shutdown complete")
+	return nil
+}
+
+// runLoadgen drives the mixed workload, prints (and optionally writes) the
+// throughput table, and enforces the CI hit-rate gate.
+func runLoadgen(logger *slog.Logger, addr string, duration time.Duration, clients int,
+	designList string, scale float64, threads, cyclesPS int, outFile string,
+	minHit float64, workers int) error {
+
+	var designReqs []service.CompileRequest
+	for _, name := range strings.Split(designList, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		designReqs = append(designReqs, service.CompileRequest{
+			Design: name, Scale: scale, Threads: threads,
+		})
+	}
+
+	base := addr
+	if base == "" {
+		// Self-hosted mode: boot an in-process server.
+		srv := service.New(service.Config{Workers: workers, Logger: newLogger(false, true)})
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		defer srv.Shutdown(context.Background())
+		base = ts.URL
+		fmt.Printf("self-hosted repcutd at %s\n", base)
+	} else if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+
+	res, err := service.RunLoadgen(base, service.LoadgenConfig{
+		Designs:          designReqs,
+		Clients:          clients,
+		Duration:         duration,
+		CyclesPerSession: cyclesPS,
+	})
+	if err != nil {
+		return err
+	}
+
+	out := res.Table().String() + "\n" + res.Summary()
+	fmt.Print(out)
+	if outFile != "" {
+		if err := os.MkdirAll(filepath.Dir(outFile), 0o755); err != nil {
+			return err
+		}
+		if err := os.WriteFile(outFile, []byte(out), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", outFile)
+	}
+
+	if res.Errors > 0 {
+		return fmt.Errorf("loadgen: %d request errors", res.Errors)
+	}
+	if minHit > 0 {
+		if res.Metrics == nil {
+			return fmt.Errorf("loadgen: no /metrics snapshot to check hit rate against")
+		}
+		if res.Metrics.Cache.HitRate < minHit {
+			return fmt.Errorf("loadgen: cache hit rate %.3f below required %.3f",
+				res.Metrics.Cache.HitRate, minHit)
+		}
+		logger.Info("hit-rate gate passed", "hit_rate", res.Metrics.Cache.HitRate, "min", minHit)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "repcutd:", err)
+	os.Exit(1)
+}

@@ -2,6 +2,8 @@ package designs
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"repro/internal/cgraph"
 	"repro/internal/firrtl"
@@ -31,6 +33,27 @@ type Config struct {
 
 // Name returns the canonical design name, e.g. "MegaBOOM-4C".
 func (c Config) Name() string { return fmt.Sprintf("%s-%dC", c.Kind, c.Cores) }
+
+// ParseName parses a canonical design name ("SmallBOOM-2C") back into a
+// Config (Scale left zero, meaning default). It is the inverse of Name and
+// the shared resolver for every front end that accepts design names
+// (cmd/repcut, the repcutd service, the load generator).
+func ParseName(s string) (Config, error) {
+	i := strings.LastIndex(s, "-")
+	if i < 0 || !strings.HasSuffix(s, "C") {
+		return Config{}, fmt.Errorf("designs: bad design name %q (want e.g. MegaBOOM-4C)", s)
+	}
+	n, err := strconv.Atoi(strings.TrimSuffix(s[i+1:], "C"))
+	if err != nil || n <= 0 {
+		return Config{}, fmt.Errorf("designs: bad core count in %q", s)
+	}
+	kind := Kind(s[:i])
+	switch kind {
+	case Rocket, SmallBoom, LargeBoom, MegaBoom:
+		return Config{Kind: kind, Cores: n}, nil
+	}
+	return Config{}, fmt.Errorf("designs: unknown design family %q", s[:i])
+}
 
 // BuildCircuit generates the design's IR circuit (hierarchical).
 func BuildCircuit(cfg Config) *firrtl.Circuit {

@@ -167,6 +167,50 @@ func (p *Pool) spawnBudget(n int) int {
 	return got
 }
 
+// Sem is a hard-bounded counting semaphore for admission control: unlike
+// Pool (which degrades to inline execution when its budget is spent), a
+// Sem rejects work outright so callers can shed load instead of queueing
+// it unboundedly — the 429/503 half of the serving story.
+type Sem struct {
+	slots chan struct{}
+}
+
+// NewSem creates a semaphore admitting at most n concurrent holders
+// (n < 1 is treated as 1).
+func NewSem(n int) *Sem {
+	if n < 1 {
+		n = 1
+	}
+	return &Sem{slots: make(chan struct{}, n)}
+}
+
+// Cap returns the semaphore's capacity.
+func (s *Sem) Cap() int { return cap(s.slots) }
+
+// Held returns the number of currently held slots (a racy snapshot, for
+// metrics only).
+func (s *Sem) Held() int { return len(s.slots) }
+
+// TryAcquire takes a slot if one is free and reports whether it did.
+// Callers that get false must not call Release.
+func (s *Sem) TryAcquire() bool {
+	select {
+	case s.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release frees a slot taken by a successful TryAcquire.
+func (s *Sem) Release() {
+	select {
+	case <-s.slots:
+	default:
+		panic("par: Sem.Release without matching TryAcquire")
+	}
+}
+
 // Derive maps a base seed and a branch label to a new, statistically
 // independent seed via two rounds of SplitMix64 finalization. Deriving the
 // per-branch / per-task seeds up front — instead of sharing one sequential

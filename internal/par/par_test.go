@@ -120,3 +120,46 @@ func TestDeriveDeterministicAndSpread(t *testing.T) {
 		t.Fatal("distinct bases share a seed")
 	}
 }
+
+func TestSemAdmission(t *testing.T) {
+	s := NewSem(2)
+	if s.Cap() != 2 {
+		t.Fatalf("Cap = %d, want 2", s.Cap())
+	}
+	if !s.TryAcquire() || !s.TryAcquire() {
+		t.Fatal("could not fill an empty semaphore")
+	}
+	if s.TryAcquire() {
+		t.Fatal("acquired beyond capacity")
+	}
+	if s.Held() != 2 {
+		t.Fatalf("Held = %d, want 2", s.Held())
+	}
+	s.Release()
+	if !s.TryAcquire() {
+		t.Fatal("could not re-acquire a released slot")
+	}
+	s.Release()
+	s.Release()
+	if s.Held() != 0 {
+		t.Fatalf("Held = %d, want 0", s.Held())
+	}
+}
+
+func TestSemReleaseWithoutAcquirePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unbalanced Release did not panic")
+		}
+	}()
+	NewSem(1).Release()
+}
+
+func TestSemMinimumCapacity(t *testing.T) {
+	if got := NewSem(0).Cap(); got != 1 {
+		t.Fatalf("NewSem(0).Cap() = %d, want 1", got)
+	}
+	if got := NewSem(-5).Cap(); got != 1 {
+		t.Fatalf("NewSem(-5).Cap() = %d, want 1", got)
+	}
+}

@@ -1,0 +1,87 @@
+package profiling
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestNoOpWhenFlagsEmpty(t *testing.T) {
+	dir := t.TempDir()
+	stop, err := Start("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop() // must be callable and do nothing
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("no-op Start created %d files", len(entries))
+	}
+}
+
+func TestCPUProfileWritten(t *testing.T) {
+	cpu := filepath.Join(t.TempDir(), "cpu.pprof")
+	stop, err := Start(cpu, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has samples to flush.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	stop()
+	st, err := os.Stat(cpu)
+	if err != nil {
+		t.Fatalf("cpu profile not created: %v", err)
+	}
+	if st.Size() == 0 {
+		t.Error("cpu profile is empty")
+	}
+}
+
+func TestHeapProfileWritten(t *testing.T) {
+	mem := filepath.Join(t.TempDir(), "mem.pprof")
+	stop, err := Start("", mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	st, err := os.Stat(mem)
+	if err != nil {
+		t.Fatalf("heap profile not created: %v", err)
+	}
+	if st.Size() == 0 {
+		t.Error("heap profile is empty")
+	}
+}
+
+func TestBothProfilesWritten(t *testing.T) {
+	dir := t.TempDir()
+	cpu, mem := filepath.Join(dir, "cpu.pprof"), filepath.Join(dir, "mem.pprof")
+	stop, err := Start(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("%s not created: %v", filepath.Base(p), err)
+			continue
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", filepath.Base(p))
+		}
+	}
+}
+
+func TestBadCPUPathFails(t *testing.T) {
+	if _, err := Start(filepath.Join(t.TempDir(), "no", "such", "dir", "cpu"), ""); err == nil {
+		t.Error("Start with an uncreatable cpu path returned nil error")
+	}
+}

@@ -76,16 +76,34 @@ func (t *Table) String() string {
 	return sb.String()
 }
 
-// CSV renders the table as comma-separated values (for plotting).
+// CSV renders the table as comma-separated values (for plotting). Cells
+// containing commas, quotes, or newlines are quoted per RFC 4180 with
+// embedded quotes doubled; plain cells are emitted verbatim.
 func (t *Table) CSV() string {
 	var sb strings.Builder
-	sb.WriteString(strings.Join(t.Headers, ","))
-	sb.WriteString("\n")
+	writeCSVRow(&sb, t.Headers)
 	for _, r := range t.rows {
-		sb.WriteString(strings.Join(r, ","))
-		sb.WriteString("\n")
+		writeCSVRow(&sb, r)
 	}
 	return sb.String()
+}
+
+func writeCSVRow(sb *strings.Builder, cells []string) {
+	for i, c := range cells {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(csvCell(c))
+	}
+	sb.WriteString("\n")
+}
+
+// csvCell quotes a cell when its content would break the row structure.
+func csvCell(s string) string {
+	if !strings.ContainsAny(s, ",\"\n\r") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
 }
 
 // Pct formats a fraction as a percentage string.
@@ -98,15 +116,20 @@ func F2(f float64) string { return fmt.Sprintf("%.2f", f) }
 func F1(f float64) string { return fmt.Sprintf("%.1f", f) }
 
 // SI formats a count with engineering suffixes (K/M/B), matching the
-// paper's Table 3 style.
+// paper's Table 3 style. Negative values keep their sign with the same
+// suffix rules applied to the magnitude.
 func SI(v float64) string {
+	sign := ""
+	if v < 0 {
+		sign, v = "-", -v
+	}
 	switch {
 	case v >= 1e9:
-		return fmt.Sprintf("%.1fB", v/1e9)
+		return fmt.Sprintf("%s%.1fB", sign, v/1e9)
 	case v >= 1e6:
-		return fmt.Sprintf("%.1fM", v/1e6)
+		return fmt.Sprintf("%s%.1fM", sign, v/1e6)
 	case v >= 1e3:
-		return fmt.Sprintf("%.1fK", v/1e3)
+		return fmt.Sprintf("%s%.1fK", sign, v/1e3)
 	}
-	return fmt.Sprintf("%.0f", v)
+	return fmt.Sprintf("%s%.0f", sign, v)
 }

@@ -1,0 +1,144 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableStringAlignment(t *testing.T) {
+	tbl := NewTable("T", "name", "v")
+	tbl.Row("a", 1)
+	tbl.Row("longer-name", 123456)
+	out := tbl.String()
+
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "== T ==" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	// Every column is padded to the widest cell, so each value column
+	// starts at the same offset on every line.
+	wantCol := len("longer-name") + 2
+	for i, line := range lines[1:] {
+		if i == 0 { // header
+			if !strings.HasPrefix(line, "name") {
+				t.Errorf("header = %q", line)
+			}
+		}
+		if len(line) < wantCol {
+			t.Errorf("line %d shorter than the first column width: %q", i, line)
+			continue
+		}
+	}
+	if got := lines[1][:wantCol]; got != "name"+strings.Repeat(" ", wantCol-4) {
+		t.Errorf("header column = %q, not padded to widest cell", got)
+	}
+	if !strings.HasPrefix(lines[2], strings.Repeat("-", len("longer-name"))) {
+		t.Errorf("separator = %q", lines[2])
+	}
+	valCol := lines[3][wantCol:]
+	if !strings.HasPrefix(valCol, "1") {
+		t.Errorf("row 1 value column = %q, misaligned", valCol)
+	}
+}
+
+func TestTableStringShortRows(t *testing.T) {
+	// A row with fewer cells than headers renders blanks, not a panic.
+	tbl := NewTable("", "a", "b", "c")
+	tbl.Row("only")
+	out := tbl.String()
+	if !strings.Contains(out, "only") {
+		t.Errorf("short row missing:\n%s", out)
+	}
+	if strings.Contains(out, "== ") {
+		t.Errorf("empty title rendered a banner:\n%s", out)
+	}
+}
+
+func TestRowFloatFormatting(t *testing.T) {
+	tbl := NewTable("", "v")
+	tbl.Row(3.14159265)
+	if !strings.Contains(tbl.String(), "3.142") {
+		t.Errorf("float not rendered with %%.4g:\n%s", tbl.String())
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	tbl := NewTable("ignored", "plain", "with,comma", "quoted")
+	tbl.Row("x", "a,b", `say "hi"`)
+	tbl.Row("multi\nline", "ok", "")
+	got := tbl.CSV()
+	want := "plain,\"with,comma\",quoted\n" +
+		"x,\"a,b\",\"say \"\"hi\"\"\"\n" +
+		"\"multi\nline\",ok,\n"
+	if got != want {
+		t.Errorf("CSV:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func TestCSVPlainCellsUnquoted(t *testing.T) {
+	tbl := NewTable("", "a", "b")
+	tbl.Row("x", 7)
+	if got := tbl.CSV(); got != "a,b\nx,7\n" {
+		t.Errorf("CSV = %q", got)
+	}
+}
+
+func TestPct(t *testing.T) {
+	for _, tc := range []struct {
+		in   float64
+		want string
+	}{
+		{0, "0.00%"},
+		{0.5, "50.00%"},
+		{1, "100.00%"},
+		{-0.031, "-3.10%"},
+		{1.5, "150.00%"},
+	} {
+		if got := Pct(tc.in); got != tc.want {
+			t.Errorf("Pct(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestF1F2(t *testing.T) {
+	if got := F2(3.14159); got != "3.14" {
+		t.Errorf("F2 = %q", got)
+	}
+	if got := F2(-0.005); got != "-0.01" && got != "-0.00" {
+		t.Errorf("F2(-0.005) = %q", got)
+	}
+	if got := F1(2.55); got != "2.5" && got != "2.6" { // ties are platform-rounded
+		t.Errorf("F1(2.55) = %q", got)
+	}
+	if got := F1(0); got != "0.0" {
+		t.Errorf("F1(0) = %q", got)
+	}
+}
+
+func TestSIEdgeCases(t *testing.T) {
+	for _, tc := range []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{999, "999"},
+		{1000, "1.0K"},
+		{1500, "1.5K"},
+		{1e6, "1.0M"},
+		{2.5e6, "2.5M"},
+		{1e9, "1.0B"},
+		{3.2e9, "3.2B"},
+		{1e12, "1000.0B"},
+		{-1, "-1"},
+		{-1500, "-1.5K"},
+		{-2.5e6, "-2.5M"},
+		{-4e9, "-4.0B"},
+	} {
+		if got := SI(tc.in); got != tc.want {
+			t.Errorf("SI(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// APIError is a non-2xx response from the server, preserving the status
+// code so callers can react to admission control (429/503) specifically.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("service: HTTP %d: %s", e.Status, e.Message)
+}
+
+// StatusOf extracts the HTTP status of an error (0 for non-API errors).
+func StatusOf(err error) int {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.Status
+	}
+	return 0
+}
+
+// Client is a Go client for a repcutd server.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewClient creates a client for the given base URL
+// (e.g. "http://127.0.0.1:8372").
+func NewClient(base string) *Client {
+	return &Client{BaseURL: base, HTTP: http.DefaultClient}
+}
+
+// do POSTs (or sends method) a JSON body and decodes the JSON response.
+func (c *Client) do(method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, c.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var er ErrorResponse
+		msg := string(data)
+		if json.Unmarshal(data, &er) == nil && er.Error != "" {
+			msg = er.Error
+		}
+		return &APIError{Status: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// Health checks /healthz.
+func (c *Client) Health() error {
+	return c.do(http.MethodGet, "/healthz", nil, nil)
+}
+
+// Metrics fetches the /metrics snapshot.
+func (c *Client) Metrics() (*MetricsSnapshot, error) {
+	var m MetricsSnapshot
+	if err := c.do(http.MethodGet, "/metrics", nil, &m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Compile requests a compile (served from cache when resident).
+func (c *Client) Compile(req CompileRequest) (*CompileResponse, error) {
+	var resp CompileResponse
+	if err := c.do(http.MethodPost, "/v1/compile", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// NewSession opens a stateful simulation over a cached program.
+func (c *Client) NewSession(key string) (*SessionHandle, error) {
+	var resp SessionResponse
+	if err := c.do(http.MethodPost, "/v1/sessions", CreateSessionRequest{Key: key}, &resp); err != nil {
+		return nil, err
+	}
+	return &SessionHandle{c: c, ID: resp.SessionID, Design: resp.Design}, nil
+}
+
+// SessionHandle drives one server-side session.
+type SessionHandle struct {
+	c      *Client
+	ID     string
+	Design string
+}
+
+func (s *SessionHandle) path(op string) string {
+	return "/v1/sessions/" + s.ID + "/" + op
+}
+
+// Poke sets a narrow input port.
+func (s *SessionHandle) Poke(name string, v uint64) error {
+	return s.c.do(http.MethodPost, s.path("poke"), PokeRequest{Name: name, Value: v}, nil)
+}
+
+// Peek reads a narrow output port.
+func (s *SessionHandle) Peek(name string) (uint64, error) {
+	var resp ValueResponse
+	if err := s.c.do(http.MethodPost, s.path("peek"), PeekRequest{Name: name}, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Value, nil
+}
+
+// PeekReg reads a narrow register.
+func (s *SessionHandle) PeekReg(name string) (uint64, error) {
+	var resp ValueResponse
+	if err := s.c.do(http.MethodPost, s.path("peek"), PeekRequest{Name: name, Reg: true}, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Value, nil
+}
+
+// Step advances one cycle and returns the session's total cycles.
+func (s *SessionHandle) Step() (uint64, error) { return s.Run(1) }
+
+// Run advances n cycles and returns the session's total cycles.
+func (s *SessionHandle) Run(n int) (uint64, error) {
+	var resp StepResponse
+	if err := s.c.do(http.MethodPost, s.path("run"), StepRequest{Cycles: n}, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Cycle, nil
+}
+
+// Close tears the session down, returning its final cycle count.
+func (s *SessionHandle) Close() (uint64, error) {
+	var resp StepResponse
+	if err := s.c.do(http.MethodPost, s.path("close"), nil, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Cycle, nil
+}

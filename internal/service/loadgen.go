@@ -1,0 +1,256 @@
+package service
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/par"
+	"repro/internal/report"
+)
+
+// LoadgenConfig shapes the synthetic workload: W concurrent clients, each
+// looping compile→session→(poke,run,peek)×k→close over a rotating mix of
+// designs until the duration expires. One compile call per session means
+// the steady-state cache hit rate approaches 1 − designs/sessions.
+type LoadgenConfig struct {
+	// Designs is the workload mix (at least one).
+	Designs []CompileRequest
+	// Clients is the number of concurrent load workers (default 8).
+	Clients int
+	// Duration is how long to generate load (default 2s).
+	Duration time.Duration
+	// CyclesPerSession is how many cycles each session simulates,
+	// split over StepsPerSession run calls (defaults 200 over 4 runs).
+	CyclesPerSession int
+	StepsPerSession  int
+	// Seed makes each client's poke values deterministic (default 1).
+	Seed int64
+}
+
+func (c *LoadgenConfig) defaults() {
+	if c.Clients == 0 {
+		c.Clients = 8
+	}
+	if c.Duration == 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.CyclesPerSession == 0 {
+		c.CyclesPerSession = 200
+	}
+	if c.StepsPerSession == 0 {
+		c.StepsPerSession = 4
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// DesignLoad is the per-design slice of a load run.
+type DesignLoad struct {
+	Design   string
+	Sessions int64
+	Cycles   int64
+}
+
+// LoadgenResult summarizes a load run.
+type LoadgenResult struct {
+	Elapsed   time.Duration
+	Sessions  int64
+	Cycles    int64
+	Steps     int64
+	Errors    int64 // non-overload failures
+	Overloads int64 // 429/503 responses (shed load, not errors)
+	PerDesign []DesignLoad
+	Metrics   *MetricsSnapshot // server metrics fetched after the run
+}
+
+// SessionsPerSec is the completed-session throughput.
+func (r *LoadgenResult) SessionsPerSec() float64 {
+	return float64(r.Sessions) / r.Elapsed.Seconds()
+}
+
+// CyclesPerSec is the aggregate simulated-cycle throughput.
+func (r *LoadgenResult) CyclesPerSec() float64 {
+	return float64(r.Cycles) / r.Elapsed.Seconds()
+}
+
+// Table renders the run as the standard results table (one row per
+// design plus a total row).
+func (r *LoadgenResult) Table() *report.Table {
+	t := report.NewTable("Service throughput (repcutd load generator)",
+		"design", "sessions", "cycles", "sessions/s", "cycles/s", "KHz")
+	row := func(name string, sessions, cycles int64) {
+		secs := r.Elapsed.Seconds()
+		t.Row(name, sessions, cycles,
+			report.F1(float64(sessions)/secs),
+			report.F1(float64(cycles)/secs),
+			report.F1(float64(cycles)/secs/1000))
+	}
+	for _, d := range r.PerDesign {
+		row(d.Design, d.Sessions, d.Cycles)
+	}
+	row("TOTAL", r.Sessions, r.Cycles)
+	return t
+}
+
+// Summary renders the headline numbers plus the server-side metrics that
+// the acceptance gate cares about (cache hit rate, latency quantiles).
+func (r *LoadgenResult) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "elapsed: %.2fs   sessions: %d (%.1f/s)   cycles: %d (%.0f/s)   overloads: %d   errors: %d\n",
+		r.Elapsed.Seconds(), r.Sessions, r.SessionsPerSec(), r.Cycles, r.CyclesPerSec(), r.Overloads, r.Errors)
+	if m := r.Metrics; m != nil {
+		fmt.Fprintf(&sb, "cache: hit rate %s (%d hits / %d misses, %d evictions, %d entries, %d bytes resident)\n",
+			report.Pct(m.Cache.HitRate), m.Cache.Hits, m.Cache.Misses,
+			m.Cache.Evictions, m.Cache.Entries, m.Cache.Bytes)
+		fmt.Fprintf(&sb, "compile latency: p50 %.3gms p99 %.3gms (n=%d)   step latency: p50 %.3gms p99 %.3gms (n=%d)\n",
+			m.Compile.Latency.P50Ms, m.Compile.Latency.P99Ms, m.Compile.Latency.Count,
+			m.Sim.StepLatency.P50Ms, m.Sim.StepLatency.P99Ms, m.Sim.StepLatency.Count)
+	}
+	return sb.String()
+}
+
+// RunLoadgen hammers the server at baseURL with the configured mixed
+// workload. Overload responses (429/503) are counted and retried with the
+// next iteration — shedding is the server behaving as designed — while
+// any other failure counts as an error.
+func RunLoadgen(baseURL string, cfg LoadgenConfig) (*LoadgenResult, error) {
+	cfg.defaults()
+	if len(cfg.Designs) == 0 {
+		return nil, fmt.Errorf("service: loadgen needs at least one design")
+	}
+	client := NewClient(baseURL)
+	if err := client.Health(); err != nil {
+		return nil, fmt.Errorf("service: server not healthy: %w", err)
+	}
+
+	var (
+		sessions  atomic.Int64
+		cycles    atomic.Int64
+		steps     atomic.Int64
+		errorsN   atomic.Int64
+		overloads atomic.Int64
+	)
+	perDesign := make([]struct{ sessions, cycles atomic.Int64 }, len(cfg.Designs))
+
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(par.Derive(cfg.Seed, int64(w))))
+			for it := 0; time.Now().Before(deadline); it++ {
+				di := (w + it) % len(cfg.Designs)
+				if err := oneSession(client, cfg, rng, cfg.Designs[di], func(c int64) {
+					cycles.Add(c)
+					steps.Add(1)
+					perDesign[di].cycles.Add(c)
+				}); err != nil {
+					if st := StatusOf(err); st == 429 || st == 503 {
+						overloads.Add(1)
+						time.Sleep(time.Millisecond)
+						continue
+					}
+					errorsN.Add(1)
+					continue
+				}
+				sessions.Add(1)
+				perDesign[di].sessions.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := &LoadgenResult{
+		Elapsed:   elapsed,
+		Sessions:  sessions.Load(),
+		Cycles:    cycles.Load(),
+		Steps:     steps.Load(),
+		Errors:    errorsN.Load(),
+		Overloads: overloads.Load(),
+	}
+	for i, d := range cfg.Designs {
+		name := d.Design
+		if name == "" {
+			name = "source"
+		}
+		res.PerDesign = append(res.PerDesign, DesignLoad{
+			Design:   fmt.Sprintf("%s@%dt", name, d.normalize().Threads),
+			Sessions: perDesign[i].sessions.Load(),
+			Cycles:   perDesign[i].cycles.Load(),
+		})
+	}
+	if m, err := client.Metrics(); err == nil {
+		res.Metrics = m
+	}
+	return res, nil
+}
+
+// oneSession runs one compile→simulate→close workload unit.
+func oneSession(client *Client, cfg LoadgenConfig, rng *rand.Rand, d CompileRequest, onRun func(int64)) error {
+	cr, err := client.Compile(d)
+	if err != nil {
+		return err
+	}
+	sess, err := client.NewSession(cr.Key)
+	if err != nil {
+		return err
+	}
+	// Always try to close; a failed step must not leak the session.
+	defer sess.Close()
+
+	per := cfg.CyclesPerSession / cfg.StepsPerSession
+	if per < 1 {
+		per = 1
+	}
+	for s := 0; s < cfg.StepsPerSession; s++ {
+		if err := pokeRandomInput(sess, cr, rng); err != nil {
+			return err
+		}
+		if _, err := sess.Run(per); err != nil {
+			return err
+		}
+		onRun(int64(per))
+		if err := peekFirstOutput(sess, cr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// firstNarrow picks the first ≤64-bit port from a table, "" if none.
+func firstNarrow(ports []PortInfo) string {
+	for _, p := range ports {
+		if !p.Wide {
+			return p.Name
+		}
+	}
+	return ""
+}
+
+// pokeRandomInput pokes a random narrow value into the design's first
+// narrow input port, when it has one.
+func pokeRandomInput(sess *SessionHandle, cr *CompileResponse, rng *rand.Rand) error {
+	name := firstNarrow(cr.Inputs)
+	if name == "" {
+		return nil
+	}
+	return sess.Poke(name, rng.Uint64()&0xffff)
+}
+
+// peekFirstOutput reads back one output to exercise the peek path.
+func peekFirstOutput(sess *SessionHandle, cr *CompileResponse) error {
+	name := firstNarrow(cr.Outputs)
+	if name == "" {
+		return nil
+	}
+	_, err := sess.Peek(name)
+	return err
+}

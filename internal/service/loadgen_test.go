@@ -1,0 +1,56 @@
+package service
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLoadgenMixedWorkload(t *testing.T) {
+	srv, client := newTestServer(t, Config{Workers: 1})
+	res, err := RunLoadgen(client.BaseURL, LoadgenConfig{
+		Designs: []CompileRequest{
+			{Design: "RocketChip-1C", Scale: 0.25, Threads: 2},
+			{Design: "SmallBOOM-1C", Scale: 0.25, Threads: 2},
+		},
+		Clients:          4,
+		Duration:         400 * time.Millisecond,
+		CyclesPerSession: 40,
+		StepsPerSession:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Errorf("loadgen saw %d errors", res.Errors)
+	}
+	if res.Sessions == 0 || res.Cycles == 0 {
+		t.Fatalf("no load generated: %+v", res)
+	}
+	if res.Metrics == nil {
+		t.Fatal("no metrics snapshot collected")
+	}
+	// The acceptance bar: a mixed workload over a warm cache must hit
+	// at least half the time (in practice ≥90%: one miss per design).
+	if res.Metrics.Cache.HitRate < 0.5 {
+		t.Errorf("cache hit rate %.3f < 0.5 under mixed workload", res.Metrics.Cache.HitRate)
+	}
+	if got := srv.Cache().Len(); got != 2 {
+		t.Errorf("cache entries = %d, want 2", got)
+	}
+
+	// The table carries one row per design plus a total.
+	tbl := res.Table().String()
+	for _, want := range []string{"RocketChip-1C@2t", "SmallBOOM-1C@2t", "TOTAL", "sessions/s", "cycles/s"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("table missing %q:\n%s", want, tbl)
+		}
+	}
+	if sum := res.Summary(); !strings.Contains(sum, "hit rate") {
+		t.Errorf("summary missing hit rate:\n%s", sum)
+	}
+	// All sessions closed cleanly when their workload unit finished.
+	if live := srv.Sessions().Live(); live != 0 {
+		t.Errorf("%d sessions leaked after loadgen", live)
+	}
+}

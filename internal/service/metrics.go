@@ -1,0 +1,205 @@
+package service
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of power-of-two latency buckets. Bucket b
+// holds observations with ceil(log2(µs)) == b, so the range spans 1 µs to
+// ~2⁷⁰ µs — wide enough for any compile.
+const histBuckets = 40
+
+// Hist is a lock-free log2 latency histogram. The zero value is ready to
+// use.
+type Hist struct {
+	count   atomic.Int64
+	sumNs   atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Hist) Observe(d time.Duration) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	b := bits.Len64(uint64(us)) // 0 µs → bucket 0, 1 µs → 1, 2-3 µs → 2, ...
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.count.Add(1)
+	h.sumNs.Add(int64(d))
+	h.buckets[b].Add(1)
+}
+
+// HistSnapshot is the wire form of a histogram: summary quantiles (upper
+// bucket bounds, in milliseconds) plus the raw bucket counts.
+type HistSnapshot struct {
+	Count   int64        `json:"count"`
+	AvgMs   float64      `json:"avg_ms"`
+	P50Ms   float64      `json:"p50_ms"`
+	P90Ms   float64      `json:"p90_ms"`
+	P99Ms   float64      `json:"p99_ms"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// HistBucket is one non-empty histogram bucket.
+type HistBucket struct {
+	LeMs  float64 `json:"le_ms"` // upper bound, milliseconds
+	Count int64   `json:"count"`
+}
+
+// Snapshot renders the histogram. Quantiles are upper bucket bounds, so
+// they over-estimate by at most 2x — fine for dashboards.
+func (h *Hist) Snapshot() HistSnapshot {
+	var counts [histBuckets]int64
+	total := int64(0)
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	s := HistSnapshot{Count: total}
+	if total == 0 {
+		return s
+	}
+	s.AvgMs = float64(h.sumNs.Load()) / float64(total) / 1e6
+	q := func(p float64) float64 {
+		want := int64(p * float64(total))
+		if want < 1 {
+			want = 1
+		}
+		cum := int64(0)
+		for i := range counts {
+			cum += counts[i]
+			if cum >= want {
+				return bucketBoundMs(i)
+			}
+		}
+		return bucketBoundMs(histBuckets - 1)
+	}
+	s.P50Ms, s.P90Ms, s.P99Ms = q(0.50), q(0.90), q(0.99)
+	for i, c := range counts {
+		if c > 0 {
+			s.Buckets = append(s.Buckets, HistBucket{LeMs: bucketBoundMs(i), Count: c})
+		}
+	}
+	return s
+}
+
+// bucketBoundMs is the inclusive upper bound of bucket b in milliseconds.
+func bucketBoundMs(b int) float64 {
+	if b == 0 {
+		return 0.001
+	}
+	return float64(uint64(1)<<b-1) / 1000
+}
+
+// Metrics aggregates the server's counters. All fields are safe for
+// concurrent update; Snapshot is assembled by the Server, which folds in
+// the gauges (live sessions, cache occupancy) it owns.
+type Metrics struct {
+	start time.Time
+
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
+	cacheEvictions atomic.Int64
+
+	compileErrors   atomic.Int64
+	compileRejected atomic.Int64
+
+	sessionsCreated  atomic.Int64
+	sessionsClosed   atomic.Int64
+	sessionsReaped   atomic.Int64
+	sessionsRejected atomic.Int64
+
+	cyclesTotal atomic.Int64
+	stepsTotal  atomic.Int64
+
+	compileLat Hist
+	stepLat    Hist
+}
+
+// NewMetrics creates a metrics sink with the uptime clock started now.
+func NewMetrics() *Metrics { return &Metrics{start: time.Now()} }
+
+// CacheMetrics is the cache section of /metrics.
+type CacheMetrics struct {
+	Hits       int64   `json:"hits"`
+	Misses     int64   `json:"misses"`
+	HitRate    float64 `json:"hit_rate"`
+	Evictions  int64   `json:"evictions"`
+	Entries    int     `json:"entries"`
+	Bytes      int64   `json:"bytes"`
+	ByteBudget int64   `json:"byte_budget"`
+}
+
+// SessionMetrics is the session section of /metrics.
+type SessionMetrics struct {
+	Live     int   `json:"live"`
+	Capacity int   `json:"capacity"`
+	Created  int64 `json:"created"`
+	Closed   int64 `json:"closed"`
+	Reaped   int64 `json:"reaped"`
+	Rejected int64 `json:"rejected"`
+}
+
+// CompileMetrics is the compile section of /metrics.
+type CompileMetrics struct {
+	Errors   int64        `json:"errors"`
+	Rejected int64        `json:"rejected"`
+	Latency  HistSnapshot `json:"latency"`
+}
+
+// SimMetrics is the simulation section of /metrics.
+type SimMetrics struct {
+	CyclesTotal  int64        `json:"cycles_total"`
+	CyclesPerSec float64      `json:"cycles_per_sec"`
+	Steps        int64        `json:"steps"`
+	StepLatency  HistSnapshot `json:"step_latency"`
+}
+
+// MetricsSnapshot is the full /metrics payload.
+type MetricsSnapshot struct {
+	UptimeSec float64        `json:"uptime_sec"`
+	Cache     CacheMetrics   `json:"cache"`
+	Sessions  SessionMetrics `json:"sessions"`
+	Compile   CompileMetrics `json:"compile"`
+	Sim       SimMetrics     `json:"sim"`
+}
+
+// snapshot folds the counters into a wire snapshot; gauges (cache
+// occupancy, live sessions) are filled in by the caller.
+func (m *Metrics) snapshot() MetricsSnapshot {
+	up := time.Since(m.start).Seconds()
+	hits, misses := m.cacheHits.Load(), m.cacheMisses.Load()
+	hitRate := 0.0
+	if hits+misses > 0 {
+		hitRate = float64(hits) / float64(hits+misses)
+	}
+	cycles := m.cyclesTotal.Load()
+	cps := 0.0
+	if up > 0 {
+		cps = float64(cycles) / up
+	}
+	return MetricsSnapshot{
+		UptimeSec: up,
+		Cache: CacheMetrics{
+			Hits: hits, Misses: misses, HitRate: hitRate,
+			Evictions: m.cacheEvictions.Load(),
+		},
+		Sessions: SessionMetrics{
+			Created: m.sessionsCreated.Load(), Closed: m.sessionsClosed.Load(),
+			Reaped: m.sessionsReaped.Load(), Rejected: m.sessionsRejected.Load(),
+		},
+		Compile: CompileMetrics{
+			Errors: m.compileErrors.Load(), Rejected: m.compileRejected.Load(),
+			Latency: m.compileLat.Snapshot(),
+		},
+		Sim: SimMetrics{
+			CyclesTotal: cycles, CyclesPerSec: cps,
+			Steps: m.stepsTotal.Load(), StepLatency: m.stepLat.Snapshot(),
+		},
+	}
+}

@@ -1,0 +1,385 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Config tunes a Server. The zero value gets sensible defaults.
+type Config struct {
+	// CacheBytes is the compile cache's resident-byte budget
+	// (default 256 MiB).
+	CacheBytes int64
+	// MaxSessions bounds live sessions; creates beyond it get 429
+	// (default 1024).
+	MaxSessions int
+	// MaxCompiles bounds concurrently executing compiles; misses beyond
+	// it get 503 (default NumCPU, min 2).
+	MaxCompiles int
+	// IdleTimeout reaps sessions with no activity for this long
+	// (default 2m; negative disables reaping).
+	IdleTimeout time.Duration
+	// ReapInterval is how often the reaper scans (default IdleTimeout/4).
+	ReapInterval time.Duration
+	// MaxRunCycles caps a single step/run request (default 1e6).
+	MaxRunCycles int
+	// Workers bounds each compile's internal parallelism (0 = all cores).
+	Workers int
+	// Logger receives structured request logs (default slog.Default()).
+	Logger *slog.Logger
+}
+
+func (c *Config) defaults() {
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 256 << 20
+	}
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 1024
+	}
+	if c.MaxCompiles == 0 {
+		c.MaxCompiles = max(2, runtime.NumCPU())
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 2 * time.Minute
+	}
+	if c.ReapInterval == 0 {
+		c.ReapInterval = c.IdleTimeout / 4
+	}
+	if c.ReapInterval <= 0 {
+		c.ReapInterval = 30 * time.Second
+	}
+	if c.MaxRunCycles == 0 {
+		c.MaxRunCycles = 1_000_000
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+}
+
+// Server is the repcutd core: compile cache + session manager + HTTP
+// surface. Create with New, mount Handler, stop with Shutdown.
+type Server struct {
+	cfg      Config
+	cache    *Cache
+	sessions *SessionManager
+	m        *Metrics
+	log      *slog.Logger
+	mux      *http.ServeMux
+
+	reaperStop   chan struct{}
+	reaperDone   chan struct{}
+	shutdownOnce sync.Once
+	shutdownErr  error
+}
+
+// New builds a server and starts its idle-session reaper.
+func New(cfg Config) *Server {
+	cfg.defaults()
+	m := NewMetrics()
+	s := &Server{
+		cfg:        cfg,
+		m:          m,
+		cache:      NewCache(cfg.CacheBytes, cfg.MaxCompiles, cfg.Workers, m),
+		sessions:   NewSessionManager(cfg.MaxSessions, cfg.IdleTimeout, m),
+		log:        cfg.Logger,
+		mux:        http.NewServeMux(),
+		reaperStop: make(chan struct{}),
+		reaperDone: make(chan struct{}),
+	}
+	s.routes()
+	go s.reaper()
+	return s
+}
+
+// Cache exposes the compile cache (for tests and embedding).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Sessions exposes the session manager (for tests and embedding).
+func (s *Server) Sessions() *SessionManager { return s.sessions }
+
+// Metrics assembles the full observability snapshot.
+func (s *Server) Metrics() MetricsSnapshot {
+	snap := s.m.snapshot()
+	snap.Cache.Entries = s.cache.Len()
+	snap.Cache.Bytes = s.cache.BytesResident()
+	snap.Cache.ByteBudget = s.cache.Budget()
+	snap.Sessions.Live = s.sessions.Live()
+	snap.Sessions.Capacity = s.sessions.Capacity()
+	return snap
+}
+
+// Shutdown drains gracefully: in-flight steps finish (bounded by ctx),
+// all sessions close, and the reaper stops. The HTTP listener itself is
+// the caller's to stop (http.Server.Shutdown) — do that first so no new
+// requests arrive mid-drain. Idempotent; repeat calls return the first
+// drain's result.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.shutdownOnce.Do(func() {
+		close(s.reaperStop)
+		<-s.reaperDone
+		s.shutdownErr = s.sessions.Drain(ctx)
+	})
+	return s.shutdownErr
+}
+
+// reaper periodically closes idle sessions.
+func (s *Server) reaper() {
+	defer close(s.reaperDone)
+	t := time.NewTicker(s.cfg.ReapInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.reaperStop:
+			return
+		case now := <-t.C:
+			if n := s.sessions.Reap(now); n > 0 {
+				s.log.Info("reaped idle sessions", "count", n)
+			}
+		}
+	}
+}
+
+// routes mounts the API.
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /v1/compile", s.handleCompile)
+	s.mux.HandleFunc("POST /v1/sessions", s.handleCreateSession)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/poke", s.handlePoke)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/peek", s.handlePeek)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/step", s.handleStep)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/run", s.handleStep)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/close", s.handleClose)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleClose)
+}
+
+// Handler returns the full HTTP surface wrapped in request logging.
+func (s *Server) Handler() http.Handler { return s.logRequests(s.mux) }
+
+// statusWriter records the response status for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += n
+	return n, err
+}
+
+// logRequests emits one structured log line per request.
+func (s *Server) logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		s.log.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"dur_ms", float64(time.Since(start).Microseconds())/1000,
+			"bytes", sw.bytes,
+		)
+	})
+}
+
+// writeJSON writes a JSON body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeErr maps service errors to HTTP statuses: overload conditions get
+// 429/503 (the admission-control contract), lookups 404, everything else
+// 400 — compile and simulation failures are caused by request content.
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, ErrSessionLimit):
+		status = http.StatusTooManyRequests
+	case errors.Is(err, ErrCompileBusy), errors.Is(err, ErrDraining):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, ErrNoSession), errors.Is(err, ErrSessionClosed):
+		status = http.StatusNotFound
+	}
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+// decode reads a bounded JSON request body.
+func decode(r *http.Request, v any) error {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+	if err != nil {
+		return fmt.Errorf("service: read body: %w", err)
+	}
+	if len(body) == 0 {
+		return nil // empty body = all defaults
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("service: bad request body: %w", err)
+	}
+	return nil
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.sessions.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"uptime_sec": time.Since(s.m.start).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	var req CompileRequest
+	if err := decode(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	e, hit, err := s.cache.GetOrCompile(req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, CompileResponse{
+		Key:          e.Key,
+		CacheHit:     hit,
+		CompileMs:    float64(e.CompileTime.Microseconds()) / 1000,
+		DesignReport: e.Report(),
+	})
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	var req CreateSessionRequest
+	if err := decode(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	e, ok := s.cache.Lookup(req.Key)
+	if !ok {
+		writeJSON(w, http.StatusNotFound,
+			ErrorResponse{Error: "service: unknown key (POST /v1/compile first)"})
+		return
+	}
+	sess, err := s.sessions.Create(e)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SessionResponse{
+		SessionID: sess.ID, Design: e.Name, Cycle: 0,
+	})
+}
+
+func (s *Server) handlePoke(w http.ResponseWriter, r *http.Request) {
+	var req PokeRequest
+	if err := decode(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	err := s.sessions.Do(r.PathValue("id"), func(sess *Session) error {
+		return sess.Sim.PokeInput(req.Name, req.Value)
+	})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ValueResponse{Name: req.Name, Value: req.Value})
+}
+
+func (s *Server) handlePeek(w http.ResponseWriter, r *http.Request) {
+	var req PeekRequest
+	if err := decode(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	var v uint64
+	err := s.sessions.Do(r.PathValue("id"), func(sess *Session) error {
+		if req.Reg {
+			bv, err := sess.Sim.PeekReg(req.Name)
+			if err != nil {
+				return err
+			}
+			if bv.Width > 64 {
+				return fmt.Errorf("service: register %q is %d bits wide (>64)", req.Name, bv.Width)
+			}
+			v = bv.Uint64()
+			return nil
+		}
+		var err error
+		v, err = sess.Sim.PeekOutput(req.Name)
+		return err
+	})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ValueResponse{Name: req.Name, Value: v})
+}
+
+func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
+	var req StepRequest
+	if err := decode(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	n := req.Cycles
+	if n <= 0 {
+		n = 1
+	}
+	if n > s.cfg.MaxRunCycles {
+		writeErr(w, fmt.Errorf("service: cycles=%d exceeds the per-request cycle cap %d", n, s.cfg.MaxRunCycles))
+		return
+	}
+	var cycles uint64
+	err := s.sessions.Do(r.PathValue("id"), func(sess *Session) error {
+		start := time.Now()
+		sess.Sim.Run(n)
+		s.m.stepLat.Observe(time.Since(start))
+		s.m.stepsTotal.Add(1)
+		s.m.cyclesTotal.Add(int64(n))
+		cycles = sess.Sim.Cycles()
+		return nil
+	})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, StepResponse{Cycle: cycles})
+}
+
+func (s *Server) handleClose(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.sessions.Close(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, StepResponse{Cycle: sess.Sim.Cycles()})
+}

@@ -1,0 +1,219 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	repcut "repro"
+	"repro/internal/par"
+)
+
+// Session lifecycle errors, mapped to HTTP statuses by the server.
+var (
+	ErrSessionLimit  = errors.New("service: session limit reached")
+	ErrDraining      = errors.New("service: server is draining")
+	ErrNoSession     = errors.New("service: no such session")
+	ErrSessionClosed = errors.New("service: session is closed")
+)
+
+// Session is one stateful simulation: a private sim.Engine over a shared
+// cached program. Operations on a session are serialized by its mutex;
+// different sessions run fully concurrently (engines share only the
+// read-only Program).
+type Session struct {
+	ID  string
+	Key string
+	Sim *repcut.Simulator
+
+	mu       sync.Mutex
+	lastUsed atomic.Int64 // unix nanos
+	closed   bool
+}
+
+// touch records activity for the idle reaper.
+func (s *Session) touch(now time.Time) { s.lastUsed.Store(now.UnixNano()) }
+
+// SessionManager owns the live-session table: bounded admission
+// (par.Sem), idle reaping, and a graceful drain that lets in-flight
+// operations finish before the last session is torn down.
+type SessionManager struct {
+	sem  *par.Sem
+	idle time.Duration
+	m    *Metrics
+
+	mu   sync.Mutex
+	byID map[string]*Session
+	seq  atomic.Int64
+
+	draining atomic.Bool
+	ops      sync.WaitGroup
+}
+
+// NewSessionManager creates a manager admitting at most maxLive concurrent
+// sessions and reaping sessions idle longer than idleTimeout (0 disables
+// reaping).
+func NewSessionManager(maxLive int, idleTimeout time.Duration, m *Metrics) *SessionManager {
+	if m == nil {
+		m = NewMetrics()
+	}
+	return &SessionManager{
+		sem:  par.NewSem(maxLive),
+		idle: idleTimeout,
+		m:    m,
+		byID: make(map[string]*Session),
+	}
+}
+
+// Live returns the number of live sessions.
+func (sm *SessionManager) Live() int {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	return len(sm.byID)
+}
+
+// Capacity returns the admission limit.
+func (sm *SessionManager) Capacity() int { return sm.sem.Cap() }
+
+// Create opens a session over a cached entry. ErrSessionLimit when the
+// admission bound is hit (HTTP 429), ErrDraining during shutdown (503).
+func (sm *SessionManager) Create(e *Entry) (*Session, error) {
+	if sm.draining.Load() {
+		return nil, ErrDraining
+	}
+	if !sm.sem.TryAcquire() {
+		sm.m.sessionsRejected.Add(1)
+		return nil, ErrSessionLimit
+	}
+	s := &Session{
+		ID:  fmt.Sprintf("s%08x", sm.seq.Add(1)),
+		Key: e.Key,
+		Sim: e.Compiled.NewSimulator(),
+	}
+	s.touch(time.Now())
+	sm.mu.Lock()
+	if sm.draining.Load() { // re-check under the table lock
+		sm.mu.Unlock()
+		sm.sem.Release()
+		return nil, ErrDraining
+	}
+	sm.byID[s.ID] = s
+	sm.mu.Unlock()
+	sm.m.sessionsCreated.Add(1)
+	return s, nil
+}
+
+// Do runs fn against a live session with the session mutex held, keeping
+// the operation visible to graceful drain. The idle clock is touched on
+// entry and exit, so a long Run(n) doesn't get its session reaped from
+// under it.
+func (sm *SessionManager) Do(id string, fn func(*Session) error) error {
+	sm.mu.Lock()
+	if sm.draining.Load() {
+		sm.mu.Unlock()
+		return ErrDraining
+	}
+	s, ok := sm.byID[id]
+	if !ok {
+		sm.mu.Unlock()
+		return ErrNoSession
+	}
+	sm.ops.Add(1)
+	sm.mu.Unlock()
+	defer sm.ops.Done()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrSessionClosed
+	}
+	s.touch(time.Now())
+	err := fn(s)
+	s.touch(time.Now())
+	return err
+}
+
+// Close tears down one session. Idempotent at the HTTP layer: a second
+// close reports ErrNoSession.
+func (sm *SessionManager) Close(id string) (*Session, error) {
+	sm.mu.Lock()
+	s, ok := sm.byID[id]
+	if ok {
+		delete(sm.byID, id)
+	}
+	sm.mu.Unlock()
+	if !ok {
+		return nil, ErrNoSession
+	}
+	sm.finish(s)
+	sm.m.sessionsClosed.Add(1)
+	return s, nil
+}
+
+// finish marks a removed session closed and returns its admission slot.
+// It waits for any in-flight operation by taking the session mutex.
+func (sm *SessionManager) finish(s *Session) {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		sm.sem.Release()
+	}
+	s.mu.Unlock()
+}
+
+// Reap closes every session idle longer than the idle timeout and returns
+// how many it closed. The server's reaper loop calls it periodically;
+// tests call it directly with a synthetic clock.
+func (sm *SessionManager) Reap(now time.Time) int {
+	if sm.idle <= 0 {
+		return 0
+	}
+	cutoff := now.Add(-sm.idle).UnixNano()
+	sm.mu.Lock()
+	var stale []*Session
+	for id, s := range sm.byID {
+		if s.lastUsed.Load() < cutoff {
+			stale = append(stale, s)
+			delete(sm.byID, id)
+		}
+	}
+	sm.mu.Unlock()
+	for _, s := range stale {
+		sm.finish(s)
+		sm.m.sessionsReaped.Add(1)
+	}
+	return len(stale)
+}
+
+// Drain stops admitting work and waits — up to the context deadline — for
+// in-flight operations to finish, then closes every remaining session.
+// Steps already executing complete; new creates and ops get ErrDraining.
+func (sm *SessionManager) Drain(ctx context.Context) error {
+	sm.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		sm.ops.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	sm.mu.Lock()
+	rest := make([]*Session, 0, len(sm.byID))
+	for id, s := range sm.byID {
+		rest = append(rest, s)
+		delete(sm.byID, id)
+	}
+	sm.mu.Unlock()
+	for _, s := range rest {
+		sm.finish(s)
+		sm.m.sessionsClosed.Add(1)
+	}
+	return err
+}

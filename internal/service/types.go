@@ -1,0 +1,237 @@
+// Package service turns the Design→Partition→Compile→Simulate pipeline
+// into a long-running concurrent server: a content-addressed compile cache
+// (LRU by resident program bytes, singleflight dedup), a session manager
+// for stateful simulations with admission control and idle reaping, an
+// observability surface (/healthz, /metrics, structured request logs), a
+// Go client, and a load generator. Everything is pure stdlib net/http +
+// encoding/json.
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	repcut "repro"
+	"repro/internal/cgraph"
+	"repro/internal/sim"
+)
+
+// CompileRequest names a design and the partition options to compile it
+// with. Exactly one of Design (a built-in name, e.g. "SmallBOOM-2C") or
+// Source (textual IR) must be set. The same struct parameterizes the CLI,
+// the HTTP API, and the load generator.
+type CompileRequest struct {
+	Design string  `json:"design,omitempty"`
+	Scale  float64 `json:"scale,omitempty"`
+	Source string  `json:"source,omitempty"`
+
+	Threads    int     `json:"threads,omitempty"`
+	Epsilon    float64 `json:"epsilon,omitempty"`
+	Seed       int64   `json:"seed,omitempty"`
+	Unweighted bool    `json:"unweighted,omitempty"`
+	OptLevel   int     `json:"opt_level,omitempty"`
+	Verify     bool    `json:"verify,omitempty"`
+}
+
+// normalize applies the same defaults repcut.Options does, so requests
+// that spell a default explicitly and requests that omit it hash alike.
+func (r CompileRequest) normalize() CompileRequest {
+	if r.Threads == 0 {
+		r.Threads = 1
+	}
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+	if r.OptLevel == 0 {
+		r.OptLevel = 2
+	}
+	if r.Scale == 0 {
+		r.Scale = 1
+	}
+	return r
+}
+
+// Options converts the request to partition options. Workers is a server
+// policy, not part of the content address (output is bit-identical for
+// every worker count), so it is supplied by the caller.
+func (r CompileRequest) Options(workers int) repcut.Options {
+	n := r.normalize()
+	return repcut.Options{
+		Threads: n.Threads, Epsilon: n.Epsilon, Seed: n.Seed,
+		Unweighted: n.Unweighted, OptLevel: n.OptLevel, Verify: n.Verify,
+		Workers: workers,
+	}
+}
+
+// Key is the content address of the compile result: a SHA-256 over the
+// design content (built-in name + scale, or the full IR source) and every
+// partition option that can change the compiled program. Workers is
+// deliberately excluded — compilation is bit-identical across worker
+// counts — so the same design compiled on differently-sized servers
+// shares one address.
+func (r CompileRequest) Key() string {
+	n := r.normalize()
+	h := sha256.New()
+	if n.Source != "" {
+		fmt.Fprintf(h, "source\x00%d\x00%s\x00", len(n.Source), n.Source)
+	} else {
+		fmt.Fprintf(h, "builtin\x00%s\x00%g\x00", n.Design, n.Scale)
+	}
+	fmt.Fprintf(h, "k=%d e=%g s=%d uw=%t opt=%d",
+		n.Threads, n.Epsilon, n.Seed, n.Unweighted, n.OptLevel)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// DesignStats is the wire form of cgraph.Stats (Table 1 statistics).
+type DesignStats struct {
+	IRNodes      int     `json:"ir_nodes"`
+	Edges        int     `json:"edges"`
+	SinkVertices int     `json:"sink_vertices"`
+	SinkPct      float64 `json:"sink_pct"`
+	RegWrites    int     `json:"reg_writes"`
+	MemWrites    int     `json:"mem_writes"`
+}
+
+// StatsJSON converts graph statistics to their wire form.
+func StatsJSON(s cgraph.Stats) DesignStats {
+	return DesignStats{
+		IRNodes: s.IRNodes, Edges: s.Edges, SinkVertices: s.SinkVtx,
+		SinkPct: s.SinkPct, RegWrites: s.RegWrites, MemWrites: s.MemWrites,
+	}
+}
+
+// PartitionSummary is the wire form of repcut.PartitionReport.
+type PartitionSummary struct {
+	Threads            int     `json:"threads"`
+	ReplicationCost    float64 `json:"replication_cost"`
+	ImbalanceExcl      float64 `json:"imbalance_excl"`
+	ImbalanceIncl      float64 `json:"imbalance_incl"`
+	ReplicatedVertices int     `json:"replicated_vertices"`
+	PartWeights        []int64 `json:"part_weights,omitempty"`
+}
+
+// PartitionJSON converts a partition report to its wire form (nil for
+// serial compilations).
+func PartitionJSON(r *repcut.PartitionReport) *PartitionSummary {
+	if r == nil {
+		return nil
+	}
+	return &PartitionSummary{
+		Threads: r.Threads, ReplicationCost: r.ReplicationCost,
+		ImbalanceExcl: r.ImbalanceExcl, ImbalanceIncl: r.ImbalanceIncl,
+		ReplicatedVertices: r.ReplicatedVertices, PartWeights: r.PartWeights,
+	}
+}
+
+// ProgramSummary describes a compiled program without shipping its code.
+type ProgramSummary struct {
+	Design      string `json:"design"`
+	Threads     int    `json:"threads"`
+	Instrs      int    `json:"instrs"`
+	MemBytes    int64  `json:"mem_bytes"`
+	StateBytes  int64  `json:"state_bytes"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// ProgramJSON summarizes a compiled program for the wire.
+func ProgramJSON(p *sim.Program) ProgramSummary {
+	return ProgramSummary{
+		Design: p.Design, Threads: p.NumThreads, Instrs: p.TotalInstrs(),
+		MemBytes: p.MemBytes(), StateBytes: p.StateBytes(),
+		Fingerprint: fmt.Sprintf("%016x", p.Fingerprint()),
+	}
+}
+
+// PortInfo names one top-level port.
+type PortInfo struct {
+	Name  string `json:"name"`
+	Width int    `json:"width"`
+	Wide  bool   `json:"wide,omitempty"`
+}
+
+// PortsJSON converts a slot table to its wire form.
+func PortsJSON(slots []sim.PortSlot) []PortInfo {
+	out := make([]PortInfo, len(slots))
+	for i, s := range slots {
+		out[i] = PortInfo{Name: s.Name, Width: s.Width, Wide: s.Wide}
+	}
+	return out
+}
+
+// DesignReport is the machine-readable report shared by `repcut -json`
+// and the service: the CLI emits exactly this struct, the server embeds
+// it in CompileResponse, so the two can never drift.
+type DesignReport struct {
+	Design    string            `json:"design"`
+	Stats     DesignStats       `json:"stats"`
+	Partition *PartitionSummary `json:"partition,omitempty"`
+	Program   ProgramSummary    `json:"program"`
+	Inputs    []PortInfo        `json:"inputs"`
+	Outputs   []PortInfo        `json:"outputs"`
+}
+
+// ReportFor assembles the shared report for a compiled design.
+func ReportFor(name string, stats cgraph.Stats, c *repcut.Compiled) DesignReport {
+	return DesignReport{
+		Design:    name,
+		Stats:     StatsJSON(stats),
+		Partition: PartitionJSON(c.Report),
+		Program:   ProgramJSON(c.Program),
+		Inputs:    PortsJSON(c.Program.Inputs),
+		Outputs:   PortsJSON(c.Program.Outputs),
+	}
+}
+
+// CompileResponse is returned by POST /v1/compile.
+type CompileResponse struct {
+	Key          string  `json:"key"`
+	CacheHit     bool    `json:"cache_hit"`
+	CompileMs    float64 `json:"compile_ms"`
+	DesignReport         // embedded: same shape as `repcut -json`
+}
+
+// CreateSessionRequest opens a stateful simulation over a cached program.
+type CreateSessionRequest struct {
+	Key string `json:"key"`
+}
+
+// SessionResponse describes a session.
+type SessionResponse struct {
+	SessionID string `json:"session_id"`
+	Design    string `json:"design"`
+	Cycle     uint64 `json:"cycle"`
+}
+
+// PokeRequest sets a narrow (≤64-bit) input port.
+type PokeRequest struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// PeekRequest reads a narrow output port (or, with Reg, a register).
+type PeekRequest struct {
+	Name string `json:"name"`
+	Reg  bool   `json:"reg,omitempty"`
+}
+
+// ValueResponse carries one peeked value.
+type ValueResponse struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// StepRequest advances the simulation by Cycles cycles (0 means 1).
+type StepRequest struct {
+	Cycles int `json:"cycles,omitempty"`
+}
+
+// StepResponse reports the session's current cycle counter.
+type StepResponse struct {
+	Cycle uint64 `json:"cycle"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

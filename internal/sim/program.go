@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"unsafe"
 
 	"repro/internal/bitvec"
 	"repro/internal/costmodel"
@@ -182,6 +183,88 @@ func (p *Program) String() string {
 	return fmt.Sprintf("program %s: %d threads, %d instrs, %d global words (%d wide), %d imms (%d wide), %d mems",
 		p.Design, p.NumThreads, p.TotalInstrs(), p.GlobalWords, p.GlobalWide,
 		len(p.Imms), len(p.WideImms), len(p.Mems))
+}
+
+// MemBytes estimates the resident heap footprint of the compiled program:
+// instruction streams, constant pools, wide-node descriptors, and the slot
+// tables. The compile cache (internal/service) uses it as the LRU charge
+// for an entry, so it intentionally counts only what the *program* pins —
+// per-engine state (globalState, threadCtx) is charged to sessions, not to
+// the cache.
+func (p *Program) MemBytes() int64 {
+	const (
+		instrSize    = int64(unsafe.Sizeof(Instr{}))
+		wideNodeSize = int64(unsafe.Sizeof(WideNode{}))
+		operandSize  = int64(unsafe.Sizeof(WideOperand{}))
+		portSize     = int64(unsafe.Sizeof(PortSlot{}))
+		regSize      = int64(unsafe.Sizeof(RegSlot{}))
+		threadSize   = int64(unsafe.Sizeof(ThreadCode{}))
+	)
+	n := int64(unsafe.Sizeof(Program{}))
+	for t := range p.Threads {
+		th := &p.Threads[t]
+		n += threadSize
+		n += int64(len(th.Code)) * instrSize
+		n += int64(len(th.WideShadowSlots)) * 4
+		n += int64(len(th.WideShadowTypes)) * int64(unsafe.Sizeof(firrtl.Type{}))
+		n += int64(len(th.Marks)) * int64(unsafe.Sizeof(int(0)))
+	}
+	n += int64(len(p.Imms)) * 8
+	for i := range p.WideImms {
+		n += int64(unsafe.Sizeof(bitvec.Vec{})) + int64(len(p.WideImms[i].Words))*8
+	}
+	for i := range p.Mems {
+		n += int64(unsafe.Sizeof(MemSpec{})) + int64(len(p.Mems[i].Name))
+	}
+	for i := range p.WideNodes {
+		wn := &p.WideNodes[i]
+		n += wideNodeSize
+		n += int64(len(wn.Args)) * operandSize
+		n += int64(len(wn.Consts)) * int64(unsafe.Sizeof(int(0)))
+	}
+	for _, ps := range [2][]PortSlot{p.Inputs, p.Outputs} {
+		for i := range ps {
+			n += portSize + int64(len(ps[i].Name))
+		}
+	}
+	for i := range p.Regs {
+		r := &p.Regs[i]
+		n += regSize + int64(len(r.Name)) + int64(len(r.Init.Words))*8
+	}
+	n += int64(len(p.WideWidths)) * int64(unsafe.Sizeof(int(0)))
+	for name := range p.inputByName {
+		n += int64(len(name)) + 16
+	}
+	for name := range p.outputByName {
+		n += int64(len(name)) + 16
+	}
+	for name := range p.regByName {
+		n += int64(len(name)) + 16
+	}
+	return n
+}
+
+// StateBytes estimates the per-engine mutable state footprint (global
+// words, wide values, memories, and thread-private temps/shadows) — what
+// one live session adds on top of the shared Program.
+func (p *Program) StateBytes() int64 {
+	n := int64(p.GlobalWords) * 8
+	for _, w := range p.WideWidths {
+		n += int64(bitvec.WordsFor(w)) * 8
+	}
+	for i := range p.Mems {
+		words := int64(bitvec.WordsFor(p.Mems[i].Width))
+		if !p.Mems[i].Wide {
+			words = 1
+		}
+		n += int64(p.Mems[i].Depth) * words * 8
+	}
+	for t := range p.Threads {
+		th := &p.Threads[t]
+		n += int64(th.NumTemps)*8 + int64(th.ShadowWords)*8
+		n += int64(th.NumWideTemps+len(th.WideShadowSlots)) * 16
+	}
+	return n
 }
 
 // Fingerprint hashes every observable part of the compiled program (code,

@@ -171,63 +171,72 @@ func (d *Design) CompileSerial(optLevel int) (*Simulator, error) {
 	return &Simulator{Engine: sim.NewEngine(p)}, nil
 }
 
-// compileSerialWorkers is CompileSerial with an explicit compile worker
-// bound (a one-partition compile has no fan-out, but the knob keeps the
-// pipeline uniform).
-func (d *Design) compileSerialWorkers(optLevel, workers int) (*Simulator, error) {
-	p, err := sim.Compile(d.Graph, sim.SerialSpec(d.Graph), sim.Config{OptLevel: optLevel, Workers: workers})
-	if err != nil {
-		return nil, err
-	}
-	return &Simulator{Engine: sim.NewEngine(p)}, nil
+// Compiled is the immutable result of one partition+compile run: the
+// program (shareable by any number of sim.Engine instances), the partition
+// report, and the optional verification report. It is the unit the serving
+// layer (internal/service) caches by content address; NewSimulator attaches
+// fresh per-session state to it.
+type Compiled struct {
+	Program      *sim.Program
+	Report       *PartitionReport
+	Verification *verify.Report
+}
+
+// NewSimulator creates an independent simulator over a compiled program.
+// Engines share the (read-only) program but nothing else, so any number of
+// concurrent sessions can run off one Compiled.
+func (c *Compiled) NewSimulator() *Simulator {
+	return &Simulator{Engine: sim.NewEngine(c.Program), Report: c.Report, Verification: c.Verification}
 }
 
 // CompileParallel partitions the design and builds the RepCut parallel
 // simulator: Options.Threads goroutines executing independent partitions
 // with two barriers per simulated cycle.
 func (d *Design) CompileParallel(opt Options) (*Simulator, error) {
+	c, err := d.CompileProgram(opt)
+	if err != nil {
+		return nil, err
+	}
+	return c.NewSimulator(), nil
+}
+
+// CompileProgram is the compile-for-cache entry point: it runs the full
+// partition+replicate+codegen pipeline but stops short of allocating engine
+// state, returning the immutable Compiled artifact. CompileParallel is
+// CompileProgram + NewSimulator.
+func (d *Design) CompileProgram(opt Options) (*Compiled, error) {
 	opt.defaults()
 	if opt.Threads < 1 {
 		return nil, fmt.Errorf("repcut: Threads must be >= 1")
 	}
+	var (
+		specs []sim.PartSpec
+		rep   *PartitionReport
+	)
 	if opt.Threads == 1 {
-		s, err := d.compileSerialWorkers(opt.OptLevel, opt.Workers)
+		specs = sim.SerialSpec(d.Graph)
+		rep = &PartitionReport{Threads: 1}
+	} else {
+		res, r, err := d.Partition(opt)
 		if err != nil {
 			return nil, err
 		}
-		s.Report = &PartitionReport{Threads: 1}
-		if opt.Verify {
-			if err := d.attachVerification(s, sim.SerialSpec(d.Graph)); err != nil {
-				return nil, err
-			}
+		specs = make([]sim.PartSpec, len(res.Parts))
+		for i := range res.Parts {
+			specs[i] = sim.PartSpec{Vertices: res.Parts[i].Vertices, Sinks: res.Parts[i].Sinks}
 		}
-		return s, nil
-	}
-	res, rep, err := d.Partition(opt)
-	if err != nil {
-		return nil, err
-	}
-	specs := make([]sim.PartSpec, len(res.Parts))
-	for i := range res.Parts {
-		specs[i] = sim.PartSpec{Vertices: res.Parts[i].Vertices, Sinks: res.Parts[i].Sinks}
+		rep = r
 	}
 	p, err := sim.Compile(d.Graph, specs, sim.Config{OptLevel: opt.OptLevel, Workers: opt.Workers})
 	if err != nil {
 		return nil, err
 	}
-	s := &Simulator{Engine: sim.NewEngine(p), Report: rep}
+	c := &Compiled{Program: p, Report: rep}
 	if opt.Verify {
-		if err := d.attachVerification(s, specs); err != nil {
+		c.Verification = verify.Program(p, verify.Options{Graph: d.Graph, Parts: specs})
+		if err := c.Verification.Err(); err != nil {
 			return nil, err
 		}
 	}
-	return s, nil
-}
-
-// attachVerification runs the static soundness verifier over the compiled
-// program and attaches the report; Error-severity diagnostics fail the
-// compilation.
-func (d *Design) attachVerification(s *Simulator, parts []sim.PartSpec) error {
-	s.Verification = verify.Program(s.Program(), verify.Options{Graph: d.Graph, Parts: parts})
-	return s.Verification.Err()
+	return c, nil
 }
