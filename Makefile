@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint check bench results serve loadgen
+.PHONY: build test lint check bench bench-interp results serve loadgen
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,12 @@ check: lint
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
+
+# Regenerate the linked-fast-path measurement: real interp-vs-linked
+# cycles/sec per design, written to results/interp_fastpath.{txt,csv} and
+# machine-readable results/BENCH_interp.json.
+bench-interp:
+	$(GO) run ./cmd/benchall -interp-only -out results
 
 results:
 	$(GO) run ./cmd/benchall -out results

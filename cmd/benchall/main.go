@@ -37,6 +37,7 @@ func main() {
 		check   = flag.Bool("check", true, "run a real-engine equivalence spot check first")
 		doVerif = flag.Bool("verify", true, "statically verify every compiled program (race freedom, replication closure, schedule)")
 		svcDur  = flag.Duration("service-duration", 2*time.Second, "length of the repcutd service throughput run (0 disables)")
+		interpO = flag.Bool("interp-only", false, "run only the interp-vs-linked fast path measurement and exit")
 		workers = flag.Int("workers", 0, "worker count for partitioning+compilation (0 = all cores, 1 = serial; results are identical)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -69,6 +70,11 @@ func main() {
 		if err := os.WriteFile(filepath.Join(*outDir, name+".csv"), []byte(t.CSV()), 0o644); err != nil {
 			fatal(err)
 		}
+	}
+
+	if *interpO {
+		interpFastpath(s, *outDir, write)
+		return
 	}
 
 	if *check {
@@ -131,6 +137,8 @@ func main() {
 	step("Table 3 (performance counters)")
 	write("table3", s.Table3())
 
+	interpFastpath(s, *outDir, write)
+
 	if *svcDur > 0 {
 		step("repcutd service throughput")
 		t, summary, err := serviceThroughput(*svcDur, *workers)
@@ -145,6 +153,24 @@ func main() {
 			if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
 				fatal(err)
 			}
+		}
+	}
+}
+
+// interpFastpath measures real interp-vs-linked throughput on this host and
+// writes interp_fastpath.{txt,csv} plus the machine-readable
+// BENCH_interp.json (one record per design × engine × thread count).
+func interpFastpath(s *experiments.Suite, outDir string, write func(string, *report.Table)) {
+	step("linked fast path (real interp vs linked cycles/sec)")
+	points := s.InterpFastpath([]int{1, 2}, 2000)
+	write("interp_fastpath", experiments.FastpathTable(points))
+	data, err := experiments.FastpathJSON(points)
+	if err != nil {
+		fatal(err)
+	}
+	if outDir != "" {
+		if err := os.WriteFile(filepath.Join(outDir, "BENCH_interp.json"), data, 0o644); err != nil {
+			fatal(err)
 		}
 	}
 }

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"encoding/json"
+	"time"
+
+	"repro/internal/designs"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+// This file measures the linked fast path (sim/link.go + sim/fuse.go) on the
+// real host: actual wall-clock cycles/sec of the closure-based interpreter
+// versus the resolved+fused streams, per design and engine thread count.
+// Unlike the modeled figures, these are honest end-to-end numbers on
+// whatever machine runs them, reported next to each program's fusion rate.
+
+// FastpathPoint is one design × thread-count measurement of both engines.
+type FastpathPoint struct {
+	Design     string  `json:"design"`
+	Threads    int     `json:"workers"` // engine threads driving the measurement
+	InterpCPS  float64 `json:"interp_cycles_per_sec"`
+	LinkedCPS  float64 `json:"linked_cycles_per_sec"`
+	Speedup    float64 `json:"speedup"`
+	FusionRate float64 `json:"fusion_rate"`
+}
+
+// measureCPS times one engine for the given cycle count, after a short
+// warm-up so one-time lazy setup is off the clock.
+func measureCPS(e *sim.Engine, cycles int) float64 {
+	e.Run(cycles / 10)
+	start := time.Now()
+	e.Run(cycles)
+	return float64(cycles) / time.Since(start).Seconds()
+}
+
+// InterpFastpath measures interpreter-vs-linked throughput for every suite
+// design at each thread count in ks (values above 1 exercise the barrier
+// path; both engines use the same compiled program).
+func (s *Suite) InterpFastpath(ks []int, cycles int) []FastpathPoint {
+	var out []FastpathPoint
+	for _, cfg := range s.Designs {
+		for _, k := range ks {
+			out = append(out, s.fastpathPoint(cfg, k, cycles))
+		}
+	}
+	return out
+}
+
+func (s *Suite) fastpathPoint(cfg designs.Config, k, cycles int) FastpathPoint {
+	var p *sim.Program
+	if k <= 1 {
+		p = s.SerialProgram(cfg, 2)
+	} else {
+		p = s.Program(cfg, k, false, 2)
+	}
+	interp := measureCPS(sim.NewInterpEngine(p), cycles)
+	linked := measureCPS(sim.NewEngine(p), cycles)
+	return FastpathPoint{
+		Design: cfg.Name(), Threads: k,
+		InterpCPS: interp, LinkedCPS: linked,
+		Speedup:    linked / interp,
+		FusionRate: p.Linked().Stats.FusionRate(),
+	}
+}
+
+// FastpathTable renders the measurements for interp_fastpath.{txt,csv}.
+func FastpathTable(points []FastpathPoint) *report.Table {
+	t := report.NewTable("Linked fast path: real cycles/sec, interpreter vs resolved+fused streams",
+		"Design", "Threads", "Interp c/s", "Linked c/s", "Speedup", "Fusion rate")
+	for _, p := range points {
+		t.Row(p.Design, p.Threads,
+			report.F1(p.InterpCPS), report.F1(p.LinkedCPS),
+			report.F2(p.Speedup)+"x", report.Pct(p.FusionRate))
+	}
+	return t
+}
+
+// FastpathJSON renders the measurements as the machine-readable
+// BENCH_interp.json: one record per design × engine × thread count.
+func FastpathJSON(points []FastpathPoint) ([]byte, error) {
+	type rec struct {
+		Design       string  `json:"design"`
+		Workers      int     `json:"workers"`
+		Engine       string  `json:"engine"`
+		CyclesPerSec float64 `json:"cycles_per_sec"`
+		FusionRate   float64 `json:"fusion_rate"`
+	}
+	var recs []rec
+	for _, p := range points {
+		recs = append(recs,
+			rec{p.Design, p.Threads, "interp", p.InterpCPS, 0},
+			rec{p.Design, p.Threads, "linked", p.LinkedCPS, p.FusionRate})
+	}
+	return json.MarshalIndent(recs, "", "  ")
+}

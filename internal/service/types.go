@@ -126,18 +126,25 @@ func PartitionJSON(r *repcut.PartitionReport) *PartitionSummary {
 
 // ProgramSummary describes a compiled program without shipping its code.
 type ProgramSummary struct {
-	Design      string `json:"design"`
-	Threads     int    `json:"threads"`
-	Instrs      int    `json:"instrs"`
-	MemBytes    int64  `json:"mem_bytes"`
-	StateBytes  int64  `json:"state_bytes"`
-	Fingerprint string `json:"fingerprint"`
+	Design  string `json:"design"`
+	Threads int    `json:"threads"`
+	Instrs  int    `json:"instrs"`
+	// LinkedInstrs/FusionRate describe the linked execution form engines
+	// actually run: the fused stream length and the fraction of interpreter
+	// instructions absorbed by superinstruction fusion.
+	LinkedInstrs int     `json:"linked_instrs"`
+	FusionRate   float64 `json:"fusion_rate"`
+	MemBytes     int64   `json:"mem_bytes"`
+	StateBytes   int64   `json:"state_bytes"`
+	Fingerprint  string  `json:"fingerprint"`
 }
 
 // ProgramJSON summarizes a compiled program for the wire.
 func ProgramJSON(p *sim.Program) ProgramSummary {
+	lp := p.Linked()
 	return ProgramSummary{
 		Design: p.Design, Threads: p.NumThreads, Instrs: p.TotalInstrs(),
+		LinkedInstrs: lp.Stats.Linked, FusionRate: lp.Stats.FusionRate(),
 		MemBytes: p.MemBytes(), StateBytes: p.StateBytes(),
 		Fingerprint: fmt.Sprintf("%016x", p.Fingerprint()),
 	}

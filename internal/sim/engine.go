@@ -21,18 +21,71 @@ type Engine struct {
 	gs   *globalState
 	tcs  []*threadCtx
 
+	// lp/state are set when the engine runs the linked fast path (link.go):
+	// state is the unified [globals|imms|frames] word array, gs.words and
+	// each threadCtx's temps/shadow alias slices of it, and Run dispatches
+	// evalLinked instead of evalBlock. A nil lp is the reference
+	// interpreter (NewInterpEngine), kept for cross-checking.
+	lp    *LinkedProgram
+	state []uint64
+
 	cycles        uint64
 	instrsRetired uint64
 }
 
-// NewEngine creates an engine and resets it to power-on state.
+// NewEngine creates an engine over the program's linked execution form and
+// resets it to power-on state. The linked form is built once per Program
+// and shared across engines.
 func NewEngine(p *Program) *Engine {
-	e := &Engine{prog: p, gs: newGlobalState(p)}
-	for t := range p.Threads {
-		e.tcs = append(e.tcs, newThreadCtx(&p.Threads[t]))
+	return newEngineMode(p, p.Linked())
+}
+
+// NewInterpEngine creates an engine that runs the original closure-based
+// interpreter (evalBlock). It is the reference semantics the linked fast
+// path is cross-checked against; production callers want NewEngine.
+func NewInterpEngine(p *Program) *Engine {
+	return newEngineMode(p, nil)
+}
+
+func newEngineMode(p *Program, lp *LinkedProgram) *Engine {
+	e := &Engine{prog: p, lp: lp}
+	if lp != nil {
+		e.state = make([]uint64, lp.StateWords)
+		copy(e.state[lp.ImmOff:], p.Imms)
+		e.gs = newGlobalStateWords(p, e.state[:p.GlobalWords:p.GlobalWords])
+		for t := range p.Threads {
+			th := &p.Threads[t]
+			lt := &lp.Threads[t]
+			frame := e.state[lt.TempOff : int(lt.TempOff)+th.NumTemps+th.ShadowWords]
+			e.tcs = append(e.tcs, newThreadCtx(p, th, frame))
+		}
+	} else {
+		e.gs = newGlobalState(p)
+		for t := range p.Threads {
+			e.tcs = append(e.tcs, newThreadCtx(p, &p.Threads[t], nil))
+		}
 	}
 	e.Reset()
 	return e
+}
+
+// evalThread runs one eval phase of thread t through whichever execution
+// form the engine was built with.
+func (e *Engine) evalThread(t int) {
+	if e.lp != nil {
+		evalLinked(e.lp.Threads[t].Code, e.state, e.prog, e.lp, e.gs, e.tcs[t])
+	} else {
+		evalBlock(e.prog.Threads[t].Code, e.prog, e.gs, e.tcs[t])
+	}
+}
+
+// codeLen is the executed stream length of thread t (linked streams are
+// shorter after fusion).
+func (e *Engine) codeLen(t int) int {
+	if e.lp != nil {
+		return len(e.lp.Threads[t].Code)
+	}
+	return len(e.prog.Threads[t].Code)
 }
 
 // Program returns the engine's compiled program.
@@ -171,9 +224,8 @@ func (e *Engine) Run(n int) {
 	}
 	p := e.prog
 	if p.NumThreads == 1 {
-		th := &p.Threads[0]
 		for c := 0; c < n; c++ {
-			evalBlock(th.Code, p, e.gs, e.tcs[0])
+			e.evalThread(0)
 			e.update(0)
 		}
 	} else {
@@ -184,10 +236,8 @@ func (e *Engine) Run(n int) {
 			go func(t int) {
 				defer wg.Done()
 				var sense uint32
-				th := &p.Threads[t]
-				tc := e.tcs[t]
 				for c := 0; c < n; c++ {
-					evalBlock(th.Code, p, e.gs, tc)
+					e.evalThread(t)
 					bar.Wait(&sense) // evaluation barrier
 					e.update(t)
 					bar.Wait(&sense) // global update barrier
@@ -198,7 +248,7 @@ func (e *Engine) Run(n int) {
 	}
 	e.cycles += uint64(n)
 	for t := range p.Threads {
-		e.instrsRetired += uint64(len(p.Threads[t].Code)) * uint64(n)
+		e.instrsRetired += uint64(e.codeLen(t)) * uint64(n)
 	}
 }
 
@@ -230,11 +280,9 @@ func (e *Engine) RunProfiled(n int) [][]PhaseSample {
 		go func(t int) {
 			defer wg.Done()
 			var sense uint32
-			th := &p.Threads[t]
-			tc := e.tcs[t]
 			for c := 0; c < n; c++ {
 				t0 := time.Now()
-				evalBlock(th.Code, p, e.gs, tc)
+				e.evalThread(t)
 				t1 := time.Now()
 				bar.Wait(&sense)
 				t2 := time.Now()
@@ -254,7 +302,7 @@ func (e *Engine) RunProfiled(n int) [][]PhaseSample {
 	wg.Wait()
 	e.cycles += uint64(n)
 	for t := range p.Threads {
-		e.instrsRetired += uint64(len(p.Threads[t].Code)) * uint64(n)
+		e.instrsRetired += uint64(e.codeLen(t)) * uint64(n)
 	}
 	return out
 }

@@ -46,8 +46,15 @@ type globalState struct {
 }
 
 func newGlobalState(p *Program) *globalState {
+	return newGlobalStateWords(p, make([]uint64, p.GlobalWords))
+}
+
+// newGlobalStateWords builds a global state whose narrow words alias the
+// given slice — the linked engines pass a prefix of their unified state
+// array so Poke/Peek/reset/update keep working unchanged.
+func newGlobalStateWords(p *Program, words []uint64) *globalState {
 	gs := &globalState{
-		words: make([]uint64, p.GlobalWords),
+		words: words,
 		wide:  make([]bitvec.Vec, p.GlobalWide),
 	}
 	for i := range gs.wide {
@@ -69,17 +76,55 @@ func newGlobalState(p *Program) *globalState {
 	return gs
 }
 
-func newThreadCtx(tc *ThreadCode) *threadCtx {
-	ctx := &threadCtx{
-		temps:  make([]uint64, tc.NumTemps),
-		shadow: make([]uint64, tc.ShadowWords),
+// newThreadCtx builds one thread's runtime context. When frame is non-nil
+// (linked engines) temps and shadow alias the thread's slice of the unified
+// state array; otherwise they are allocated privately. The memory-write
+// buffers are pre-sized to the thread's static write count so steady-state
+// cycles never grow them.
+func newThreadCtx(p *Program, tc *ThreadCode, frame []uint64) *threadCtx {
+	ctx := &threadCtx{}
+	if frame != nil {
+		ctx.temps = frame[:tc.NumTemps:tc.NumTemps]
+		ctx.shadow = frame[tc.NumTemps : tc.NumTemps+tc.ShadowWords : tc.NumTemps+tc.ShadowWords]
+	} else {
+		ctx.temps = make([]uint64, tc.NumTemps)
+		ctx.shadow = make([]uint64, tc.ShadowWords)
 	}
 	ctx.wideTemps = make([]bitvec.Vec, tc.NumWideTemps)
 	ctx.wideShadow = make([]bitvec.Vec, len(tc.WideShadowSlots))
 	for i, t := range tc.WideShadowTypes {
 		ctx.wideShadow[i] = bitvec.New(t.Width)
 	}
+	narrow, wide := memWriteCounts(p, tc)
+	if narrow > 0 {
+		ctx.memBuf = make([]memWrite, 0, narrow)
+	}
+	if wide > 0 {
+		ctx.wideMemBuf = make([]wideMemWrite, 0, wide)
+	}
 	return ctx
+}
+
+// memWriteCounts returns the number of narrow and wide memory-write
+// instructions in a thread's code — an upper bound on writes buffered in
+// one cycle, used to pre-size the write buffers.
+func memWriteCounts(p *Program, tc *ThreadCode) (narrow, wide int) {
+	for i := range tc.Code {
+		in := &tc.Code[i]
+		switch in.Op {
+		case OpMemWr:
+			narrow++
+		case OpWide:
+			if wn := &p.WideNodes[in.Aux]; wn.Kind == wkMemWr {
+				if p.Mems[wn.Mem].Wide {
+					wide++
+				} else {
+					narrow++
+				}
+			}
+		}
+	}
+	return narrow, wide
 }
 
 // signExtend64 sign-extends the low w bits of x to 64 bits.

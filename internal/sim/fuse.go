@@ -1,0 +1,331 @@
+package sim
+
+// Superinstruction fusion: a peephole pass over linked code that folds the
+// dominant producer/consumer pairs of the bundled designs into single
+// opcodes, so the hot loop pays one dispatch instead of two (or, for the
+// commit-shadow copy runs, one memmove instead of a copy per sink):
+//
+//	Sext + compare            -> l*Ext   (inline sign extension, widths in Aux)
+//	compare + Mux             -> l*Mux   (dst = cmp(a,b) ? c : d)
+//	Not + Mux (boolean cond)  -> Mux with swapped arms
+//	And/Or + Mux (gating)     -> lAndMux / lOrMux
+//	adjacent Copy runs        -> lCopyRun
+//
+// Fusion only ever eliminates a thread-private temp whose single use is the
+// absorbing instruction, and only when no instruction between producer and
+// consumer redefines the producer's operands — so the fused program is
+// observably identical, instruction for instruction, to the interpreter.
+// Shared-mode (Verilator-style) programs are never fused: their threads
+// read each other's slots mid-cycle, making any elimination or sinking of
+// an instruction observable, and their Marks/TaskRange offsets must stay
+// valid. They still get full operand resolution.
+
+// fuseWindow bounds how far back the peephole looks for a producer. The
+// emitter usually places a mux's condition immediately before the mux, but
+// the other arm's computation can sit in between.
+const fuseWindow = 8
+
+// fuse runs the peephole over every thread of a private-temp program.
+// masks[i] bounds the bits state word i can hold (from link time).
+func fuse(lp *LinkedProgram, masks []uint64) {
+	// Use counts over the whole program (linked code plus wide-node
+	// operands): a producer may be absorbed only if its destination has
+	// exactly one reader anywhere.
+	uses := make([]int32, lp.StateWords)
+	var nd, nu []uint32
+	var wd, wu []Loc
+	for t := range lp.Threads {
+		code := lp.Threads[t].Code
+		for i := range code {
+			nd, nu, wd, wu = lp.LinkedDefUse(&code[i], nd[:0], nu[:0], wd[:0], wu[:0])
+			for _, u := range nu {
+				uses[u]++
+			}
+		}
+	}
+	for t := range lp.Threads {
+		ft := &fuser{lp: lp, t: t, code: lp.Threads[t].Code, masks: masks, uses: uses}
+		ft.run()
+		lp.Threads[t].Code = ft.code
+	}
+}
+
+type fuser struct {
+	lp    *LinkedProgram
+	t     int
+	code  []LInstr
+	masks []uint64
+	uses  []int32
+
+	// Scratch for LinkedDefUse, reused across producer scans.
+	nd, nu []uint32
+	wd, wu []Loc
+}
+
+func (f *fuser) run() {
+	for round := 0; round < 4; round++ {
+		changed := false
+		for i := range f.code {
+			op := f.code[i].Op
+			if isCmpLike(op) && f.foldSext(i) {
+				changed = true
+			}
+			if op == LOp(OpMux) && f.foldMuxCond(i) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	f.coalesceCopies()
+	f.compact()
+}
+
+// isTemp reports whether a state index is one of this thread's private
+// temps — the only storage fusion may eliminate.
+func (f *fuser) isTemp(idx uint32) bool {
+	lt := &f.lp.Threads[f.t]
+	return idx >= lt.TempOff && idx < lt.ShadowOff
+}
+
+// isCmpLike matches ops whose A/B operands can absorb a Sext producer:
+// the ten base compares and their Ext/Mux fused forms.
+func isCmpLike(op LOp) bool {
+	return (op >= LOp(OpLt) && op <= LOp(OpNeq)) ||
+		(op >= lLtExt && op <= lNeqExt) ||
+		(op >= lLtMux && op <= lNeqMux)
+}
+
+// cmpKind maps a compare-like op to its 0..9 compare index
+// (Lt,Leq,Gt,Geq,SLt,SLeq,SGt,SGeq,Eq,Neq).
+func cmpKind(op LOp) LOp {
+	switch {
+	case op >= LOp(OpLt) && op <= LOp(OpNeq):
+		return op - LOp(OpLt)
+	case op >= lLtExt && op <= lNeqExt:
+		return op - lLtExt
+	default:
+		return op - lLtMux
+	}
+}
+
+// narrowDst returns the narrow state index an instruction defines, if any.
+func (f *fuser) narrowDst(in *LInstr) (uint32, bool) {
+	switch in.Op {
+	case LOp(OpNop), LOp(OpMemWr):
+		return 0, false
+	case LOp(OpWide):
+		wn := &f.lp.WideNodes[in.Aux]
+		if wn.Kind != wkMemWr && wn.Dst.Space == wsNarrow {
+			return wn.Dst.Idx, true
+		}
+		return 0, false
+	}
+	return in.Dst, true
+}
+
+// producer finds the instruction within the window before i that defines
+// state word want, and verifies nothing between it and i redefines the
+// producer's own operands (so its computation can be inlined at i).
+func (f *fuser) producer(i int, want uint32) int {
+	j := -1
+	for k := i - 1; k >= 0 && k >= i-fuseWindow; k-- {
+		if f.code[k].Op == LOp(OpNop) {
+			continue
+		}
+		if d, ok := f.narrowDst(&f.code[k]); ok && d == want {
+			j = k
+			break
+		}
+	}
+	if j < 0 {
+		return -1
+	}
+	f.nd, f.nu, f.wd, f.wu = f.lp.LinkedDefUse(&f.code[j], f.nd[:0], f.nu[:0], f.wd[:0], f.wu[:0])
+	for k := j + 1; k < i; k++ {
+		if d, ok := f.narrowDst(&f.code[k]); ok {
+			for _, s := range f.nu {
+				if d == s {
+					return -1
+				}
+			}
+		}
+	}
+	return j
+}
+
+// candidate reports whether operand idx at instruction i is a fusible
+// intermediate: a private temp with exactly one reader, produced by a
+// movable instruction in the window. Returns the producer's index.
+func (f *fuser) candidate(i int, idx uint32) int {
+	if !f.isTemp(idx) || f.uses[idx] != 1 {
+		return -1
+	}
+	return f.producer(i, idx)
+}
+
+// foldSext absorbs OpSext producers into a compare-like instruction's A/B
+// operands, recording the extension widths in Aux (low byte = A, high
+// byte = B; 0 = operand used as-is). This is exact for any compare: the
+// fused executor performs the same extension inline.
+func (f *fuser) foldSext(i int) bool {
+	in := &f.code[i]
+	if in.Op >= LOp(OpLt) && in.Op <= LOp(OpNeq) && in.Aux != 0 {
+		return false // defensive: base compares must carry a clean Aux
+	}
+	changed := false
+	fold := func(operand *uint32, shift uint) bool {
+		if (in.Aux>>shift)&0xff != 0 {
+			return false // this side already absorbed an extension
+		}
+		j := f.candidate(i, *operand)
+		if j < 0 || f.code[j].Op != LOp(OpSext) {
+			return false
+		}
+		w := f.code[j].Aux
+		if w == 0 || w > 64 {
+			return false
+		}
+		f.uses[*operand]--
+		*operand = f.code[j].A
+		in.Aux |= w << shift
+		f.nop(j)
+		f.lp.Stats.PerOp[lLtExt+cmpKind(in.Op)]++
+		return true
+	}
+	if fold(&in.A, 0) {
+		changed = true
+	}
+	if fold(&in.B, 8) {
+		changed = true
+	}
+	if changed && in.Op >= LOp(OpLt) && in.Op <= LOp(OpNeq) {
+		in.Op = lLtExt + cmpKind(in.Op)
+	}
+	return changed
+}
+
+// foldMuxCond absorbs the producer of a mux's condition: a compare (fused
+// to l*Mux), a boolean Not (arms swapped), or a gating And/Or whose mask
+// is a no-op on its operands (fused to lAndMux/lOrMux).
+func (f *fuser) foldMuxCond(i int) bool {
+	in := &f.code[i] // OpMux: A=cond, B=then, C=else
+	j := f.candidate(i, in.A)
+	if j < 0 {
+		return false
+	}
+	pj := &f.code[j]
+	switch {
+	case isCmpLike(pj.Op) && pj.Op < lLtMux:
+		fused := LInstr{
+			Op: lLtMux + cmpKind(pj.Op), Dst: in.Dst,
+			A: pj.A, B: pj.B, C: in.B, D: in.C,
+			Aux: 0, Mask: in.Mask,
+		}
+		if pj.Op >= lLtExt && pj.Op <= lNeqExt {
+			fused.Aux = pj.Aux
+		}
+		f.uses[in.A]--
+		*in = fused
+		f.nop(j)
+		f.lp.Stats.PerOp[fused.Op]++
+		return true
+	case pj.Op == LOp(OpNot):
+		// (^a)&1 != 0  <=>  a == 0, provided a is a single proven bit.
+		if pj.Mask != 1 || f.masks[pj.A] != 1 {
+			return false
+		}
+		f.uses[in.A]--
+		in.A = pj.A
+		in.B, in.C = in.C, in.B
+		f.nop(j)
+		return true
+	case pj.Op == LOp(OpAnd) || pj.Op == LOp(OpOr):
+		// The and/or result feeds only a zero test, so dropping its mask
+		// is sound iff the mask cannot clear any operand bit.
+		bits := f.masks[pj.A] & f.masks[pj.B]
+		op := lAndMux
+		if pj.Op == LOp(OpOr) {
+			bits = f.masks[pj.A] | f.masks[pj.B]
+			op = lOrMux
+		}
+		if bits&^pj.Mask != 0 {
+			return false
+		}
+		f.uses[in.A]--
+		*in = LInstr{
+			Op: op, Dst: in.Dst,
+			A: pj.A, B: pj.B, C: in.B, D: in.C, Mask: in.Mask,
+		}
+		f.nop(j)
+		f.lp.Stats.PerOp[op]++
+		return true
+	}
+	return false
+}
+
+// coalesceCopies batches maximal runs of strictly adjacent OpCopy
+// instructions with consecutive source and destination indices into one
+// lCopyRun, when every copy's mask is a no-op on its (mask-tracked) source
+// and the ranges cannot alias.
+func (f *fuser) coalesceCopies() {
+	for i := 0; i < len(f.code); {
+		if f.code[i].Op != LOp(OpCopy) || !f.copyExact(i) {
+			i++
+			continue
+		}
+		k := 1
+		for i+k < len(f.code) {
+			c := &f.code[i+k]
+			if c.Op != LOp(OpCopy) ||
+				c.Dst != f.code[i].Dst+uint32(k) || c.A != f.code[i].A+uint32(k) ||
+				!f.copyExact(i+k) {
+				break
+			}
+			k++
+		}
+		if k >= 2 && !rangesOverlap(f.code[i].A, f.code[i].Dst, uint32(k)) {
+			f.code[i] = LInstr{Op: lCopyRun, Dst: f.code[i].Dst, A: f.code[i].A, Aux: uint32(k)}
+			for n := 1; n < k; n++ {
+				f.nop(i + n)
+			}
+			f.lp.Stats.PerOp[lCopyRun]++
+		}
+		i += k
+	}
+}
+
+// copyExact reports whether the copy's mask provably clears no source bit.
+func (f *fuser) copyExact(i int) bool {
+	in := &f.code[i]
+	return f.masks[in.A]&in.Mask == f.masks[in.A]
+}
+
+func rangesOverlap(a, b, n uint32) bool {
+	return a < b+n && b < a+n
+}
+
+func (f *fuser) nop(j int) {
+	f.code[j] = LInstr{Op: LOp(OpNop)}
+}
+
+// compact drops the nops fusion left behind.
+func (f *fuser) compact() {
+	n := 0
+	for i := range f.code {
+		if f.code[i].Op != LOp(OpNop) {
+			n++
+		}
+	}
+	if n == len(f.code) {
+		return
+	}
+	out := make([]LInstr, 0, n)
+	for i := range f.code {
+		if f.code[i].Op != LOp(OpNop) {
+			out = append(out, f.code[i])
+		}
+	}
+	f.code = out
+}

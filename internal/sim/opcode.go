@@ -55,9 +55,9 @@ const (
 	OpShl  // dst = (a << Aux) & mask
 	OpShr  // dst = (a >> Aux) & mask (logical; use after Sext for arithmetic)
 	OpSar  // dst = (int64(a) >> Aux) & mask (a must be sign-extended)
-	OpDshl // dst = (a << min(b,63)) & mask; 0 if b >= 64
-	OpDshr // dst = (a >> b) logical; 0 if b >= 64
-	OpDsar // dst = arithmetic shift of sign-extended a by min(b,63)
+	OpDshl // dst = (a << b) & mask, or 0 if b >= 64
+	OpDshr // dst = (a >> b) & mask (logical), or 0 if b >= 64
+	OpDsar // dst = (int64(a) >> min(b,63)) & mask (a must be sign-extended)
 	OpMux  // dst = a!=0 ? b : c (b, c pre-extended to result width)
 	OpSext // dst = signextend64(a, Aux)  -- full 64-bit, NOT masked
 	OpMemRd

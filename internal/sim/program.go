@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"sync"
 	"unsafe"
 
 	"repro/internal/bitvec"
@@ -139,6 +140,13 @@ type Program struct {
 	inputByName  map[string]int
 	outputByName map[string]int
 	regByName    map[string]int
+
+	// linked caches the program's resolved+fused execution form (link.go),
+	// built on first engine construction and shared by every engine and
+	// service session over this program. Not part of Fingerprint: it is
+	// derived entirely from the fields above.
+	linkMu sync.Mutex
+	linked *LinkedProgram
 }
 
 // Input returns the slot of a named input port.
@@ -240,6 +248,12 @@ func (p *Program) MemBytes() int64 {
 	}
 	for name := range p.regByName {
 		n += int64(len(name)) + 16
+	}
+	p.linkMu.Lock()
+	lp := p.linked
+	p.linkMu.Unlock()
+	if lp != nil {
+		n += lp.MemBytes()
 	}
 	return n
 }

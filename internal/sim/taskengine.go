@@ -44,6 +44,12 @@ type TaskEngine struct {
 	gs   *globalState
 	tcs  []*threadCtx
 
+	// Shared-mode programs link strictly 1:1 (no fusion, nops preserved —
+	// see link.go), so the plan's TaskRange offsets index linked code
+	// directly and the engine runs the resolved fast path.
+	lp    *LinkedProgram
+	state []uint64
+
 	doneCycle []atomic.Uint64 // per task: cycles completed
 	cycles    uint64
 }
@@ -53,9 +59,16 @@ func NewTaskEngine(p *Program, plan TaskPlan) (*TaskEngine, error) {
 	if len(plan.PerThread) != p.NumThreads {
 		return nil, fmt.Errorf("sim: plan has %d threads, program has %d", len(plan.PerThread), p.NumThreads)
 	}
-	e := &TaskEngine{prog: p, plan: plan, gs: newGlobalState(p)}
+	lp := p.Linked()
+	e := &TaskEngine{prog: p, plan: plan, lp: lp}
+	e.state = make([]uint64, lp.StateWords)
+	copy(e.state[lp.ImmOff:], p.Imms)
+	e.gs = newGlobalStateWords(p, e.state[:p.GlobalWords:p.GlobalWords])
 	for t := range p.Threads {
-		e.tcs = append(e.tcs, newThreadCtx(&p.Threads[t]))
+		th := &p.Threads[t]
+		lt := &lp.Threads[t]
+		frame := e.state[lt.TempOff : int(lt.TempOff)+th.NumTemps+th.ShadowWords]
+		e.tcs = append(e.tcs, newThreadCtx(p, th, frame))
 	}
 	e.doneCycle = make([]atomic.Uint64, plan.NumTasks)
 	e.Reset()
@@ -186,7 +199,7 @@ func (e *TaskEngine) run(n int, sample func(cycle int, s TaskSample)) {
 		go func(t int) {
 			defer wg.Done()
 			var sense uint32
-			th := &p.Threads[t]
+			code := e.lp.Threads[t].Code
 			tc := e.tcs[t]
 			tasks := e.plan.PerThread[t]
 			for c := 0; c < n; c++ {
@@ -203,7 +216,7 @@ func (e *TaskEngine) run(n int, sample func(cycle int, s TaskSample)) {
 					if sample != nil {
 						t1 = time.Now()
 					}
-					evalBlock(th.Code[task.Start:task.End], p, e.gs, tc)
+					evalLinked(code[task.Start:task.End], e.state, p, e.lp, e.gs, tc)
 					e.doneCycle[task.ID].Store(target)
 					if sample != nil {
 						t2 := time.Now()

@@ -105,6 +105,12 @@ type Options struct {
 	// Parts is the partitioning the program was compiled from (one spec per
 	// thread, e.g. from core.Partition or sim.SerialSpec).
 	Parts []sim.PartSpec
+	// Linked additionally scans the program's linked execution form
+	// (sim/link.go) — the resolved, fused streams the engines actually run —
+	// re-proving race freedom, closure, and exactly-once sink production
+	// over fused superinstructions. Builds (and caches) the linked form if
+	// the program has not been linked yet.
+	Linked bool
 }
 
 // Report is the outcome of verifying one program.
@@ -210,8 +216,10 @@ type verifier struct {
 }
 
 // Program statically verifies a compiled program and returns the full
-// diagnostic report. It never modifies the program and is safe to run
-// concurrently with other analyses of the same Program.
+// diagnostic report. It never modifies the program's observable state
+// (opts.Linked may populate the program's cached linked form, which engines
+// would build anyway) and is safe to run concurrently with other analyses
+// of the same Program.
 func Program(p *sim.Program, opts Options) *Report {
 	start := time.Now()
 	v := &verifier{
@@ -226,6 +234,9 @@ func Program(p *sim.Program, opts Options) *Report {
 	v.layout()
 	for t := range p.Threads {
 		v.scanThread(t)
+	}
+	if opts.Linked {
+		v.scanLinked()
 	}
 	v.checkMems()
 	v.crossCheck()

@@ -231,9 +231,14 @@ func (d *Design) CompileProgram(opt Options) (*Compiled, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Link eagerly: the Compiled artifact is the unit the service cache
+	// shares across sessions, so building the linked execution form here
+	// means every NewSimulator reuses it, and Program.MemBytes (the cache's
+	// LRU charge) is stable and includes the linked bytes.
+	p.Linked()
 	c := &Compiled{Program: p, Report: rep}
 	if opt.Verify {
-		c.Verification = verify.Program(p, verify.Options{Graph: d.Graph, Parts: specs})
+		c.Verification = verify.Program(p, verify.Options{Graph: d.Graph, Parts: specs, Linked: true})
 		if err := c.Verification.Err(); err != nil {
 			return nil, err
 		}
