@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint check bench bench-interp results serve loadgen
+.PHONY: build test lint check bench bench-interp results serve loadgen fuzz
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,17 @@ bench-interp:
 
 results:
 	$(GO) run ./cmd/benchall -out results
+
+# Differential fuzzing: each native fuzz target for FUZZTIME, then a
+# deterministic 200-seed cross-engine sweep via the repcutfuzz CLI.
+# Crashers are minimized and written to internal/difftest/testdata/crashers/
+# where TestDifferentialCorpus replays them forever after.
+FUZZTIME ?= 20s
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzDifferentialSim -fuzztime=$(FUZZTIME) ./internal/difftest/
+	$(GO) test -run=NONE -fuzz=FuzzFirrtlRoundTrip -fuzztime=$(FUZZTIME) ./internal/firrtl/
+	$(GO) test -run=NONE -fuzz=FuzzBitvecOps -fuzztime=$(FUZZTIME) ./internal/bitvec/
+	$(GO) run ./cmd/repcutfuzz -seeds 200
 
 # Boot the simulation service on the default local address.
 serve:

@@ -1,0 +1,218 @@
+package bitvec
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// boundaryWidths are the widths where the packed-word representation
+// changes shape: single-word (1, 63, 64), the word-boundary crossings
+// (65), and the two-word edges (127, 128). Bugs in masking, carries, or
+// sign handling cluster exactly here.
+var boundaryWidths = []int{1, 63, 64, 65, 127, 128}
+
+// bdVec draws a random value of the given width with a bias toward the
+// all-ones / high-bit-set patterns that stress carries and sign
+// extension. (randVec in bitvec_test.go picks its own width; boundary
+// tests need to pin it.)
+func bdVec(r *rand.Rand, width int) Vec {
+	v := New(width)
+	switch r.Intn(4) {
+	case 0: // all ones
+		for i := range v.Words {
+			v.Words[i] = ^uint64(0)
+		}
+	case 1: // high bit only
+		v.SetBit(width-1, 1)
+		return v
+	default:
+		for i := range v.Words {
+			v.Words[i] = r.Uint64()
+		}
+	}
+	v.normalize()
+	return v
+}
+
+func checkBig(t *testing.T, op string, width int, got Vec, want *big.Int) {
+	t.Helper()
+	want = new(big.Int).And(want, mask(width))
+	if got.Big().Cmp(want) != 0 {
+		t.Fatalf("%s width %d: got %v want %v", op, width, got.Big(), want)
+	}
+}
+
+// TestShiftBoundaries cross-checks Shl/Shr/Asr against math/big at every
+// boundary width, with shift amounts that land on, just inside, and past
+// each word edge (including n >= width, which must saturate).
+func TestShiftBoundaries(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, w := range boundaryWidths {
+		shifts := []int{0, 1, w / 2, w - 1, w, w + 1, 2 * w}
+		if w > 64 {
+			shifts = append(shifts, 63, 64, 65)
+		}
+		for trial := 0; trial < 50; trial++ {
+			x := bdVec(r, w)
+			xb := x.Big()
+			xs := x.SignedBig()
+			for _, n := range shifts {
+				checkBig(t, "Shl", w, Shl(w, x, n), new(big.Int).Lsh(xb, uint(n)))
+				checkBig(t, "Shr", w, Shr(w, x, n), new(big.Int).Rsh(xb, uint(n)))
+				// Arithmetic shift: big.Int Rsh on the signed value is
+				// already an arithmetic shift (floor division by 2^n).
+				checkBig(t, "Asr", w, Asr(w, x, n), new(big.Int).Rsh(xs, uint(n)))
+			}
+		}
+	}
+}
+
+// TestCompareBoundaries cross-checks unsigned and signed comparison
+// against math/big, including the equal case and the sign-flip pairs
+// (min-negative vs max-positive) that a two's-complement compare can get
+// backwards at word boundaries.
+func TestCompareBoundaries(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, w := range boundaryWidths {
+		minNeg := New(w)
+		minNeg.SetBit(w-1, 1) // 100...0: most negative signed value
+		maxPos := Not(minNeg) // 011...1: most positive signed value
+		pairs := [][2]Vec{
+			{minNeg, maxPos},
+			{maxPos, minNeg},
+			{minNeg, minNeg},
+			{New(w), maxPos},
+		}
+		for trial := 0; trial < 50; trial++ {
+			pairs = append(pairs, [2]Vec{bdVec(r, w), bdVec(r, w)})
+		}
+		for _, p := range pairs {
+			x, y := p[0], p[1]
+			if got, want := Cmp(x, y), x.Big().Cmp(y.Big()); got != want {
+				t.Fatalf("Cmp width %d: %v vs %v: got %d want %d", w, x.Big(), y.Big(), got, want)
+			}
+			if got, want := CmpSigned(x, y), x.SignedBig().Cmp(y.SignedBig()); got != want {
+				t.Fatalf("CmpSigned width %d: %v vs %v: got %d want %d", w, x.SignedBig(), y.SignedBig(), got, want)
+			}
+			if got, want := Eq(x, y), x.Big().Cmp(y.Big()) == 0; got != want {
+				t.Fatalf("Eq width %d: %v vs %v: got %v", w, x.Big(), y.Big(), got)
+			}
+		}
+	}
+}
+
+// TestSignExtendBoundaries cross-checks SignExtend (and ZeroExtend) when
+// the source or destination width sits on a word boundary — the sign bit
+// of a 64- or 128-bit value lives in the top bit of a word, where an
+// off-by-one in the fill mask silently zero-extends instead.
+func TestSignExtendBoundaries(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for _, from := range boundaryWidths {
+		for _, to := range boundaryWidths {
+			if to < from {
+				continue
+			}
+			for trial := 0; trial < 30; trial++ {
+				x := bdVec(r, from)
+				se := SignExtend(to, x)
+				if se.Width != to {
+					t.Fatalf("SignExtend(%d<-%d).Width = %d", to, from, se.Width)
+				}
+				checkBig(t, "SignExtend", to, se, x.SignedBig())
+				if se.SignedBig().Cmp(x.SignedBig()) != 0 {
+					t.Fatalf("SignExtend %d->%d: value changed: %v -> %v",
+						from, to, x.SignedBig(), se.SignedBig())
+				}
+				ze := ZeroExtend(to, x)
+				checkBig(t, "ZeroExtend", to, ze, x.Big())
+			}
+		}
+	}
+}
+
+// TestArithBoundaries cross-checks add/sub/mul/div/rem modular arithmetic
+// against math/big at the boundary widths.
+func TestArithBoundaries(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for _, w := range boundaryWidths {
+		for trial := 0; trial < 50; trial++ {
+			x, y := bdVec(r, w), bdVec(r, w)
+			xb, yb := x.Big(), y.Big()
+			checkBig(t, "Add", w, Add(w, x, y), new(big.Int).Add(xb, yb))
+			checkBig(t, "Sub", w, Sub(w, x, y), new(big.Int).Sub(xb, yb))
+			checkBig(t, "Mul", w, Mul(w, x, y), new(big.Int).Mul(xb, yb))
+			checkBig(t, "Neg", w, Neg(w, x), new(big.Int).Neg(xb))
+			if !y.IsZero() {
+				checkBig(t, "Div", w, Div(w, x, y), new(big.Int).Div(xb, yb))
+				checkBig(t, "Rem", w, Rem(w, x, y), new(big.Int).Rem(xb, yb))
+			}
+		}
+	}
+}
+
+// FuzzBitvecOps lets the fuzzer choose an operation, a boundary-ish
+// width, and raw operand words, then cross-checks the Vec result against
+// math/big. This is the word-level analogue of the difftest oracle: the
+// reference semantics are big-integer arithmetic reduced mod 2^width.
+func FuzzBitvecOps(f *testing.F) {
+	f.Add(uint8(0), uint8(64), uint64(1), uint64(2), uint64(3), uint64(4), uint8(1))
+	f.Add(uint8(5), uint8(65), ^uint64(0), uint64(1), ^uint64(0), uint64(0), uint8(64))
+	f.Add(uint8(8), uint8(128), uint64(0), uint64(1)<<63, uint64(0), uint64(0), uint8(127))
+	f.Fuzz(func(t *testing.T, opSel, widthSel uint8, xlo, xhi, ylo, yhi uint64, nSel uint8) {
+		width := 1 + int(widthSel)%128
+		x := New(width)
+		y := New(width)
+		x.Words[0] = xlo
+		y.Words[0] = ylo
+		if len(x.Words) > 1 {
+			x.Words[1] = xhi
+			y.Words[1] = yhi
+		}
+		x.normalize()
+		y.normalize()
+		xb, yb := x.Big(), y.Big()
+		n := int(nSel) % (2*width + 2)
+		switch opSel % 12 {
+		case 0:
+			checkBig(t, "Add", width, Add(width, x, y), new(big.Int).Add(xb, yb))
+		case 1:
+			checkBig(t, "Sub", width, Sub(width, x, y), new(big.Int).Sub(xb, yb))
+		case 2:
+			checkBig(t, "Mul", width, Mul(width, x, y), new(big.Int).Mul(xb, yb))
+		case 3:
+			if !y.IsZero() {
+				checkBig(t, "Div", width, Div(width, x, y), new(big.Int).Div(xb, yb))
+			}
+		case 4:
+			if !y.IsZero() {
+				checkBig(t, "Rem", width, Rem(width, x, y), new(big.Int).Rem(xb, yb))
+			}
+		case 5:
+			checkBig(t, "Shl", width, Shl(width, x, n), new(big.Int).Lsh(xb, uint(n)))
+		case 6:
+			checkBig(t, "Shr", width, Shr(width, x, n), new(big.Int).Rsh(xb, uint(n)))
+		case 7:
+			checkBig(t, "Asr", width, Asr(width, x, n), new(big.Int).Rsh(x.SignedBig(), uint(n)))
+		case 8:
+			if got, want := Cmp(x, y), xb.Cmp(yb); got != want {
+				t.Fatalf("Cmp width %d: got %d want %d", width, got, want)
+			}
+		case 9:
+			if got, want := CmpSigned(x, y), x.SignedBig().Cmp(y.SignedBig()); got != want {
+				t.Fatalf("CmpSigned width %d: got %d want %d", width, got, want)
+			}
+		case 10:
+			to := width + n
+			if to > 256 {
+				to = 256
+			}
+			checkBig(t, "SignExtend", to, SignExtend(to, x), x.SignedBig())
+		case 11:
+			checkBig(t, "And", width, And(width, x, y), new(big.Int).And(xb, yb))
+			checkBig(t, "Or", width, Or(width, x, y), new(big.Int).Or(xb, yb))
+			checkBig(t, "Xor", width, Xor(width, x, y), new(big.Int).Xor(xb, yb))
+			checkBig(t, "Not", width, Not(x), new(big.Int).Not(xb))
+		}
+	})
+}

@@ -1,0 +1,220 @@
+package difftest
+
+// Mutation tests prove the differential oracle is live: each test plants
+// one executor-bug class into a freshly compiled serial program, asserts
+// the oracle catches the divergence, and shrinks the witness circuit to a
+// handful of vertices. An oracle that cannot catch these would pass a
+// broken simulator vacuously. (The static analogue lives in
+// internal/verify/mutation_test.go; these bugs are dynamic — they corrupt
+// values, not the schedule, so only state comparison can see them.)
+
+import (
+	"math/bits"
+	"testing"
+
+	"repro/internal/genckt"
+	"repro/internal/sim"
+)
+
+// mutOptions is the cheap oracle matrix used for mutation hunting: the
+// mutant only has to disagree with the reference, so partition sweeps,
+// task engines, and the service layer stay out of the loop.
+func mutOptions(seed int64, mutate func(*sim.Program) bool) Options {
+	return Options{
+		Seed:    seed,
+		Cycles:  12,
+		Parts:   []int{},
+		Workers: []int{},
+		Mutate:  mutate,
+	}
+}
+
+// huntAndShrink scans generator seeds until the planted mutation produces
+// a caught divergence, then shrinks the witness and asserts it minimizes
+// to at most maxVerts graph vertices.
+func huntAndShrink(t *testing.T, name string, mutate func(*sim.Program) bool) {
+	t.Helper()
+	const maxVerts = 12
+	for seed := int64(1); seed <= 25; seed++ {
+		s := genckt.Generate(genckt.Config{Seed: seed, Size: 30})
+		d, err := s.Build()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		opt := mutOptions(seed, mutate)
+		m := Run(d, opt)
+		if m == nil {
+			continue // mutation silent or inapplicable on this circuit
+		}
+		if m.Engine != "mutant" {
+			t.Fatalf("seed %d: non-mutant engine diverged: %v", seed, m)
+		}
+		pred := func(cd *genckt.Design, cycles int) bool {
+			o := opt
+			o.Cycles = cycles
+			cm := Run(cd, o)
+			return cm != nil && cm.Engine == "mutant"
+		}
+		res := Shrink(s, opt.Cycles, pred)
+		if res == nil {
+			t.Fatalf("seed %d: shrink lost the failure", seed)
+		}
+		nv := res.Design.Graph.NumVertices()
+		t.Logf("%s: seed %d caught (%v); shrunk to %d vertices, %d cycles in %d evals (%s)",
+			name, seed, m, nv, res.Cycles, res.Evals, res.Spec.Counts())
+		if nv > maxVerts {
+			t.Fatalf("%s: shrunk witness still has %d vertices (> %d):\n%s",
+				name, nv, maxVerts, res.Design.Text)
+		}
+		return
+	}
+	t.Fatalf("%s: no seed in 1..25 triggered the mutation", name)
+}
+
+// firstMutable returns the pc of the first plain computational instruction
+// on thread 0 (OpNop/OpWide/OpMemWr excluded), or -1.
+func firstMutable(p *sim.Program, accept func(*sim.Instr) bool) int {
+	for pc := range p.Threads[0].Code {
+		in := &p.Threads[0].Code[pc]
+		if in.Op == sim.OpNop || in.Op == sim.OpWide || in.Op == sim.OpMemWr {
+			continue
+		}
+		if accept == nil || accept(in) {
+			return pc
+		}
+	}
+	return -1
+}
+
+// Bug 1 — wrong commit order: a sink store lands in the neighbouring
+// shadow word, so one sink is stale and another double-driven when the
+// commit memcpy publishes the shadow segment.
+func TestMutationShadowSwap(t *testing.T) {
+	huntAndShrink(t, "shadow-swap", func(p *sim.Program) bool {
+		th := &p.Threads[0]
+		if th.ShadowWords < 2 {
+			return false
+		}
+		pc := firstMutable(p, func(in *sim.Instr) bool {
+			return sim.NarrowLoc(in.Dst).Space == sim.SpaceShadow
+		})
+		if pc < 0 {
+			return false
+		}
+		in := &th.Code[pc]
+		other := (sim.RefIdx(in.Dst) + 1) % uint32(th.ShadowWords)
+		in.Dst = sim.MakeRef(sim.RefShadow, other)
+		return true
+	})
+}
+
+// Bug 2 — stale operand: an instruction reads a register's committed
+// global word instead of the freshly computed local temp, reintroducing
+// the last-cycle value the two-phase protocol exists to hide.
+func TestMutationStaleOperand(t *testing.T) {
+	huntAndShrink(t, "stale-operand", func(p *sim.Program) bool {
+		var slot uint32
+		found := false
+		for _, r := range p.Regs {
+			if !r.Wide {
+				slot, found = r.Slot, true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+		pc := firstMutable(p, func(in *sim.Instr) bool {
+			return sim.OpReads(in.Op) >= 1 && sim.NarrowLoc(in.A).Space == sim.SpaceLocal
+		})
+		if pc < 0 {
+			return false
+		}
+		p.Threads[0].Code[pc].A = sim.MakeRef(sim.RefGlobal, slot)
+		return true
+	})
+}
+
+// Bug 3 — off-by-one memory bound: the executor allocates (and bounds-
+// checks against) one word less than the architecture declares, so the top
+// address silently vanishes.
+func TestMutationMemDepthOffByOne(t *testing.T) {
+	huntAndShrink(t, "mem-depth", func(p *sim.Program) bool {
+		if len(p.Mems) == 0 || p.Mems[0].Depth < 2 {
+			return false
+		}
+		p.Mems[0].Depth--
+		return true
+	})
+}
+
+// Bug 4 — dropped instruction: a local def is replaced by a nop, leaving
+// its consumers reading a stale or zero temp.
+func TestMutationDroppedInstr(t *testing.T) {
+	huntAndShrink(t, "dropped-instr", func(p *sim.Program) bool {
+		defPC, ok := firstLocalDefUsed(p)
+		if !ok {
+			return false
+		}
+		p.Threads[0].Code[defPC] = sim.Instr{Op: sim.OpNop}
+		return true
+	})
+}
+
+// firstLocalDefUsed finds a local def that some later instruction actually
+// reads (nopping an unused def would be invisible by construction).
+func firstLocalDefUsed(p *sim.Program) (int, bool) {
+	defAt := map[uint32]int{}
+	var defs, uses []sim.Loc
+	code := p.Threads[0].Code
+	for pc := range code {
+		in := &code[pc]
+		if in.Op == sim.OpWide && int(in.Aux) >= len(p.WideNodes) {
+			continue
+		}
+		defs, uses = p.InstrDefUse(in, defs[:0], uses[:0])
+		for _, u := range uses {
+			if u.Space == sim.SpaceLocal {
+				if dp, ok := defAt[u.Idx]; ok {
+					return dp, true
+				}
+			}
+		}
+		for _, d := range defs {
+			if d.Space == sim.SpaceLocal {
+				defAt[d.Idx] = pc
+			}
+		}
+	}
+	return -1, false
+}
+
+// Bug 5 — mask truncation: a result mask loses its top bit, silently
+// narrowing one signal by one bit.
+func TestMutationMaskTruncation(t *testing.T) {
+	huntAndShrink(t, "mask-truncation", func(p *sim.Program) bool {
+		pc := firstMutable(p, func(in *sim.Instr) bool {
+			return bits.OnesCount64(in.Mask) > 1
+		})
+		if pc < 0 {
+			return false
+		}
+		p.Threads[0].Code[pc].Mask >>= 1
+		return true
+	})
+}
+
+// Bug 6 — swapped mux arms: the select polarity inverts on one mux.
+func TestMutationSwappedMux(t *testing.T) {
+	huntAndShrink(t, "swapped-mux", func(p *sim.Program) bool {
+		pc := firstMutable(p, func(in *sim.Instr) bool {
+			return in.Op == sim.OpMux
+		})
+		if pc < 0 {
+			return false
+		}
+		in := &p.Threads[0].Code[pc]
+		in.B, in.C = in.C, in.B
+		return true
+	})
+}

@@ -1,0 +1,335 @@
+// Package difftest is a differential oracle over the simulator stack. It
+// runs one generated circuit through every execution engine the repo has —
+// the tree-walking Reference, the serial interpreter, the linked/fused fast
+// path, RepCut parallel partitions at several k, the Verilator-style task
+// engine, and a compile-cache round-trip through the service layer — and
+// compares full architectural state (registers, outputs, every memory word)
+// cycle by cycle. Metamorphic invariants (partition-count invariance,
+// worker-count invariance, fingerprint stability, verifier agreement) catch
+// bugs no single engine pair would expose. A greedy shrinker (shrink.go)
+// reduces failing circuits to small replayable FIRRTL.
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bitvec"
+	"repro/internal/cgraph"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/genckt"
+	"repro/internal/service"
+	"repro/internal/sim"
+	"repro/internal/verify"
+	"repro/internal/verilator"
+)
+
+// Options configures one differential run.
+type Options struct {
+	// Seed drives the input stimulus stream (not the circuit shape).
+	Seed int64
+	// Cycles to simulate (default 20).
+	Cycles int
+	// Parts lists partition counts for the parallel engines (default 3, 5;
+	// a count larger than the circuit's sink set is skipped).
+	Parts []int
+	// Workers lists worker-pool sizes for the compile-determinism check
+	// (default 0, 2): every pool size must produce the same fingerprint.
+	Workers []int
+	// Tasks includes the Verilator-style task engine (default on when nil
+	// options are filled by Default; the zero Options leaves it off so the
+	// fuzz path stays cheap).
+	Tasks bool
+	// Service round-trips the textual IR through the compile cache and
+	// checks the cached recompile hits and agrees.
+	Service bool
+	// Verify runs the static soundness verifier over each parallel
+	// program; a verifier rejection is reported as a mismatch.
+	Verify bool
+	// Mutate, when set, is applied to an extra serial O0 program before it
+	// joins the engine matrix (mutation testing: the oracle must catch the
+	// planted bug). Returning false marks the mutation inapplicable and no
+	// mutant engine runs.
+	Mutate func(*sim.Program) bool
+}
+
+// Default returns the full-matrix options used by the corpus test and CLI.
+func Default(seed int64) Options {
+	return Options{Seed: seed, Cycles: 20, Tasks: true, Service: true, Verify: true}
+}
+
+func (o *Options) fill() {
+	if o.Cycles <= 0 {
+		o.Cycles = 20
+	}
+	if o.Parts == nil {
+		o.Parts = []int{3, 5}
+	}
+	if o.Workers == nil {
+		o.Workers = []int{0, 2}
+	}
+}
+
+// Mismatch describes the first disagreement found. It doubles as an error.
+type Mismatch struct {
+	Engine string // engine that disagreed with the reference
+	Cycle  int    // cycle index at the time of disagreement (-1: static)
+	Kind   string // "reg", "output", "mem", "fingerprint", "verify", "cache", "compile"
+	Name   string // signal or memory name (when applicable)
+	Addr   int    // memory address (Kind=="mem")
+	Got    string
+	Want   string
+}
+
+func (m *Mismatch) Error() string {
+	loc := m.Name
+	if m.Kind == "mem" {
+		loc = fmt.Sprintf("%s[%d]", m.Name, m.Addr)
+	}
+	return fmt.Sprintf("difftest: %s cycle %d: %s %s: got %s, want %s",
+		m.Engine, m.Cycle, m.Kind, loc, m.Got, m.Want)
+}
+
+// engine is the minimal surface the oracle drives. All adapters return full
+// Vec values so wide state is compared exactly, not truncated to 64 bits.
+type engine interface {
+	poke(name string, v bitvec.Vec) error
+	step()
+	reg(name string) (bitvec.Vec, error)
+	out(name string) (bitvec.Vec, error)
+	mem(name string, addr int) (bitvec.Vec, error)
+}
+
+type serialAdapter struct{ e *sim.Engine }
+
+func (a serialAdapter) poke(n string, v bitvec.Vec) error       { return a.e.PokeInputVec(n, v) }
+func (a serialAdapter) step()                                   { a.e.Run(1) }
+func (a serialAdapter) reg(n string) (bitvec.Vec, error)        { return a.e.PeekReg(n) }
+func (a serialAdapter) out(n string) (bitvec.Vec, error)        { return a.e.PeekOutputVec(n) }
+func (a serialAdapter) mem(n string, i int) (bitvec.Vec, error) { return a.e.PeekMemVec(n, i) }
+
+type taskAdapter struct{ e *sim.TaskEngine }
+
+func (a taskAdapter) poke(n string, v bitvec.Vec) error       { return a.e.PokeInputVec(n, v) }
+func (a taskAdapter) step()                                   { a.e.Run(1) }
+func (a taskAdapter) reg(n string) (bitvec.Vec, error)        { return a.e.PeekRegVec(n) }
+func (a taskAdapter) out(n string) (bitvec.Vec, error)        { return a.e.PeekOutputVec(n) }
+func (a taskAdapter) mem(n string, i int) (bitvec.Vec, error) { return a.e.PeekMemVec(n, i) }
+
+type namedEngine struct {
+	name string
+	eng  engine
+}
+
+// partition returns the PartSpecs for a k-way cut, or nil if the circuit
+// cannot be cut that many ways (skips are not failures: the fuzzer feeds
+// arbitrarily small circuits).
+func partition(g *cgraph.Graph, k int, seed int64) []sim.PartSpec {
+	if len(g.Sinks()) < k {
+		return nil
+	}
+	res, err := core.Partition(g, core.Options{K: k, Seed: seed, Model: costmodel.Default(), Epsilon: 0.1})
+	if err != nil {
+		return nil
+	}
+	specs := make([]sim.PartSpec, len(res.Parts))
+	for i := range res.Parts {
+		specs[i] = sim.PartSpec{Vertices: res.Parts[i].Vertices, Sinks: res.Parts[i].Sinks}
+	}
+	return specs
+}
+
+// Run executes the full differential matrix on one design and returns the
+// first mismatch, or nil if every engine agreed everywhere.
+func Run(d *genckt.Design, opt Options) *Mismatch {
+	opt.fill()
+	g := d.Graph
+
+	ref := sim.NewReference(g)
+
+	var engines []namedEngine
+	addProgram := func(name string, p *sim.Program, interp bool) {
+		if interp {
+			engines = append(engines, namedEngine{name, serialAdapter{sim.NewInterpEngine(p)}})
+		} else {
+			engines = append(engines, namedEngine{name, serialAdapter{sim.NewEngine(p)}})
+		}
+	}
+
+	// Serial interpreter (O0) and linked/fused fast path (O2).
+	p0, err := sim.Compile(g, sim.SerialSpec(g), sim.Config{OptLevel: 0})
+	if err != nil {
+		return &Mismatch{Engine: "serial-O0", Cycle: -1, Kind: "compile", Got: err.Error()}
+	}
+	addProgram("interp-O0", p0, true)
+	p2, err := sim.Compile(g, sim.SerialSpec(g), sim.Config{OptLevel: 2})
+	if err != nil {
+		return &Mismatch{Engine: "serial-O2", Cycle: -1, Kind: "compile", Got: err.Error()}
+	}
+	addProgram("linked-O2", p2, false)
+
+	// Metamorphic: the compiler is deterministic across worker-pool sizes.
+	base := p2.Fingerprint()
+	for _, w := range opt.Workers {
+		pw, err := sim.Compile(g, sim.SerialSpec(g), sim.Config{OptLevel: 2, Workers: w})
+		if err != nil {
+			return &Mismatch{Engine: fmt.Sprintf("workers-%d", w), Cycle: -1, Kind: "compile", Got: err.Error()}
+		}
+		if fp := pw.Fingerprint(); fp != base {
+			return &Mismatch{Engine: fmt.Sprintf("workers-%d", w), Cycle: -1, Kind: "fingerprint",
+				Got: fmt.Sprintf("%#x", fp), Want: fmt.Sprintf("%#x", base)}
+		}
+	}
+
+	// Parallel engines at several partition counts.
+	for _, k := range opt.Parts {
+		specs := partition(g, k, opt.Seed+int64(k))
+		if specs == nil {
+			continue
+		}
+		pk, err := sim.Compile(g, specs, sim.Config{OptLevel: 2})
+		if err != nil {
+			return &Mismatch{Engine: fmt.Sprintf("par-k%d", k), Cycle: -1, Kind: "compile", Got: err.Error()}
+		}
+		if opt.Verify {
+			rep := verify.Program(pk, verify.Options{Graph: g, Parts: specs, Linked: true})
+			if err := rep.Err(); err != nil {
+				return &Mismatch{Engine: fmt.Sprintf("par-k%d", k), Cycle: -1, Kind: "verify", Got: err.Error()}
+			}
+		}
+		addProgram(fmt.Sprintf("par-k%d", k), pk, false)
+	}
+
+	// Verilator-style task engine.
+	if opt.Tasks {
+		if vs, err := verilator.New(g, verilator.Options{Threads: 2, Seed: opt.Seed}); err == nil {
+			engines = append(engines, namedEngine{"tasks-t2", taskAdapter{vs.Engine}})
+		}
+	}
+
+	// Compile-cache round trip: the service layer reparses the printed IR,
+	// compiles, caches, and the second request must hit with an identical
+	// fingerprint.
+	if opt.Service && d.Text != "" {
+		cache := service.NewCache(1<<30, 64, 2, nil)
+		req := service.CompileRequest{Source: d.Text, Threads: 3, Seed: opt.Seed, OptLevel: 2}
+		e1, hit1, err := cache.GetOrCompile(req)
+		if err != nil {
+			return &Mismatch{Engine: "service", Cycle: -1, Kind: "compile", Got: err.Error()}
+		}
+		if hit1 {
+			return &Mismatch{Engine: "service", Cycle: -1, Kind: "cache", Got: "hit", Want: "miss on first compile"}
+		}
+		e2, hit2, err := cache.GetOrCompile(req)
+		if err != nil {
+			return &Mismatch{Engine: "service", Cycle: -1, Kind: "compile", Got: err.Error()}
+		}
+		if !hit2 {
+			return &Mismatch{Engine: "service", Cycle: -1, Kind: "cache", Got: "miss", Want: "hit on recompile"}
+		}
+		if e1.Fingerprint != e2.Fingerprint {
+			return &Mismatch{Engine: "service", Cycle: -1, Kind: "fingerprint",
+				Got: fmt.Sprintf("%#x", e2.Fingerprint), Want: fmt.Sprintf("%#x", e1.Fingerprint)}
+		}
+		engines = append(engines, namedEngine{"service", serialAdapter{e1.Compiled.NewSimulator().Engine}})
+	}
+
+	// Mutation hook: plant a bug into a fresh O0 program and let the
+	// matrix catch it.
+	if opt.Mutate != nil {
+		pm, err := sim.Compile(g, sim.SerialSpec(g), sim.Config{OptLevel: 0})
+		if err != nil {
+			return &Mismatch{Engine: "mutant", Cycle: -1, Kind: "compile", Got: err.Error()}
+		}
+		if opt.Mutate(pm) {
+			addProgram("mutant", pm, true)
+		}
+	}
+
+	// Drive all engines with identical stimulus and compare full state
+	// after every cycle.
+	rng := rand.New(rand.NewSource(opt.Seed))
+	inputs := make([]*cgraph.Vertex, len(g.Inputs))
+	for i, vi := range g.Inputs {
+		inputs[i] = &g.Vs[vi]
+	}
+	for cyc := 0; cyc < opt.Cycles; cyc++ {
+		for _, in := range inputs {
+			w := bitvec.New(in.Type.Width)
+			for j := range w.Words {
+				w.Words[j] = rng.Uint64()
+			}
+			w = bitvec.ZeroExtend(in.Type.Width, w)
+			if err := ref.PokeInput(in.Name, w); err != nil {
+				return &Mismatch{Engine: "reference", Cycle: cyc, Kind: "compile", Name: in.Name, Got: err.Error()}
+			}
+			for _, ne := range engines {
+				if err := ne.eng.poke(in.Name, w); err != nil {
+					return &Mismatch{Engine: ne.name, Cycle: cyc, Kind: "compile", Name: in.Name, Got: err.Error()}
+				}
+			}
+		}
+		ref.Step()
+		for _, ne := range engines {
+			ne.eng.step()
+		}
+		for _, ne := range engines {
+			if m := compare(g, ref, ne, cyc); m != nil {
+				return m
+			}
+		}
+	}
+	return nil
+}
+
+// compare checks one engine against the reference: every register, every
+// output, every word of every memory, full width.
+func compare(g *cgraph.Graph, ref *sim.Reference, ne namedEngine, cyc int) *Mismatch {
+	mm := func(kind, name string, addr int, got bitvec.Vec, gotErr error, want bitvec.Vec) *Mismatch {
+		gs := "<error>"
+		if gotErr == nil {
+			gs = got.String()
+		} else {
+			gs = gotErr.Error()
+		}
+		return &Mismatch{Engine: ne.name, Cycle: cyc, Kind: kind, Name: name, Addr: addr,
+			Got: gs, Want: want.String()}
+	}
+	for i := range g.Regs {
+		name := g.Regs[i].Name
+		want, err := ref.PeekReg(name)
+		if err != nil {
+			continue
+		}
+		got, err := ne.eng.reg(name)
+		if err != nil || !bitvec.Eq(got, want) {
+			return mm("reg", name, 0, got, err, want)
+		}
+	}
+	for _, o := range g.Outputs {
+		name := g.Vs[o].Name
+		want, err := ref.PeekOutput(name)
+		if err != nil {
+			continue
+		}
+		got, err := ne.eng.out(name)
+		if err != nil || !bitvec.Eq(got, want) {
+			return mm("output", name, 0, got, err, want)
+		}
+	}
+	for mi := range g.Mems {
+		name := g.Mems[mi].Name
+		for a := 0; a < g.Mems[mi].Depth; a++ {
+			want, err := ref.PeekMem(name, a)
+			if err != nil {
+				continue
+			}
+			got, err := ne.eng.mem(name, a)
+			if err != nil || !bitvec.Eq(got, want) {
+				return mm("mem", name, a, got, err, want)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,161 @@
+package difftest
+
+import (
+	"repro/internal/genckt"
+)
+
+// Predicate reports whether a candidate (design, cycle count) still
+// reproduces the failure being minimized.
+type Predicate func(d *genckt.Design, cycles int) bool
+
+// FailsOracle adapts the differential oracle into a shrink predicate: a
+// candidate is "interesting" when Run still reports a mismatch.
+func FailsOracle(opt Options) Predicate {
+	return func(d *genckt.Design, cycles int) bool {
+		o := opt
+		o.Cycles = cycles
+		return Run(d, o) != nil
+	}
+}
+
+// ShrinkResult is a minimized failing circuit.
+type ShrinkResult struct {
+	Spec   *genckt.Spec
+	Design *genckt.Design
+	Cycles int
+	Evals  int // predicate evaluations spent
+	Steps  int // accepted shrink steps
+}
+
+// maxShrinkEvals bounds predicate evaluations: each one re-emits and
+// re-simulates the whole engine matrix, so the budget keeps worst-case
+// shrinks to a few seconds.
+const maxShrinkEvals = 1200
+
+// Shrink greedily minimizes a failing spec: drop dead nodes, shorten the
+// trace, then repeatedly try removing outputs, memory writes, memories,
+// registers, inputs, and nodes, and narrowing every remaining width, until
+// a fixpoint (or the evaluation budget) is reached. The input (spec,
+// cycles) must already fail the predicate; the result always fails it too.
+func Shrink(s *genckt.Spec, cycles int, pred Predicate) *ShrinkResult {
+	cur := s.Clone()
+	curD, err := cur.Build()
+	if err != nil {
+		return nil
+	}
+	res := &ShrinkResult{Spec: cur, Design: curD, Cycles: cycles}
+
+	// try adopts the candidate if it builds and still fails.
+	try := func(c *genckt.Spec) bool {
+		if c == nil || res.Evals >= maxShrinkEvals {
+			return false
+		}
+		d, err := c.Build()
+		if err != nil {
+			return false
+		}
+		res.Evals++
+		if !pred(d, res.Cycles) {
+			return false
+		}
+		res.Spec, res.Design, res.Steps = c, d, res.Steps+1
+		return true
+	}
+
+	// Shorten the trace first: every later evaluation gets cheaper.
+	for res.Cycles > 1 && res.Evals < maxShrinkEvals {
+		half := res.Cycles / 2
+		res.Evals++
+		if pred(res.Design, half) {
+			res.Cycles = half
+			res.Steps++
+			continue
+		}
+		res.Evals++
+		if pred(res.Design, res.Cycles-1) {
+			res.Cycles--
+			res.Steps++
+			continue
+		}
+		break
+	}
+
+	for pass := 0; pass < 8; pass++ {
+		before := res.Steps
+
+		if dd, n := res.Spec.DropDeadNodes(); n > 0 {
+			try(dd)
+		}
+		for i := len(res.Spec.Outputs) - 1; i >= 0; i-- {
+			try(res.Spec.RemoveOutput(i))
+		}
+		for i := len(res.Spec.MemWrs) - 1; i >= 0; i-- {
+			try(res.Spec.RemoveMemWrite(i))
+		}
+		for i := len(res.Spec.Mems) - 1; i >= 0; i-- {
+			try(res.Spec.RemoveMem(i))
+		}
+		for i := len(res.Spec.Regs) - 1; i >= 0; i-- {
+			try(res.Spec.RemoveReg(i))
+		}
+		for i := len(res.Spec.Inputs) - 1; i >= 0; i-- {
+			try(res.Spec.RemoveInput(i))
+		}
+		for i := len(res.Spec.Nodes) - 1; i >= 0; i-- {
+			if i >= len(res.Spec.Nodes) {
+				continue
+			}
+			if try(res.Spec.RemoveNode(i)) {
+				continue
+			}
+			// The zero literal killed the failure; forwarding an argument
+			// keeps a live (usually non-zero) data path instead.
+			for j := 0; j < len(res.Spec.Nodes[i].Args); j++ {
+				if try(res.Spec.ReplaceNodeWithArg(i, j)) {
+					break
+				}
+			}
+		}
+		if dd, n := res.Spec.DropDeadNodes(); n > 0 {
+			try(dd)
+		}
+
+		// Collapse coercions: snap every argument type to its operand's
+		// natural type, and re-emit literals at exactly their use type.
+		for i := 0; i < len(res.Spec.Nodes); i++ {
+			for j := 0; j < len(res.Spec.Nodes[i].Args); j++ {
+				nat := res.Spec.TypeOf(res.Spec.Nodes[i].Args[j])
+				try(res.Spec.RetypeNodeArg(i, j, nat))
+			}
+		}
+		try(res.Spec.FitLits())
+
+		// Narrow widths by repeated halving.
+		for i := 0; i < len(res.Spec.Regs); i++ {
+			for res.Spec.Regs[i].Type.Width > 1 {
+				if !try(res.Spec.NarrowReg(i, res.Spec.Regs[i].Type.Width/2)) {
+					break
+				}
+			}
+		}
+		for i := 0; i < len(res.Spec.Inputs); i++ {
+			for res.Spec.Inputs[i].Type.Width > 1 {
+				if !try(res.Spec.NarrowInput(i, res.Spec.Inputs[i].Type.Width/2)) {
+					break
+				}
+			}
+		}
+		for i := 0; i < len(res.Spec.Outputs); i++ {
+			for res.Spec.Outputs[i].Type.Width > 1 {
+				if !try(res.Spec.NarrowOutput(i, res.Spec.Outputs[i].Type.Width/2)) {
+					break
+				}
+			}
+		}
+
+		if res.Steps == before || res.Evals >= maxShrinkEvals {
+			break
+		}
+	}
+	return res
+}

@@ -258,6 +258,25 @@ func extend(v bitvec.Vec, from Type, w int) bitvec.Vec {
 // EvalPrim evaluates op over literal argument values with given types.
 // It is the semantic reference used by the interpreter's golden tests and
 // the constant folder; rt is the (already inferred) result type.
+// shiftAmount reduces a dynamic shift operand to a safe int. Amounts
+// that overflow uint64's low word (wide operands with high words set) or
+// exceed max saturate at max; since Shl/Shr/Asr already shift everything
+// out (or sign-fill) at n >= width, saturation preserves the semantics.
+// The naive int(v.Uint64()) both truncated >64-bit amounts and wrapped
+// negative for amounts >= 2^63, panicking the shift primitives.
+func shiftAmount(v bitvec.Vec, max int) int {
+	for i := 1; i < len(v.Words); i++ {
+		if v.Words[i] != 0 {
+			return max
+		}
+	}
+	u := v.Uint64()
+	if u > uint64(max) {
+		return max
+	}
+	return int(u)
+}
+
 func EvalPrim(op PrimOp, rt Type, ats []Type, args []bitvec.Vec, consts []int) bitvec.Vec {
 	w := rt.Width
 	b1 := func(b bool) bitvec.Vec {
@@ -355,13 +374,9 @@ func EvalPrim(op PrimOp, rt Type, ats []Type, args []bitvec.Vec, consts []int) b
 		}
 		return bitvec.Shr(w, args[0], consts[0])
 	case OpDshl:
-		n := int(args[1].Uint64())
-		return bitvec.Shl(w, args[0], n)
+		return bitvec.Shl(w, args[0], shiftAmount(args[1], w))
 	case OpDshr:
-		n := int(args[1].Uint64())
-		if n > args[0].Width {
-			n = args[0].Width
-		}
+		n := shiftAmount(args[1], args[0].Width)
 		if ats[0].Kind == KSInt {
 			return bitvec.Asr(w, args[0], n)
 		}

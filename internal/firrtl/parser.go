@@ -41,9 +41,25 @@ func Parse(src string) (*Circuit, error) {
 	return c, nil
 }
 
+// Resource bounds on parsed input. Untrusted (fuzzed) IR must produce
+// diagnostics, never panics or pathological allocations: widths and depths
+// size real allocations downstream (bitvec words, memory arrays), and
+// expression nesting consumes Go stack.
+const (
+	// MaxWidth is the widest UInt/SInt the parser accepts. Far above any
+	// real signal, far below an allocation hazard.
+	MaxWidth = 1 << 16
+	// MaxMemDepth bounds memory word counts (the engine allocates eagerly).
+	MaxMemDepth = 1 << 22
+	// maxExprDepth bounds expression-tree nesting so hostile input cannot
+	// overflow the goroutine stack via recursive descent.
+	maxExprDepth = 512
+)
+
 type parser struct {
-	lex *lexer
-	tok token
+	lex   *lexer
+	tok   token
+	depth int // current parseExpr nesting
 }
 
 func (p *parser) errf(format string, args ...any) error {
@@ -162,6 +178,9 @@ func (p *parser) parseType() (Type, error) {
 		if w <= 0 {
 			return Type{}, p.errf("width must be positive, got %d", w)
 		}
+		if w > MaxWidth {
+			return Type{}, p.errf("width %d exceeds maximum %d", w, MaxWidth)
+		}
 		if t.text == "UInt" {
 			return UInt(w), nil
 		}
@@ -260,6 +279,9 @@ func (p *parser) parseStmt(m *Module) error {
 		}
 		if depth <= 0 {
 			return p.errf("memory depth must be positive, got %d", depth)
+		}
+		if depth > MaxMemDepth {
+			return p.errf("memory depth %d exceeds maximum %d", depth, MaxMemDepth)
 		}
 		m.Stmts = append(m.Stmts, &Mem{Name: name.text, Type: ty, Depth: depth})
 		return nil
@@ -363,6 +385,11 @@ func (p *parser) parseStmt(m *Module) error {
 
 // parseExpr parses one expression.
 func (p *parser) parseExpr() (Expr, error) {
+	p.depth++
+	defer func() { p.depth-- }()
+	if p.depth > maxExprDepth {
+		return nil, p.errf("expression nesting exceeds %d levels", maxExprDepth)
+	}
 	if p.tok.kind != tIdent {
 		return nil, p.errf("expected expression, got %s %q", p.tok.kind, p.tok.text)
 	}
@@ -382,6 +409,12 @@ func (p *parser) parseExpr() (Expr, error) {
 		}
 		if _, err := p.expect(tRAngle); err != nil {
 			return nil, err
+		}
+		if w <= 0 {
+			return nil, p.errf("literal width must be positive, got %d", w)
+		}
+		if w > MaxWidth {
+			return nil, p.errf("literal width %d exceeds maximum %d", w, MaxWidth)
 		}
 		if _, err := p.expect(tLParen); err != nil {
 			return nil, err

@@ -1,0 +1,244 @@
+package genckt
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bitvec"
+	"repro/internal/cgraph"
+	"repro/internal/firrtl"
+)
+
+// Classic builds the original random synchronous circuit the internal/sim
+// tests were seeded with (the former test-local randomCircuit helper,
+// preserved bit-for-bit: same rng consumption order, so every historical
+// seed produces the identical graph). New code should prefer Generate,
+// whose Spec form the shrinker understands.
+func Classic(seed int64, size int) (g *cgraph.Graph, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			g, err = nil, fmt.Errorf("genckt: classic(%d,%d): %v", seed, size, r)
+		}
+	}()
+	rng := rand.New(rand.NewSource(seed))
+	b := firrtl.NewBuilder("Rnd")
+	mb := b.Module("Rnd")
+
+	type val struct {
+		e firrtl.Expr
+	}
+	var pool []val
+	addVal := func(e firrtl.Expr) {
+		pool = append(pool, val{e: e})
+	}
+	pick := func() firrtl.Expr { return pool[rng.Intn(len(pool))].e }
+	pickUInt := func() firrtl.Expr {
+		for tries := 0; tries < 50; tries++ {
+			e := pick()
+			if e.Type().Kind == firrtl.KUInt {
+				return e
+			}
+		}
+		return firrtl.U(8, uint64(rng.Intn(256)))
+	}
+	pickUIntNarrow := func(maxW int) firrtl.Expr {
+		for tries := 0; tries < 50; tries++ {
+			e := pick()
+			if e.Type().Kind == firrtl.KUInt && e.Type().Width <= maxW {
+				return e
+			}
+		}
+		return firrtl.U(4, uint64(rng.Intn(16)))
+	}
+
+	// Inputs.
+	in1 := mb.Input("in1", firrtl.UInt(16))
+	in2 := mb.Input("in2", firrtl.UInt(70)) // wide input
+	addVal(in1)
+	addVal(in2)
+
+	// Registers (narrow, signed, wide).
+	var regs []*firrtl.Ref
+	nRegs := 4 + rng.Intn(5)
+	for i := 0; i < nRegs; i++ {
+		var ty firrtl.Type
+		switch rng.Intn(4) {
+		case 0:
+			ty = firrtl.SInt(3 + rng.Intn(20))
+		case 1:
+			ty = firrtl.UInt(65 + rng.Intn(80)) // wide
+		default:
+			ty = firrtl.UInt(1 + rng.Intn(48))
+		}
+		r := mb.Reg(fmt.Sprintf("r%d", i), ty, rng.Uint64())
+		regs = append(regs, r)
+		addVal(r)
+	}
+
+	// A memory with narrow elements and one with wide elements.
+	memN := mb.Mem("mn", firrtl.UInt(24), 32)
+	memW := mb.Mem("mw", firrtl.UInt(96), 8)
+
+	// Random combinational nodes.
+	bin := []firrtl.PrimOp{firrtl.OpAdd, firrtl.OpSub, firrtl.OpMul, firrtl.OpAnd,
+		firrtl.OpOr, firrtl.OpXor, firrtl.OpCat, firrtl.OpLt, firrtl.OpLeq,
+		firrtl.OpGt, firrtl.OpGeq, firrtl.OpEq, firrtl.OpNeq, firrtl.OpDiv, firrtl.OpRem}
+	for i := 0; i < size; i++ {
+		var e firrtl.Expr
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3: // binary op with kind-matched args
+			op := bin[rng.Intn(len(bin))]
+			a := pick()
+			var bb firrtl.Expr
+			found := false
+			for tries := 0; tries < 50; tries++ {
+				bb = pick()
+				if bb.Type().Kind == a.Type().Kind {
+					found = true
+					break
+				}
+			}
+			if !found {
+				continue
+			}
+			if op == firrtl.OpMul && a.Type().Width+bb.Type().Width > 190 {
+				continue // keep widths bounded
+			}
+			if op == firrtl.OpCat && (a.Type().Kind != firrtl.KUInt || bb.Type().Kind != firrtl.KUInt) {
+				continue
+			}
+			if op == firrtl.OpCat && a.Type().Width+bb.Type().Width > 190 {
+				continue
+			}
+			if (op == firrtl.OpDiv || op == firrtl.OpRem) && a.Type().Width > 64 {
+				continue // EvalPrim handles, but keep div narrow for speed
+			}
+			e = firrtl.P(op, a, bb)
+		case 4: // unary
+			ops := []firrtl.PrimOp{firrtl.OpNot, firrtl.OpNeg, firrtl.OpAndR,
+				firrtl.OpOrR, firrtl.OpXorR, firrtl.OpCvt}
+			e = firrtl.P(ops[rng.Intn(len(ops))], pick())
+		case 5: // bits / shifts / pad
+			a := pick()
+			w := a.Type().Width
+			switch rng.Intn(4) {
+			case 0:
+				hi := rng.Intn(w)
+				lo := rng.Intn(hi + 1)
+				e = firrtl.BitsE(a, hi, lo)
+			case 1:
+				e = firrtl.PC(firrtl.OpShl, []firrtl.Expr{a}, []int{rng.Intn(8)})
+			case 2:
+				e = firrtl.PC(firrtl.OpShr, []firrtl.Expr{a}, []int{rng.Intn(w)})
+			case 3:
+				e = firrtl.PC(firrtl.OpPad, []firrtl.Expr{a}, []int{w + rng.Intn(12)})
+			}
+		case 6: // mux
+			sel := pick()
+			if sel.Type().Kind != firrtl.KUInt || sel.Type().Width != 1 {
+				sel = firrtl.OrrE(pickUInt())
+			}
+			a := pick()
+			var bb firrtl.Expr
+			found := false
+			for tries := 0; tries < 50; tries++ {
+				bb = pick()
+				if bb.Type().Kind == a.Type().Kind {
+					found = true
+					break
+				}
+			}
+			if !found {
+				continue
+			}
+			e = firrtl.Mux(sel, a, bb)
+		case 7: // dynamic shift
+			a := pick()
+			amt := pickUIntNarrow(4)
+			if a.Type().Width+(1<<amt.Type().Width)-1 > 190 {
+				continue
+			}
+			if rng.Intn(2) == 0 {
+				e = firrtl.P(firrtl.OpDshl, a, amt)
+			} else {
+				e = firrtl.P(firrtl.OpDshr, a, amt)
+			}
+		case 8: // memory reads
+			if rng.Intn(2) == 0 {
+				e = memN.Read(firrtl.Trunc(5, firrtl.PadE(5, pickUIntNarrow(5))))
+			} else {
+				e = memW.Read(firrtl.Trunc(3, firrtl.PadE(3, pickUIntNarrow(3))))
+			}
+		case 9: // literal
+			if rng.Intn(2) == 0 {
+				e = firrtl.U(1+rng.Intn(60), rng.Uint64())
+			} else {
+				w := 66 + rng.Intn(60)
+				v := bitvec.New(w)
+				for j := range v.Words {
+					v.Words[j] = rng.Uint64()
+				}
+				e = &firrtl.Lit{Typ: firrtl.UInt(w), Val: bitvec.ZeroExtend(w, v)}
+			}
+		}
+		if e == nil {
+			continue
+		}
+		addVal(mb.Node("", e))
+	}
+
+	// Drive registers from pool values of matching kind, fitted to width.
+	fit := func(e firrtl.Expr, ty firrtl.Type) firrtl.Expr {
+		et := e.Type()
+		if et.Width > ty.Width {
+			ex := firrtl.BitsE(e, ty.Width-1, 0) // UInt result
+			if ty.Kind == firrtl.KSInt {
+				return firrtl.P(firrtl.OpAsSInt, ex)
+			}
+			return ex
+		}
+		return e
+	}
+	for _, r := range regs {
+		var e firrtl.Expr
+		found := false
+		for tries := 0; tries < 80; tries++ {
+			e = pick()
+			if e.Type().Kind == r.Type().Kind {
+				found = true
+				break
+			}
+		}
+		if !found {
+			e = r
+		}
+		mb.Connect(r, fit(e, r.Type()))
+	}
+
+	// Memory writes.
+	memN.Write(firrtl.Trunc(5, firrtl.PadE(5, pickUIntNarrow(5))),
+		fit(pickUInt(), firrtl.UInt(24)), firrtl.OrrE(pickUInt()))
+	memW.Write(firrtl.Trunc(3, firrtl.PadE(3, pickUIntNarrow(3))),
+		fit(pickUInt(), firrtl.UInt(96)), firrtl.OrrE(pickUInt()))
+
+	// Outputs: xor-reduce a few pool values so everything stays live.
+	o1 := mb.Output("o1", firrtl.UInt(1))
+	var acc firrtl.Expr = firrtl.U(1, 0)
+	for i := 0; i < 6; i++ {
+		acc = firrtl.Xor(acc, firrtl.XorrE(pick()))
+	}
+	mb.Connect(o1, firrtl.Trunc(1, acc))
+	o2 := mb.Output("o2", firrtl.UInt(70))
+	mb.Connect(o2, firrtl.PadE(70, firrtl.Trunc(70, firrtl.PadE(70, pickUInt()))))
+
+	c := b.Circuit()
+	lc, err := firrtl.Lower(c)
+	if err != nil {
+		return nil, fmt.Errorf("genckt: classic lower: %w", err)
+	}
+	g, err = cgraph.Build(lc)
+	if err != nil {
+		return nil, fmt.Errorf("genckt: classic build: %w", err)
+	}
+	return g, nil
+}

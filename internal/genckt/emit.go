@@ -1,0 +1,168 @@
+package genckt
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/bitvec"
+	"repro/internal/cgraph"
+	"repro/internal/firrtl"
+)
+
+// Design is a fully emitted circuit: the spec it came from, the textual IR,
+// the parsed+checked circuit, and the split DAG. Text and Graph come from
+// the same print→parse→check→flatten→lower pipeline real input takes, so
+// every generated design exercises the firrtl front end end-to-end.
+type Design struct {
+	Spec    *Spec
+	Text    string
+	Circuit *firrtl.Circuit
+	Graph   *cgraph.Graph
+}
+
+// AddrWidth returns the address port width for a memory of the given depth.
+func AddrWidth(depth int) int {
+	w := bits.Len(uint(depth - 1))
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// coerce adapts e to exactly the wanted type: a cast if the kinds differ,
+// then a truncate (bits) or widen (pad). It is the emission-time glue that
+// keeps any shrink transformation type-correct.
+func coerce(e firrtl.Expr, want firrtl.Type) firrtl.Expr {
+	t := e.Type()
+	if t.Kind != want.Kind {
+		if want.Kind == firrtl.KSInt {
+			e = firrtl.P(firrtl.OpAsSInt, e)
+		} else {
+			e = firrtl.P(firrtl.OpAsUInt, e)
+		}
+		t = e.Type()
+	}
+	if t.Width > want.Width {
+		e = firrtl.BitsE(e, want.Width-1, 0)
+		if want.Kind == firrtl.KSInt {
+			e = firrtl.P(firrtl.OpAsSInt, e)
+		}
+	} else if t.Width < want.Width {
+		e = firrtl.PadE(want.Width, e)
+	}
+	return e
+}
+
+// Build emits the spec through the real front-end pipeline. Any type error
+// the builder panics on is returned as an error (the shrinker probes
+// candidate specs and must survive invalid ones).
+func (s *Spec) Build() (d *Design, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			d, err = nil, fmt.Errorf("genckt: emit %s: %v", s.Name, r)
+		}
+	}()
+
+	name := s.Name
+	if name == "" {
+		name = "Gen"
+	}
+	b := firrtl.NewBuilder(name)
+	mb := b.Module(name)
+
+	inRefs := make([]firrtl.Expr, len(s.Inputs))
+	for i, p := range s.Inputs {
+		inRefs[i] = mb.Input(p.Name, p.Type)
+	}
+	regRefs := make([]*firrtl.Ref, len(s.Regs))
+	for i, r := range s.Regs {
+		regRefs[i] = mb.Reg(r.Name, r.Type, r.Init)
+	}
+	memRefs := make([]*firrtl.MemHandle, len(s.Mems))
+	for i, m := range s.Mems {
+		memRefs[i] = mb.Mem(m.Name, firrtl.UInt(m.Width), m.Depth)
+	}
+
+	nodeRefs := make([]firrtl.Expr, 0, len(s.Nodes))
+	refExpr := func(r VRef) firrtl.Expr {
+		switch r.Kind {
+		case RInput:
+			return inRefs[r.Idx]
+		case RReg:
+			return regRefs[r.Idx]
+		case RNode:
+			return nodeRefs[r.Idx]
+		default:
+			t := firrtl.UInt(r.Lit.Width)
+			if r.Signed {
+				t = firrtl.SInt(r.Lit.Width)
+			}
+			return &firrtl.Lit{Typ: t, Val: bitvec.ZeroExtend(r.Lit.Width, r.Lit)}
+		}
+	}
+	arg := func(n *NodeSpec, i int) firrtl.Expr {
+		return coerce(refExpr(n.Args[i]), n.ArgTypes[i])
+	}
+
+	for i := range s.Nodes {
+		n := &s.Nodes[i]
+		var e firrtl.Expr
+		switch n.Kind {
+		case NMemRead:
+			e = memRefs[n.Mem].Read(arg(n, 0))
+		default:
+			args := make([]firrtl.Expr, len(n.Args))
+			for j := range n.Args {
+				args[j] = arg(n, j)
+			}
+			e = firrtl.PC(n.Op, args, n.Consts)
+		}
+		if got := e.Type(); got != n.Type {
+			return nil, fmt.Errorf("genckt: node %s inferred %s, spec says %s", n.Name, got, n.Type)
+		}
+		nodeRefs = append(nodeRefs, mb.Node(n.Name, e))
+	}
+
+	for i := range s.Regs {
+		mb.Connect(regRefs[i], coerce(refExpr(s.RegDrv[i]), s.Regs[i].Type))
+	}
+	for _, w := range s.MemWrs {
+		m := s.Mems[w.Mem]
+		memRefs[w.Mem].Write(
+			coerce(refExpr(w.Addr), firrtl.UInt(AddrWidth(m.Depth))),
+			coerce(refExpr(w.Data), firrtl.UInt(m.Width)),
+			coerce(refExpr(w.En), firrtl.UInt(1)))
+	}
+	for _, o := range s.Outputs {
+		out := mb.Output(o.Name, o.Type)
+		mb.Connect(out, coerce(refExpr(o.Src), o.Type))
+	}
+
+	text := firrtl.Print(b.Circuit())
+	return FromText(s, text)
+}
+
+// FromText runs textual IR through parse→check→flatten→lower→build. The
+// spec may be nil (crasher replay from a .fir file).
+func FromText(s *Spec, text string) (*Design, error) {
+	c, err := firrtl.Parse(text)
+	if err != nil {
+		return nil, fmt.Errorf("genckt: reparse: %w", err)
+	}
+	if err := firrtl.Check(c); err != nil {
+		return nil, fmt.Errorf("genckt: recheck: %w", err)
+	}
+	fc, err := firrtl.Flatten(c)
+	if err != nil {
+		return nil, fmt.Errorf("genckt: flatten: %w", err)
+	}
+	lc, err := firrtl.Lower(fc)
+	if err != nil {
+		return nil, fmt.Errorf("genckt: lower: %w", err)
+	}
+	g, err := cgraph.Build(lc)
+	if err != nil {
+		return nil, fmt.Errorf("genckt: graph: %w", err)
+	}
+	return &Design{Spec: s, Text: text, Circuit: c, Graph: g}, nil
+}

@@ -1,0 +1,281 @@
+package genckt
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bitvec"
+	"repro/internal/firrtl"
+)
+
+// Config parameterizes generation. Everything is derived deterministically
+// from Seed; the same Config always yields the same Spec (and, through
+// Build, byte-identical IR text).
+type Config struct {
+	Seed     int64
+	Size     int // target combinational node count (default 50)
+	MaxWidth int // widest signal to generate (default 128)
+	Name     string
+}
+
+func (c *Config) defaults() {
+	if c.Size <= 0 {
+		c.Size = 50
+	}
+	if c.MaxWidth <= 0 {
+		c.MaxWidth = 128
+	}
+	if c.MaxWidth > 128 {
+		c.MaxWidth = 128
+	}
+	if c.Name == "" {
+		c.Name = "Gen"
+	}
+}
+
+// maxNodeWidth caps intermediate result widths: wide enough to force the
+// multi-word bitvec path well past 128 bits, small enough to keep the
+// shrinker and reference evaluator fast.
+const maxNodeWidth = 192
+
+// boundaryWidths biases generated widths toward word-boundary edge cases.
+var boundaryWidths = []int{1, 2, 5, 8, 16, 31, 32, 33, 48, 63, 64, 65, 96, 127, 128}
+
+// gen carries generation state: the spec under construction and the pool
+// of references new nodes draw operands from.
+type gen struct {
+	rng  *rand.Rand
+	cfg  Config
+	spec *Spec
+	pool []VRef
+}
+
+func (g *gen) width() int {
+	if g.rng.Intn(3) == 0 {
+		return 1 + g.rng.Intn(g.cfg.MaxWidth)
+	}
+	for tries := 0; tries < 10; tries++ {
+		w := boundaryWidths[g.rng.Intn(len(boundaryWidths))]
+		if w <= g.cfg.MaxWidth {
+			return w
+		}
+	}
+	return 1 + g.rng.Intn(g.cfg.MaxWidth)
+}
+
+func (g *gen) narrowWidth(max int) int {
+	if max > 64 {
+		max = 64
+	}
+	return 1 + g.rng.Intn(max)
+}
+
+func (g *gen) kind() firrtl.Kind {
+	if g.rng.Intn(3) == 0 {
+		return firrtl.KSInt
+	}
+	return firrtl.KUInt
+}
+
+func (g *gen) pick() VRef { return g.pool[g.rng.Intn(len(g.pool))] }
+
+// randLit builds a random literal of the given type.
+func (g *gen) randLit(t firrtl.Type) VRef {
+	v := bitvec.New(t.Width)
+	for i := range v.Words {
+		v.Words[i] = g.rng.Uint64()
+	}
+	v = bitvec.ZeroExtend(t.Width, v)
+	return VRef{Kind: RLit, Lit: v, Signed: t.Kind == firrtl.KSInt}
+}
+
+// addNode appends a primitive node if the types infer, returning success.
+func (g *gen) addNode(op firrtl.PrimOp, args []VRef, ats []firrtl.Type, consts []int) bool {
+	rt, err := firrtl.InferType(op, ats, consts)
+	if err != nil || rt.Width > maxNodeWidth {
+		return false
+	}
+	i := len(g.spec.Nodes)
+	g.spec.Nodes = append(g.spec.Nodes, NodeSpec{
+		Name: fmt.Sprintf("n%d", i), Kind: NPrim,
+		Op: op, Consts: consts, Args: args, ArgTypes: ats, Type: rt,
+	})
+	g.pool = append(g.pool, VRef{Kind: RNode, Idx: i})
+	return true
+}
+
+func (g *gen) addMemRead(mem int) {
+	m := g.spec.Mems[mem]
+	i := len(g.spec.Nodes)
+	g.spec.Nodes = append(g.spec.Nodes, NodeSpec{
+		Name: fmt.Sprintf("n%d", i), Kind: NMemRead, Mem: mem,
+		Args:     []VRef{g.pick()},
+		ArgTypes: []firrtl.Type{firrtl.UInt(AddrWidth(m.Depth))},
+		Type:     firrtl.UInt(m.Width),
+	})
+	g.pool = append(g.pool, VRef{Kind: RNode, Idx: i})
+}
+
+var binArith = []firrtl.PrimOp{firrtl.OpAdd, firrtl.OpSub, firrtl.OpMul, firrtl.OpDiv, firrtl.OpRem}
+var binCmp = []firrtl.PrimOp{firrtl.OpLt, firrtl.OpLeq, firrtl.OpGt, firrtl.OpGeq, firrtl.OpEq, firrtl.OpNeq}
+var binBit = []firrtl.PrimOp{firrtl.OpAnd, firrtl.OpOr, firrtl.OpXor}
+var unary = []firrtl.PrimOp{firrtl.OpNot, firrtl.OpNeg, firrtl.OpAndR, firrtl.OpOrR,
+	firrtl.OpXorR, firrtl.OpCvt, firrtl.OpAsUInt, firrtl.OpAsSInt}
+
+// step emits one random node (or pool literal).
+func (g *gen) step() {
+	s := g.spec
+	switch g.rng.Intn(12) {
+	case 0, 1: // same-kind arithmetic; signed forms reach OpSDiv/OpSRem/OpSext
+		op := binArith[g.rng.Intn(len(binArith))]
+		k := g.kind()
+		wa, wb := g.width(), g.width()
+		if op == firrtl.OpMul {
+			for wa+wb > maxNodeWidth-2 {
+				wa, wb = (wa+1)/2, (wb+1)/2
+			}
+		}
+		if (op == firrtl.OpDiv || op == firrtl.OpRem) && g.rng.Intn(4) != 0 {
+			wa, wb = g.narrowWidth(wa), g.narrowWidth(wb) // mostly narrow for speed
+		}
+		g.addNode(op, []VRef{g.pick(), g.pick()},
+			[]firrtl.Type{{Kind: k, Width: wa}, {Kind: k, Width: wb}}, nil)
+	case 2: // comparisons, signed and unsigned
+		op := binCmp[g.rng.Intn(len(binCmp))]
+		k := g.kind()
+		g.addNode(op, []VRef{g.pick(), g.pick()},
+			[]firrtl.Type{{Kind: k, Width: g.width()}, {Kind: k, Width: g.width()}}, nil)
+	case 3: // bitwise (mixed kinds allowed)
+		op := binBit[g.rng.Intn(len(binBit))]
+		g.addNode(op, []VRef{g.pick(), g.pick()},
+			[]firrtl.Type{{Kind: g.kind(), Width: g.width()}, {Kind: g.kind(), Width: g.width()}}, nil)
+	case 4: // cat (UInt only)
+		wa, wb := g.width(), g.width()
+		for wa+wb > maxNodeWidth {
+			wa, wb = (wa+1)/2, (wb+1)/2
+		}
+		g.addNode(firrtl.OpCat, []VRef{g.pick(), g.pick()},
+			[]firrtl.Type{firrtl.UInt(wa), firrtl.UInt(wb)}, nil)
+	case 5: // unary
+		op := unary[g.rng.Intn(len(unary))]
+		g.addNode(op, []VRef{g.pick()}, []firrtl.Type{{Kind: g.kind(), Width: g.width()}}, nil)
+	case 6: // bits / head / tail
+		at := firrtl.Type{Kind: g.kind(), Width: g.width()}
+		a := []VRef{g.pick()}
+		switch g.rng.Intn(3) {
+		case 0:
+			hi := g.rng.Intn(at.Width)
+			lo := g.rng.Intn(hi + 1)
+			g.addNode(firrtl.OpBits, a, []firrtl.Type{at}, []int{hi, lo})
+		case 1:
+			g.addNode(firrtl.OpHead, a, []firrtl.Type{at}, []int{1 + g.rng.Intn(at.Width)})
+		default:
+			g.addNode(firrtl.OpTail, a, []firrtl.Type{at}, []int{g.rng.Intn(at.Width)})
+		}
+	case 7: // constant shifts / pad (OpShl/OpShr/OpSar on signed args)
+		at := firrtl.Type{Kind: g.kind(), Width: g.width()}
+		a := []VRef{g.pick()}
+		switch g.rng.Intn(3) {
+		case 0:
+			g.addNode(firrtl.OpShl, a, []firrtl.Type{at}, []int{g.rng.Intn(9)})
+		case 1:
+			g.addNode(firrtl.OpShr, a, []firrtl.Type{at}, []int{g.rng.Intn(at.Width + 2)})
+		default:
+			g.addNode(firrtl.OpPad, a, []firrtl.Type{at}, []int{at.Width + g.rng.Intn(16)})
+		}
+	case 8: // dynamic shifts: dshl, dshr, and dsar via SInt dshr
+		at := firrtl.Type{Kind: g.kind(), Width: g.width()}
+		amt := firrtl.UInt(1 + g.rng.Intn(4))
+		args := []VRef{g.pick(), g.pick()}
+		if g.rng.Intn(2) == 0 {
+			g.addNode(firrtl.OpDshl, args, []firrtl.Type{at, amt}, nil)
+		} else {
+			g.addNode(firrtl.OpDshr, args, []firrtl.Type{at, amt}, nil)
+		}
+	case 9: // mux
+		k := g.kind()
+		g.addNode(firrtl.OpMux, []VRef{g.pick(), g.pick(), g.pick()},
+			[]firrtl.Type{firrtl.UInt(1), {Kind: k, Width: g.width()}, {Kind: k, Width: g.width()}}, nil)
+	case 10: // memory read
+		if len(s.Mems) > 0 {
+			g.addMemRead(g.rng.Intn(len(s.Mems)))
+		}
+	default: // literal into the pool
+		g.pool = append(g.pool, g.randLit(firrtl.Type{Kind: g.kind(), Width: g.width()}))
+	}
+}
+
+// Generate builds a random spec from the config.
+func Generate(cfg Config) *Spec {
+	cfg.defaults()
+	g := &gen{rng: rand.New(rand.NewSource(cfg.Seed)), cfg: cfg, spec: &Spec{Name: cfg.Name}}
+	s := g.spec
+
+	// Inputs: at least one narrow and, width permitting, one wide.
+	nIn := 2 + g.rng.Intn(2)
+	for i := 0; i < nIn; i++ {
+		w := g.width()
+		if i == 0 {
+			w = g.narrowWidth(g.cfg.MaxWidth)
+		}
+		if i == 1 && g.cfg.MaxWidth > 64 {
+			w = 65 + g.rng.Intn(g.cfg.MaxWidth-64)
+		}
+		s.Inputs = append(s.Inputs, PortSpec{Name: fmt.Sprintf("in%d", i), Type: firrtl.UInt(w)})
+		g.pool = append(g.pool, VRef{Kind: RInput, Idx: i})
+	}
+
+	// Registers: a mix of narrow unsigned, signed, and wide.
+	nReg := 3 + g.rng.Intn(5)
+	for i := 0; i < nReg; i++ {
+		var t firrtl.Type
+		switch g.rng.Intn(4) {
+		case 0:
+			t = firrtl.SInt(1 + g.narrowWidth(24))
+		case 1:
+			if g.cfg.MaxWidth > 64 {
+				t = firrtl.UInt(65 + g.rng.Intn(g.cfg.MaxWidth-64))
+			} else {
+				t = firrtl.UInt(g.narrowWidth(64))
+			}
+		default:
+			t = firrtl.UInt(g.narrowWidth(48))
+		}
+		s.Regs = append(s.Regs, RegSpec{Name: fmt.Sprintf("r%d", i), Type: t, Init: g.rng.Uint64()})
+		g.pool = append(g.pool, VRef{Kind: RReg, Idx: i})
+	}
+
+	// Memories: one narrow, and (width permitting) one wide.
+	depths := []int{4, 8, 16, 32}
+	s.Mems = append(s.Mems, MemSpec{Name: "m0", Width: g.narrowWidth(48), Depth: depths[g.rng.Intn(len(depths))]})
+	if g.cfg.MaxWidth > 64 && g.rng.Intn(3) != 0 {
+		s.Mems = append(s.Mems, MemSpec{Name: "m1", Width: 65 + g.rng.Intn(g.cfg.MaxWidth-64), Depth: depths[g.rng.Intn(2)]})
+	}
+
+	for i := 0; i < cfg.Size; i++ {
+		g.step()
+	}
+
+	// Drive every register from the pool (self-loops arise naturally when
+	// the pick lands on the register's own read value).
+	for range s.Regs {
+		s.RegDrv = append(s.RegDrv, g.pick())
+	}
+	// One write port per memory. Two ports on one memory are legal IR but
+	// racy when a partitioner splits them across threads (verify flags it
+	// as a Warning): commit-phase writes to colliding addresses have no
+	// defined order, so the differential oracle cannot use them.
+	for mi := range s.Mems {
+		s.MemWrs = append(s.MemWrs, MemWrite{Mem: mi, Addr: g.pick(), Data: g.pick(), En: g.pick()})
+	}
+	// Outputs sample pool values at their natural types: full-width
+	// observability for the differential oracle.
+	nOut := 3 + g.rng.Intn(3)
+	for i := 0; i < nOut; i++ {
+		src := g.pick()
+		s.Outputs = append(s.Outputs, OutputSpec{
+			Name: fmt.Sprintf("o%d", i), Type: s.TypeOf(src), Src: src,
+		})
+	}
+	return s
+}

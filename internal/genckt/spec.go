@@ -1,0 +1,430 @@
+// Package genckt is a seeded, deterministic random-circuit generator for
+// differential testing. It subsumes the test-local randomCircuit helpers:
+// generated circuits exercise every interpreter opcode class (narrow and
+// wide arithmetic, constant and dynamic shifts, muxes, comparisons,
+// reductions, memories with read/write ports, register feedback loops,
+// 1–128-bit widths) and are emitted both as textual LoFIRRTL and as a
+// cgraph circuit, so the firrtl front end is exercised end-to-end on every
+// generated design.
+//
+// The generator's intermediate form is a Spec: a flat, index-based circuit
+// description that a shrinker can transform (drop nodes, remove state,
+// narrow widths) while staying trivially re-emittable — every use site
+// records the type it coerces its operand to, so replacing an operand with
+// a zero literal or narrowing a register never produces an ill-typed
+// circuit.
+package genckt
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/firrtl"
+)
+
+// RefKind says which table a VRef indexes.
+type RefKind uint8
+
+// Reference kinds.
+const (
+	RInput RefKind = iota // Spec.Inputs
+	RReg                  // Spec.Regs (the register's read value)
+	RNode                 // Spec.Nodes
+	RLit                  // inline literal (Lit/Signed)
+)
+
+// VRef is one operand: an input, register, earlier node, or literal.
+type VRef struct {
+	Kind   RefKind
+	Idx    int
+	Lit    bitvec.Vec // RLit payload
+	Signed bool       // RLit: emit as SInt
+}
+
+// ZeroRef returns a literal-zero reference of the given type.
+func ZeroRef(t firrtl.Type) VRef {
+	return VRef{Kind: RLit, Lit: bitvec.New(t.Width), Signed: t.Kind == firrtl.KSInt}
+}
+
+// PortSpec declares one input port.
+type PortSpec struct {
+	Name string
+	Type firrtl.Type
+}
+
+// RegSpec declares one register. Init is truncated to the width.
+type RegSpec struct {
+	Name string
+	Type firrtl.Type
+	Init uint64
+}
+
+// MemSpec declares one memory of UInt<Width> elements.
+type MemSpec struct {
+	Name  string
+	Width int
+	Depth int
+}
+
+// NodeKind classifies nodes.
+type NodeKind uint8
+
+// Node kinds.
+const (
+	NPrim    NodeKind = iota // primitive operation
+	NMemRead                 // combinational memory read
+)
+
+// NodeSpec is one combinational node. Args are coerced to ArgTypes at
+// emission, so a shrinker may substitute any reference (or literal) for an
+// argument without re-inferring downstream types: Type is fixed.
+type NodeSpec struct {
+	Name     string
+	Kind     NodeKind
+	Op       firrtl.PrimOp // NPrim
+	Consts   []int         // NPrim constant arguments
+	Mem      int           // NMemRead memory index
+	Args     []VRef
+	ArgTypes []firrtl.Type
+	Type     firrtl.Type // result type
+}
+
+// MemWrite is one write port: Data is coerced to the element width, En to
+// UInt<1>, Addr to the memory's address width.
+type MemWrite struct {
+	Mem  int
+	Addr VRef
+	Data VRef
+	En   VRef
+}
+
+// OutputSpec samples one reference as a top-level output port.
+type OutputSpec struct {
+	Name string
+	Type firrtl.Type
+	Src  VRef
+}
+
+// Spec is a shrinkable circuit description.
+type Spec struct {
+	Name    string
+	Inputs  []PortSpec
+	Regs    []RegSpec
+	Mems    []MemSpec
+	Nodes   []NodeSpec
+	RegDrv  []VRef // next-value driver per register
+	MemWrs  []MemWrite
+	Outputs []OutputSpec
+}
+
+// TypeOf returns the type a reference carries before coercion.
+func (s *Spec) TypeOf(r VRef) firrtl.Type {
+	switch r.Kind {
+	case RInput:
+		return s.Inputs[r.Idx].Type
+	case RReg:
+		return s.Regs[r.Idx].Type
+	case RNode:
+		return s.Nodes[r.Idx].Type
+	default:
+		if r.Signed {
+			return firrtl.SInt(r.Lit.Width)
+		}
+		return firrtl.UInt(r.Lit.Width)
+	}
+}
+
+// Clone deep-copies the spec (shrink transformations never mutate their
+// receiver).
+func (s *Spec) Clone() *Spec {
+	c := &Spec{Name: s.Name}
+	c.Inputs = append([]PortSpec(nil), s.Inputs...)
+	c.Regs = append([]RegSpec(nil), s.Regs...)
+	c.Mems = append([]MemSpec(nil), s.Mems...)
+	c.Nodes = append([]NodeSpec(nil), s.Nodes...)
+	for i := range c.Nodes {
+		c.Nodes[i].Args = append([]VRef(nil), c.Nodes[i].Args...)
+		c.Nodes[i].ArgTypes = append([]firrtl.Type(nil), c.Nodes[i].ArgTypes...)
+		c.Nodes[i].Consts = append([]int(nil), c.Nodes[i].Consts...)
+	}
+	c.RegDrv = append([]VRef(nil), s.RegDrv...)
+	c.MemWrs = append([]MemWrite(nil), s.MemWrs...)
+	c.Outputs = append([]OutputSpec(nil), s.Outputs...)
+	return c
+}
+
+// mapRefs rewrites every reference in place through f.
+func (s *Spec) mapRefs(f func(VRef) VRef) {
+	for i := range s.Nodes {
+		for j := range s.Nodes[i].Args {
+			s.Nodes[i].Args[j] = f(s.Nodes[i].Args[j])
+		}
+	}
+	for i := range s.RegDrv {
+		s.RegDrv[i] = f(s.RegDrv[i])
+	}
+	for i := range s.MemWrs {
+		s.MemWrs[i].Addr = f(s.MemWrs[i].Addr)
+		s.MemWrs[i].Data = f(s.MemWrs[i].Data)
+		s.MemWrs[i].En = f(s.MemWrs[i].En)
+	}
+	for i := range s.Outputs {
+		s.Outputs[i].Src = f(s.Outputs[i].Src)
+	}
+}
+
+// RemoveNode returns a copy with node i replaced by a zero literal at every
+// use and deleted.
+func (s *Spec) RemoveNode(i int) *Spec {
+	c := s.Clone()
+	zero := ZeroRef(s.Nodes[i].Type)
+	c.mapRefs(func(r VRef) VRef {
+		if r.Kind != RNode {
+			return r
+		}
+		switch {
+		case r.Idx == i:
+			return zero
+		case r.Idx > i:
+			r.Idx--
+		}
+		return r
+	})
+	c.Nodes = append(c.Nodes[:i:i], c.Nodes[i+1:]...)
+	return c
+}
+
+// RemoveReg returns a copy with register i replaced by a zero literal at
+// every read and deleted (its driver connect goes with it).
+func (s *Spec) RemoveReg(i int) *Spec {
+	c := s.Clone()
+	zero := ZeroRef(s.Regs[i].Type)
+	c.mapRefs(func(r VRef) VRef {
+		if r.Kind != RReg {
+			return r
+		}
+		switch {
+		case r.Idx == i:
+			return zero
+		case r.Idx > i:
+			r.Idx--
+		}
+		return r
+	})
+	c.Regs = append(c.Regs[:i:i], c.Regs[i+1:]...)
+	c.RegDrv = append(c.RegDrv[:i:i], c.RegDrv[i+1:]...)
+	return c
+}
+
+// RemoveInput returns a copy with input i replaced by a zero literal at
+// every use and deleted.
+func (s *Spec) RemoveInput(i int) *Spec {
+	c := s.Clone()
+	zero := ZeroRef(s.Inputs[i].Type)
+	c.mapRefs(func(r VRef) VRef {
+		if r.Kind != RInput {
+			return r
+		}
+		switch {
+		case r.Idx == i:
+			return zero
+		case r.Idx > i:
+			r.Idx--
+		}
+		return r
+	})
+	c.Inputs = append(c.Inputs[:i:i], c.Inputs[i+1:]...)
+	return c
+}
+
+// RemoveMem returns a copy without memory i, or nil if a node still reads
+// it (remove those nodes first). Its write ports are dropped.
+func (s *Spec) RemoveMem(i int) *Spec {
+	for j := range s.Nodes {
+		if s.Nodes[j].Kind == NMemRead && s.Nodes[j].Mem == i {
+			return nil
+		}
+	}
+	c := s.Clone()
+	var wrs []MemWrite
+	for _, w := range c.MemWrs {
+		if w.Mem == i {
+			continue
+		}
+		if w.Mem > i {
+			w.Mem--
+		}
+		wrs = append(wrs, w)
+	}
+	c.MemWrs = wrs
+	for j := range c.Nodes {
+		if c.Nodes[j].Kind == NMemRead && c.Nodes[j].Mem > i {
+			c.Nodes[j].Mem--
+		}
+	}
+	c.Mems = append(c.Mems[:i:i], c.Mems[i+1:]...)
+	return c
+}
+
+// RemoveMemWrite returns a copy without write port i.
+func (s *Spec) RemoveMemWrite(i int) *Spec {
+	c := s.Clone()
+	c.MemWrs = append(c.MemWrs[:i:i], c.MemWrs[i+1:]...)
+	return c
+}
+
+// RemoveOutput returns a copy without output i, or nil if it is the last
+// output (a circuit with no sinks is vacuous).
+func (s *Spec) RemoveOutput(i int) *Spec {
+	if len(s.Outputs) <= 1 && len(s.RegDrv) == 0 && len(s.MemWrs) == 0 {
+		return nil
+	}
+	c := s.Clone()
+	c.Outputs = append(c.Outputs[:i:i], c.Outputs[i+1:]...)
+	return c
+}
+
+// NarrowReg returns a copy with register i narrowed to width w (its init
+// truncates; every use re-coerces).
+func (s *Spec) NarrowReg(i, w int) *Spec {
+	c := s.Clone()
+	c.Regs[i].Type.Width = w
+	return c
+}
+
+// NarrowInput returns a copy with input i narrowed to width w.
+func (s *Spec) NarrowInput(i, w int) *Spec {
+	c := s.Clone()
+	c.Inputs[i].Type.Width = w
+	return c
+}
+
+// NarrowOutput returns a copy with output i narrowed to width w.
+func (s *Spec) NarrowOutput(i, w int) *Spec {
+	c := s.Clone()
+	c.Outputs[i].Type.Width = w
+	return c
+}
+
+// ReplaceNodeWithArg returns a copy with node i deleted and every use of
+// it rewired to the node's j-th argument (use sites re-coerce, so the
+// substitution is always type-correct). Unlike RemoveNode this preserves a
+// live data path, which matters when a failure needs non-zero values.
+func (s *Spec) ReplaceNodeWithArg(i, j int) *Spec {
+	if j >= len(s.Nodes[i].Args) {
+		return nil
+	}
+	target := s.Nodes[i].Args[j] // args always point strictly earlier
+	c := s.Clone()
+	c.mapRefs(func(r VRef) VRef {
+		if r.Kind != RNode {
+			return r
+		}
+		switch {
+		case r.Idx == i:
+			return target
+		case r.Idx > i:
+			r.Idx--
+		}
+		return r
+	})
+	c.Nodes = append(c.Nodes[:i:i], c.Nodes[i+1:]...)
+	return c
+}
+
+// RetypeNodeArg returns a copy with node i's j-th argument type set to t
+// and the node's result type re-inferred, or nil if the op rejects the new
+// signature. Snapping an argument type to its operand's natural type
+// deletes the pad/bits coercion vertices the emitter would otherwise
+// produce.
+func (s *Spec) RetypeNodeArg(i, j int, t firrtl.Type) *Spec {
+	n := &s.Nodes[i]
+	if n.Kind != NPrim || j >= len(n.ArgTypes) || n.ArgTypes[j] == t {
+		return nil
+	}
+	c := s.Clone()
+	c.Nodes[i].ArgTypes[j] = t
+	rt, err := firrtl.InferType(c.Nodes[i].Op, c.Nodes[i].ArgTypes, c.Nodes[i].Consts)
+	if err != nil {
+		return nil
+	}
+	c.Nodes[i].Type = rt
+	return c
+}
+
+// FitLits returns a copy in which every literal operand is re-emitted at
+// exactly the type its use site coerces to (value truncated or
+// zero-extended), turning the coercion into an identity and deleting its
+// vertices.
+func (s *Spec) FitLits() *Spec {
+	c := s.Clone()
+	fit := func(r VRef, t firrtl.Type) VRef {
+		if r.Kind != RLit {
+			return r
+		}
+		signed := t.Kind == firrtl.KSInt
+		if r.Lit.Width == t.Width && r.Signed == signed {
+			return r
+		}
+		return VRef{Kind: RLit, Lit: bitvec.ZeroExtend(t.Width, r.Lit), Signed: signed}
+	}
+	for i := range c.Nodes {
+		for j := range c.Nodes[i].Args {
+			c.Nodes[i].Args[j] = fit(c.Nodes[i].Args[j], c.Nodes[i].ArgTypes[j])
+		}
+	}
+	for i := range c.RegDrv {
+		c.RegDrv[i] = fit(c.RegDrv[i], c.Regs[i].Type)
+	}
+	for i := range c.MemWrs {
+		m := c.Mems[c.MemWrs[i].Mem]
+		c.MemWrs[i].Addr = fit(c.MemWrs[i].Addr, firrtl.UInt(AddrWidth(m.Depth)))
+		c.MemWrs[i].Data = fit(c.MemWrs[i].Data, firrtl.UInt(m.Width))
+		c.MemWrs[i].En = fit(c.MemWrs[i].En, firrtl.UInt(1))
+	}
+	for i := range c.Outputs {
+		c.Outputs[i].Src = fit(c.Outputs[i].Src, c.Outputs[i].Type)
+	}
+	return c
+}
+
+// used reports, for every node, whether anything references it.
+func (s *Spec) used() []bool {
+	u := make([]bool, len(s.Nodes))
+	mark := func(r VRef) VRef {
+		if r.Kind == RNode {
+			u[r.Idx] = true
+		}
+		return r
+	}
+	s.mapRefs(mark)
+	return u
+}
+
+// DropDeadNodes returns a copy with every unreferenced node removed
+// (iterating to a fixpoint) and the number removed. Dead nodes are pruned
+// by cgraph anyway, so this is always behavior-preserving.
+func (s *Spec) DropDeadNodes() (*Spec, int) {
+	cur, removed := s, 0
+	for {
+		u := cur.used()
+		victim := -1
+		for i := len(u) - 1; i >= 0; i-- {
+			if !u[i] {
+				victim = i
+				break
+			}
+		}
+		if victim < 0 {
+			return cur, removed
+		}
+		cur = cur.RemoveNode(victim)
+		removed++
+	}
+}
+
+// Counts summarizes the spec's size for logging.
+func (s *Spec) Counts() string {
+	return fmt.Sprintf("%d in, %d regs, %d mems, %d nodes, %d wr, %d out",
+		len(s.Inputs), len(s.Regs), len(s.Mems), len(s.Nodes), len(s.MemWrs), len(s.Outputs))
+}

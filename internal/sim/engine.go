@@ -191,6 +191,25 @@ func (e *Engine) PeekMem(name string, addr int) (uint64, error) {
 	return 0, fmt.Errorf("sim: no memory %q", name)
 }
 
+// PeekMemVec reads one memory word of any element width as a bit vector.
+// The differential oracle uses this for full-width comparison of wide
+// memories, where PeekMem would drop the high words.
+func (e *Engine) PeekMemVec(name string, addr int) (bitvec.Vec, error) {
+	for mi, m := range e.prog.Mems {
+		if m.Name != name {
+			continue
+		}
+		if addr < 0 || addr >= m.Depth {
+			return bitvec.Vec{}, fmt.Errorf("sim: mem %q address %d out of range", name, addr)
+		}
+		if m.Wide {
+			return e.gs.wideMems[mi][addr].Clone(), nil
+		}
+		return bitvec.FromUint64(m.Width, e.gs.mems[mi][addr]), nil
+	}
+	return bitvec.Vec{}, fmt.Errorf("sim: no memory %q", name)
+}
+
 // update publishes thread t's shadow state: one contiguous copy for narrow
 // registers (the memcpy of §5.1), per-slot assignment for wide values, and
 // the deferred memory writes.

@@ -60,6 +60,19 @@ func opReads(op OpCode) int {
 	}
 }
 
+// definesDst reports whether in.Dst is a real narrow definition. OpNop,
+// OpWide, and OpMemWr leave Dst meaningless (a wide node's destination
+// lives in the wide-node table; a memory write has none), so reading their
+// Dst/Mask fields as a local def would poison alias and mask tracking: the
+// zero Dst aliases local temp 0 and claims its produced mask is in.Mask.
+func definesDst(in *Instr) bool {
+	switch in.Op {
+	case OpNop, OpWide, OpMemWr:
+		return false
+	}
+	return true
+}
+
 // hasSideEffect reports whether the instruction must be kept regardless of
 // whether its destination is read.
 func hasSideEffect(in *Instr) bool {
@@ -165,7 +178,7 @@ func propagateCopies(p *Program, th *ThreadCode) bool {
 				changed = true
 			}
 		}
-		if RefTag(in.Dst) != RefLocal {
+		if !definesDst(in) || RefTag(in.Dst) != RefLocal {
 			continue
 		}
 		dst := RefIdx(in.Dst)
@@ -222,7 +235,7 @@ func fuseTruncations(p *Program, th *ThreadCode) bool {
 				uses[RefIdx(refs[k])]++
 			}
 		}
-		if in.Op != OpNop && RefTag(in.Dst) == RefLocal {
+		if definesDst(in) && RefTag(in.Dst) == RefLocal {
 			def[RefIdx(in.Dst)] = i
 		}
 	}

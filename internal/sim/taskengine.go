@@ -119,6 +119,61 @@ func (e *TaskEngine) PeekOutput(name string) (uint64, error) {
 	return e.gs.words[ps.Slot], nil
 }
 
+// PokeInputVec sets an input port of any width.
+func (e *TaskEngine) PokeInputVec(name string, v bitvec.Vec) error {
+	ps, ok := e.prog.Input(name)
+	if !ok {
+		return fmt.Errorf("sim: no input %q", name)
+	}
+	if ps.Wide {
+		e.gs.wide[ps.Slot] = bitvec.ZeroExtend(ps.Width, v)
+		return nil
+	}
+	e.gs.words[ps.Slot] = v.Uint64() & maskOf(ps.Width)
+	return nil
+}
+
+// PeekRegVec reads a register of any width as a bit vector.
+func (e *TaskEngine) PeekRegVec(name string) (bitvec.Vec, error) {
+	rs, ok := e.prog.Reg(name)
+	if !ok {
+		return bitvec.Vec{}, fmt.Errorf("sim: no register %q", name)
+	}
+	if rs.Wide {
+		return e.gs.wide[rs.Slot].Clone(), nil
+	}
+	return bitvec.FromUint64(rs.Width, e.gs.words[rs.Slot]), nil
+}
+
+// PeekOutputVec reads an output port of any width as a bit vector.
+func (e *TaskEngine) PeekOutputVec(name string) (bitvec.Vec, error) {
+	ps, ok := e.prog.Output(name)
+	if !ok {
+		return bitvec.Vec{}, fmt.Errorf("sim: no output %q", name)
+	}
+	if ps.Wide {
+		return e.gs.wide[ps.Slot].Clone(), nil
+	}
+	return bitvec.FromUint64(ps.Width, e.gs.words[ps.Slot]), nil
+}
+
+// PeekMemVec reads one memory word of any element width as a bit vector.
+func (e *TaskEngine) PeekMemVec(name string, addr int) (bitvec.Vec, error) {
+	for mi, m := range e.prog.Mems {
+		if m.Name != name {
+			continue
+		}
+		if addr < 0 || addr >= m.Depth {
+			return bitvec.Vec{}, fmt.Errorf("sim: mem %q address %d out of range", name, addr)
+		}
+		if m.Wide {
+			return e.gs.wideMems[mi][addr].Clone(), nil
+		}
+		return bitvec.FromUint64(m.Width, e.gs.mems[mi][addr]), nil
+	}
+	return bitvec.Vec{}, fmt.Errorf("sim: no memory %q", name)
+}
+
 // Cycles returns cycles simulated since Reset.
 func (e *TaskEngine) Cycles() uint64 { return e.cycles }
 

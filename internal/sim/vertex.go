@@ -254,12 +254,21 @@ func (tc *threadCompiler) compileLogic(v cgraph.VID) error {
 		emitBin(OpEq, signed)
 	case firrtl.OpNeq:
 		emitBin(OpNeq, signed)
-	case firrtl.OpAnd:
-		emitBin(OpAnd, signed)
-	case firrtl.OpOr:
-		emitBin(OpOr, signed)
-	case firrtl.OpXor:
-		emitBin(OpXor, signed)
+	case firrtl.OpAnd, firrtl.OpOr, firrtl.OpXor:
+		// Bitwise ops are the one family that admits mixed-kind operands;
+		// each signed argument sign-extends to the (UInt) result width
+		// independently, so the ats[0]-only `signed` flag is not enough.
+		// sexted is a per-argument no-op on UInt, so passing true extends
+		// exactly the signed side(s).
+		mixedSigned := ats[0].Kind == firrtl.KSInt || ats[1].Kind == firrtl.KSInt
+		switch vx.Op {
+		case firrtl.OpAnd:
+			emitBin(OpAnd, mixedSigned)
+		case firrtl.OpOr:
+			emitBin(OpOr, mixedSigned)
+		default:
+			emitBin(OpXor, mixedSigned)
+		}
 	case firrtl.OpNot:
 		emitUn(OpNot, 0, false)
 	case firrtl.OpNeg:
