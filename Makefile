@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint check bench bench-interp results serve loadgen fuzz
+.PHONY: build test lint check bench bench-interp bench-batch results serve loadgen loadgen-hot fuzz
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,12 @@ bench:
 bench-interp:
 	$(GO) run ./cmd/benchall -interp-only -out results
 
+# Regenerate the lane-batching measurement: one BatchEngine with N lanes
+# vs N independent engines, written to results/batch_sweep.{txt,csv} and
+# machine-readable results/BENCH_batch.json.
+bench-batch:
+	$(GO) run ./cmd/benchall -batch-only -out results
+
 results:
 	$(GO) run ./cmd/benchall -out results
 
@@ -51,4 +57,14 @@ serve:
 loadgen:
 	@mkdir -p results
 	$(GO) run ./cmd/repcutd -loadgen -addr "" -duration 2s \
-		-out results/service_throughput.txt -min-hit-rate 0.5
+		-min-hit-rate 0.5
+
+# Hot-design scenario: every client hammers one design; self-hosts twice
+# (batching on, then off) and records the aggregate-throughput comparison
+# plus the lane-occupancy gate into results/.
+loadgen-hot:
+	@mkdir -p results
+	$(GO) run ./cmd/repcutd -loadgen -hot -duration 8s -clients 16 \
+		-designs RocketChip-1C -scale 0.5 -threads 2 \
+		-cycles-per-session 40000 -min-occupancy 0.3 \
+		-out results/service_throughput.txt

@@ -38,6 +38,7 @@ func main() {
 		doVerif = flag.Bool("verify", true, "statically verify every compiled program (race freedom, replication closure, schedule)")
 		svcDur  = flag.Duration("service-duration", 2*time.Second, "length of the repcutd service throughput run (0 disables)")
 		interpO = flag.Bool("interp-only", false, "run only the interp-vs-linked fast path measurement and exit")
+		batchO  = flag.Bool("batch-only", false, "run only the lane-batching sweep and exit")
 		workers = flag.Int("workers", 0, "worker count for partitioning+compilation (0 = all cores, 1 = serial; results are identical)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -74,6 +75,10 @@ func main() {
 
 	if *interpO {
 		interpFastpath(s, *outDir, write)
+		return
+	}
+	if *batchO {
+		batchSweep(s, *outDir, write)
 		return
 	}
 
@@ -138,6 +143,7 @@ func main() {
 	write("table3", s.Table3())
 
 	interpFastpath(s, *outDir, write)
+	batchSweep(s, *outDir, write)
 
 	if *svcDur > 0 {
 		step("repcutd service throughput")
@@ -170,6 +176,25 @@ func interpFastpath(s *experiments.Suite, outDir string, write func(string, *rep
 	}
 	if outDir != "" {
 		if err := os.WriteFile(filepath.Join(outDir, "BENCH_interp.json"), data, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// batchSweep measures the lane-batched engine against N independent
+// engines on this host and writes batch_sweep.{txt,csv} plus the
+// machine-readable BENCH_batch.json (one record per design × arrangement
+// × lane count).
+func batchSweep(s *experiments.Suite, outDir string, write func(string, *report.Table)) {
+	step("lane batching (real batch vs solo lane-cycles/sec)")
+	points := s.BatchSweep([]int{1, 4, 16, 64}, 1000)
+	write("batch_sweep", experiments.BatchTable(points))
+	data, err := experiments.BatchJSON(points)
+	if err != nil {
+		fatal(err)
+	}
+	if outDir != "" {
+		if err := os.WriteFile(filepath.Join(outDir, "BENCH_batch.json"), data, 0o644); err != nil {
 			fatal(err)
 		}
 	}

@@ -42,6 +42,7 @@ func main() {
 		maxComp    = flag.Int("max-compiles", 0, "concurrent compile admission limit (503 beyond; 0 = NumCPU)")
 		idle       = flag.Duration("idle-timeout", 2*time.Minute, "reap sessions idle longer than this")
 		workers    = flag.Int("workers", 0, "per-compile worker bound (0 = all cores)")
+		batchLanes = flag.Int("batch-lanes", 16, "lane width of the batched execution tier (1 disables batching)")
 		portFile   = flag.String("portfile", "", "write the bound host:port to this file once listening")
 		logJSON    = flag.Bool("log-json", false, "emit request logs as JSON instead of text")
 		quiet      = flag.Bool("quiet", false, "suppress per-request logs")
@@ -55,13 +56,25 @@ func main() {
 		cyclesPS = flag.Int("cycles-per-session", 200, "loadgen: simulated cycles per session")
 		outFile  = flag.String("out", "", "loadgen: write the throughput table to this file")
 		minHit   = flag.Float64("min-hit-rate", 0, "loadgen: exit non-zero unless the cache hit rate reaches this (CI gate)")
+		hot      = flag.Bool("hot", false, "loadgen: hot-design scenario — every client hammers one design; self-hosts twice (batching on, then off) and reports both")
+		minOcc   = flag.Float64("min-occupancy", 0, "loadgen: exit non-zero unless batch lane occupancy reaches this ratio (CI gate)")
 	)
 	flag.Parse()
 
 	logger := newLogger(*logJSON, *quiet)
 	if *loadgen {
-		if err := runLoadgen(logger, *addr, *duration, *clients, *designsF, *scale,
-			*threads, *cyclesPS, *outFile, *minHit, *workers); err != nil {
+		lgAddr := *addr
+		if *hot && !flagWasSet("addr") {
+			lgAddr = "" // hot mode self-hosts unless an addr was given explicitly
+		}
+		err := runLoadgen(logger, lgOpts{
+			addr: lgAddr, duration: *duration, clients: *clients,
+			designList: *designsF, scale: *scale, threads: *threads,
+			cyclesPS: *cyclesPS, outFile: *outFile, minHit: *minHit,
+			workers: *workers, batchLanes: *batchLanes,
+			hot: *hot, minOcc: *minOcc,
+		})
+		if err != nil {
 			fatal(err)
 		}
 		return
@@ -73,11 +86,23 @@ func main() {
 		MaxCompiles: *maxComp,
 		IdleTimeout: *idle,
 		Workers:     *workers,
+		BatchLanes:  *batchLanes,
 		Logger:      logger,
 	}
 	if err := serve(cfg, *addr, *portFile, logger); err != nil {
 		fatal(err)
 	}
+}
+
+// flagWasSet reports whether the named flag appeared on the command line.
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 // newLogger builds the structured logger for request logs.
@@ -134,28 +159,53 @@ func serve(cfg service.Config, addr, portFile string, logger *slog.Logger) error
 	return nil
 }
 
-// runLoadgen drives the mixed workload, prints (and optionally writes) the
-// throughput table, and enforces the CI hit-rate gate.
-func runLoadgen(logger *slog.Logger, addr string, duration time.Duration, clients int,
-	designList string, scale float64, threads, cyclesPS int, outFile string,
-	minHit float64, workers int) error {
+// lgOpts carries the loadgen flag set.
+type lgOpts struct {
+	addr       string
+	duration   time.Duration
+	clients    int
+	designList string
+	scale      float64
+	threads    int
+	cyclesPS   int
+	outFile    string
+	minHit     float64
+	minOcc     float64
+	workers    int
+	batchLanes int
+	hot        bool
+}
 
+// runLoadgen drives the configured workload, prints (and optionally
+// writes) the throughput tables, and enforces the CI gates. The hot
+// scenario self-hosts twice — batching on, then off — so the written
+// report quantifies what lane batching buys on a coalescing-friendly
+// workload.
+func runLoadgen(logger *slog.Logger, o lgOpts) error {
 	var designReqs []service.CompileRequest
-	for _, name := range strings.Split(designList, ",") {
+	for _, name := range strings.Split(o.designList, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {
 			continue
 		}
 		designReqs = append(designReqs, service.CompileRequest{
-			Design: name, Scale: scale, Threads: threads,
+			Design: name, Scale: o.scale, Threads: o.threads,
 		})
 	}
+	cfg := service.LoadgenConfig{
+		Designs:          designReqs,
+		Clients:          o.clients,
+		Duration:         o.duration,
+		CyclesPerSession: o.cyclesPS,
+	}
 
-	base := addr
+	if o.hot {
+		return runHotLoadgen(logger, o, cfg)
+	}
+
+	base := o.addr
 	if base == "" {
-		// Self-hosted mode: boot an in-process server.
-		srv := service.New(service.Config{Workers: workers, Logger: newLogger(false, true)})
-		ts := httptest.NewServer(srv.Handler())
+		srv, ts := selfHost(o.workers, o.batchLanes)
 		defer ts.Close()
 		defer srv.Shutdown(context.Background())
 		base = ts.URL
@@ -164,40 +214,110 @@ func runLoadgen(logger *slog.Logger, addr string, duration time.Duration, client
 		base = "http://" + base
 	}
 
-	res, err := service.RunLoadgen(base, service.LoadgenConfig{
-		Designs:          designReqs,
-		Clients:          clients,
-		Duration:         duration,
-		CyclesPerSession: cyclesPS,
-	})
+	res, err := service.RunLoadgen(base, cfg)
+	if err != nil {
+		return err
+	}
+	out := res.Table().String() + "\n" + res.Summary()
+	fmt.Print(out)
+	if err := writeOut(o.outFile, out); err != nil {
+		return err
+	}
+	return checkGates(logger, o, res)
+}
+
+// runHotLoadgen is the hot-design scenario: one design, every client on
+// it, run back to back with the batched tier enabled and disabled.
+func runHotLoadgen(logger *slog.Logger, o lgOpts, cfg service.LoadgenConfig) error {
+	if o.addr != "" {
+		return fmt.Errorf("loadgen: -hot self-hosts to control batching; drop -addr")
+	}
+	if len(cfg.Designs) == 0 {
+		return fmt.Errorf("loadgen: -hot needs a design")
+	}
+	cfg.Designs = cfg.Designs[:1] // one hot design, maximal coalescing
+
+	run := func(lanes int) (*service.LoadgenResult, error) {
+		srv, ts := selfHost(o.workers, lanes)
+		defer ts.Close()
+		defer srv.Shutdown(context.Background())
+		return service.RunLoadgen(ts.URL, cfg)
+	}
+
+	on, err := run(o.batchLanes)
+	if err != nil {
+		return err
+	}
+	off, err := run(1)
 	if err != nil {
 		return err
 	}
 
-	out := res.Table().String() + "\n" + res.Summary()
-	fmt.Print(out)
-	if outFile != "" {
-		if err := os.MkdirAll(filepath.Dir(outFile), 0o755); err != nil {
-			return err
-		}
-		if err := os.WriteFile(outFile, []byte(out), 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("wrote %s\n", outFile)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "=== hot design, batching on (%d lanes) ===\n%s\n%s\n",
+		o.batchLanes, on.Table().String(), on.Summary())
+	fmt.Fprintf(&sb, "=== hot design, batching off ===\n%s\n%s\n",
+		off.Table().String(), off.Summary())
+	if offCPS := off.CyclesPerSec(); offCPS > 0 {
+		fmt.Fprintf(&sb, "batching speedup (aggregate cycles/s, hot design): %.2fx\n",
+			on.CyclesPerSec()/offCPS)
 	}
+	out := sb.String()
+	fmt.Print(out)
+	if err := writeOut(o.outFile, out); err != nil {
+		return err
+	}
+	return checkGates(logger, o, on)
+}
 
+// selfHost boots an in-process server for benchmark mode.
+func selfHost(workers, batchLanes int) (*service.Server, *httptest.Server) {
+	srv := service.New(service.Config{
+		Workers: workers, BatchLanes: batchLanes, Logger: newLogger(false, true),
+	})
+	return srv, httptest.NewServer(srv.Handler())
+}
+
+// writeOut writes a report file, creating its directory.
+func writeOut(path, out string) error {
+	if path == "" {
+		return nil
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// checkGates enforces the CI gates against one run's result.
+func checkGates(logger *slog.Logger, o lgOpts, res *service.LoadgenResult) error {
 	if res.Errors > 0 {
 		return fmt.Errorf("loadgen: %d request errors", res.Errors)
 	}
-	if minHit > 0 {
+	if o.minHit > 0 {
 		if res.Metrics == nil {
 			return fmt.Errorf("loadgen: no /metrics snapshot to check hit rate against")
 		}
-		if res.Metrics.Cache.HitRate < minHit {
+		if res.Metrics.Cache.HitRate < o.minHit {
 			return fmt.Errorf("loadgen: cache hit rate %.3f below required %.3f",
-				res.Metrics.Cache.HitRate, minHit)
+				res.Metrics.Cache.HitRate, o.minHit)
 		}
-		logger.Info("hit-rate gate passed", "hit_rate", res.Metrics.Cache.HitRate, "min", minHit)
+		logger.Info("hit-rate gate passed", "hit_rate", res.Metrics.Cache.HitRate, "min", o.minHit)
+	}
+	if o.minOcc > 0 {
+		if res.Metrics == nil {
+			return fmt.Errorf("loadgen: no /metrics snapshot to check occupancy against")
+		}
+		occ := res.Metrics.Batch.OccupancyRatio
+		if occ < o.minOcc {
+			return fmt.Errorf("loadgen: batch lane occupancy %.3f below required %.3f (%.2f lanes/run of %d)",
+				occ, o.minOcc, res.Metrics.Batch.MeanLanesPerRun, res.Metrics.Batch.LaneWidth)
+		}
+		logger.Info("occupancy gate passed", "occupancy", occ, "min", o.minOcc)
 	}
 	return nil
 }

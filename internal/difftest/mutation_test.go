@@ -10,6 +10,7 @@ package difftest
 
 import (
 	"math/bits"
+	"strings"
 	"testing"
 
 	"repro/internal/genckt"
@@ -217,4 +218,46 @@ func TestMutationSwappedMux(t *testing.T) {
 		in.B, in.C = in.C, in.B
 		return true
 	})
+}
+
+// Bug 7 — batch-column liveness: the same mask-truncation bug is planted
+// into the program backing the lane-batched engine only (the solo twins
+// stay clean), so the divergence is visible exclusively through the batch
+// column's per-lane full-state compare. An oracle whose batch column
+// could not fail would vacuously pass a broken batched executor.
+func TestMutationBatchColumn(t *testing.T) {
+	mutate := func(p *sim.Program) bool {
+		pc := firstMutable(p, func(in *sim.Instr) bool {
+			return bits.OnesCount64(in.Mask) > 1
+		})
+		if pc < 0 {
+			return false
+		}
+		p.Threads[0].Code[pc].Mask >>= 1
+		return true
+	}
+	for seed := int64(1); seed <= 25; seed++ {
+		s := genckt.Generate(genckt.Config{Seed: seed, Size: 30})
+		d, err := s.Build()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		opt := Options{
+			Seed:        seed,
+			Cycles:      12,
+			Parts:       []int{},
+			Workers:     []int{},
+			MutateBatch: mutate,
+		}
+		m := Run(d, opt)
+		if m == nil {
+			continue // mutation silent or inapplicable on this circuit
+		}
+		if !strings.HasPrefix(m.Engine, "batch-mutant") {
+			t.Fatalf("seed %d: non-batch engine diverged: %v", seed, m)
+		}
+		t.Logf("batch-column: seed %d caught (%v)", seed, m)
+		return
+	}
+	t.Fatal("batch-column: no seed in 1..25 triggered the mutation")
 }

@@ -52,11 +52,25 @@ type Options struct {
 	// planted bug). Returning false marks the mutation inapplicable and no
 	// mutant engine runs.
 	Mutate func(*sim.Program) bool
+	// Batch adds the lane-batched engine column: a multi-lane
+	// sim.BatchEngine over the linked O2 program, every lane driven with
+	// its own distinct input stream and compared full-width (registers,
+	// outputs, every memory word) against a private solo-engine twin after
+	// every cycle.
+	Batch bool
+	// BatchLanes overrides the batch column's lane count (default 4 — an
+	// odd mix of occupied and padding lanes at the engine's 8-lane blocks).
+	BatchLanes int
+	// MutateBatch, when set, is applied to a fresh O2 program that backs
+	// the batch engine only; the solo twins keep the clean program, so a
+	// live mutation must surface as a batch-column mismatch (proving the
+	// column can actually fail). Returning false skips the column.
+	MutateBatch func(*sim.Program) bool
 }
 
 // Default returns the full-matrix options used by the corpus test and CLI.
 func Default(seed int64) Options {
-	return Options{Seed: seed, Cycles: 20, Tasks: true, Service: true, Verify: true}
+	return Options{Seed: seed, Cycles: 20, Tasks: true, Service: true, Verify: true, Batch: true}
 }
 
 func (o *Options) fill() {
@@ -277,6 +291,132 @@ func Run(d *genckt.Design, opt Options) *Mismatch {
 		for _, ne := range engines {
 			if m := compare(g, ref, ne, cyc); m != nil {
 				return m
+			}
+		}
+	}
+
+	// Lane-batched engine column: per-lane distinct stimulus, so it runs
+	// its own loop against solo twins rather than joining the shared-input
+	// matrix above.
+	if opt.Batch || opt.MutateBatch != nil {
+		if m := runBatchColumn(g, p2, opt); m != nil {
+			return m
+		}
+	}
+	return nil
+}
+
+// runBatchColumn cross-checks the lane-batched executor: an L-lane
+// BatchEngine where lane l sees input stream l, against L independent
+// solo engines seeing the same per-lane streams. Any divergence between a
+// lane and its twin — including cross-lane bleed, since the streams are
+// all distinct — is a mismatch. With MutateBatch set the batch side runs
+// a deliberately corrupted program while the twins stay clean.
+func runBatchColumn(g *cgraph.Graph, p2 *sim.Program, opt Options) *Mismatch {
+	lanes := opt.BatchLanes
+	if lanes <= 0 {
+		lanes = 4
+	}
+	bp, colName := p2, "batch"
+	if opt.MutateBatch != nil {
+		pm, err := sim.Compile(g, sim.SerialSpec(g), sim.Config{OptLevel: 2})
+		if err != nil {
+			return &Mismatch{Engine: "batch-mutant", Cycle: -1, Kind: "compile", Got: err.Error()}
+		}
+		if !opt.MutateBatch(pm) {
+			return nil // mutation inapplicable on this circuit
+		}
+		bp, colName = pm, "batch-mutant"
+	}
+	be, err := sim.NewBatchEngine(bp, lanes)
+	if err != nil {
+		return &Mismatch{Engine: colName, Cycle: -1, Kind: "compile", Got: err.Error()}
+	}
+	twins := make([]*sim.Engine, lanes)
+	rngs := make([]*rand.Rand, lanes)
+	for l := range twins {
+		twins[l] = sim.NewEngine(p2)
+		rngs[l] = rand.New(rand.NewSource(opt.Seed*1_000_003 + int64(l)))
+	}
+	inputs := make([]*cgraph.Vertex, len(g.Inputs))
+	for i, vi := range g.Inputs {
+		inputs[i] = &g.Vs[vi]
+	}
+	laneName := func(l int) string { return fmt.Sprintf("%s-lane%d", colName, l) }
+	for cyc := 0; cyc < opt.Cycles; cyc++ {
+		for l := 0; l < lanes; l++ {
+			for _, in := range inputs {
+				w := bitvec.New(in.Type.Width)
+				for j := range w.Words {
+					w.Words[j] = rngs[l].Uint64()
+				}
+				w = bitvec.ZeroExtend(in.Type.Width, w)
+				if err := be.PokeVec(l, in.Name, w); err != nil {
+					return &Mismatch{Engine: laneName(l), Cycle: cyc, Kind: "compile", Name: in.Name, Got: err.Error()}
+				}
+				if err := twins[l].PokeInputVec(in.Name, w); err != nil {
+					return &Mismatch{Engine: laneName(l), Cycle: cyc, Kind: "compile", Name: in.Name, Got: err.Error()}
+				}
+			}
+		}
+		be.Run(1)
+		for l := 0; l < lanes; l++ {
+			twins[l].Run(1)
+		}
+		for l := 0; l < lanes; l++ {
+			if m := compareBatchLane(g, be, twins[l], l, laneName(l), cyc); m != nil {
+				return m
+			}
+		}
+	}
+	return nil
+}
+
+// compareBatchLane checks one batch lane against its solo twin: every
+// register, every output, every word of every memory, full width.
+func compareBatchLane(g *cgraph.Graph, be *sim.BatchEngine, twin *sim.Engine, lane int, name string, cyc int) *Mismatch {
+	mm := func(kind, sig string, addr int, got bitvec.Vec, gotErr error, want bitvec.Vec) *Mismatch {
+		gs := "<error>"
+		if gotErr == nil {
+			gs = got.String()
+		} else {
+			gs = gotErr.Error()
+		}
+		return &Mismatch{Engine: name, Cycle: cyc, Kind: kind, Name: sig, Addr: addr,
+			Got: gs, Want: want.String()}
+	}
+	for i := range g.Regs {
+		sig := g.Regs[i].Name
+		want, err := twin.PeekReg(sig)
+		if err != nil {
+			continue
+		}
+		got, err := be.PeekReg(lane, sig)
+		if err != nil || !bitvec.Eq(got, want) {
+			return mm("reg", sig, 0, got, err, want)
+		}
+	}
+	for _, o := range g.Outputs {
+		sig := g.Vs[o].Name
+		want, err := twin.PeekOutputVec(sig)
+		if err != nil {
+			continue
+		}
+		got, err := be.PeekVec(lane, sig)
+		if err != nil || !bitvec.Eq(got, want) {
+			return mm("output", sig, 0, got, err, want)
+		}
+	}
+	for mi := range g.Mems {
+		sig := g.Mems[mi].Name
+		for a := 0; a < g.Mems[mi].Depth; a++ {
+			want, err := twin.PeekMemVec(sig, a)
+			if err != nil {
+				continue
+			}
+			got, err := be.PeekMemVec(lane, sig, a)
+			if err != nil || !bitvec.Eq(got, want) {
+				return mm("mem", sig, a, got, err, want)
 			}
 		}
 	}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"encoding/json"
+	"time"
+
+	"repro/internal/designs"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+// This file measures the lane-batched engine (sim/batch.go) on the real
+// host: aggregate lane-cycles/sec of one BatchEngine with N lanes versus N
+// independent Engines over the same serial program. The ratio at equal N
+// is the amortization factor of fetching and dispatching each linked
+// instruction once instead of N times — the claim behind the repcutd
+// batched session tier.
+
+// BatchPoint is one design × lane-count measurement of both arrangements.
+type BatchPoint struct {
+	Design   string  `json:"design"`
+	Lanes    int     `json:"lanes"`
+	BatchLCS float64 `json:"batch_lane_cycles_per_sec"`
+	SoloLCS  float64 `json:"solo_lane_cycles_per_sec"`
+	Speedup  float64 `json:"speedup"`
+}
+
+// BatchSweep measures batched-vs-solo throughput for every suite design at
+// each lane count, each lane driven the given number of cycles.
+func (s *Suite) BatchSweep(laneCounts []int, cycles int) []BatchPoint {
+	var out []BatchPoint
+	for _, cfg := range s.Designs {
+		for _, lanes := range laneCounts {
+			out = append(out, s.batchPoint(cfg, lanes, cycles))
+		}
+	}
+	return out
+}
+
+func (s *Suite) batchPoint(cfg designs.Config, lanes, cycles int) BatchPoint {
+	p := s.SerialProgram(cfg, 2)
+
+	be, err := sim.NewBatchEngine(p, lanes)
+	if err != nil {
+		panic(err) // serial programs are never shared-mode
+	}
+	for _, in := range p.Inputs {
+		if in.Wide {
+			continue
+		}
+		for l := 0; l < lanes; l++ {
+			be.Poke(l, in.Name, 0xa5a5a5a5a5a5a5a5)
+		}
+	}
+	be.Run(cycles / 10)
+	start := time.Now()
+	be.Run(cycles)
+	batch := float64(cycles) * float64(lanes) / time.Since(start).Seconds()
+
+	engines := make([]*sim.Engine, lanes)
+	for i := range engines {
+		engines[i] = sim.NewEngine(p)
+		for _, in := range p.Inputs {
+			if !in.Wide {
+				engines[i].PokeInput(in.Name, 0xa5a5a5a5a5a5a5a5)
+			}
+		}
+		engines[i].Run(cycles / 10)
+	}
+	start = time.Now()
+	for _, e := range engines {
+		e.Run(cycles)
+	}
+	solo := float64(cycles) * float64(lanes) / time.Since(start).Seconds()
+
+	return BatchPoint{
+		Design: cfg.Name(), Lanes: lanes,
+		BatchLCS: batch, SoloLCS: solo,
+		Speedup: batch / solo,
+	}
+}
+
+// BatchTable renders the measurements for batch_sweep.{txt,csv}.
+func BatchTable(points []BatchPoint) *report.Table {
+	t := report.NewTable("Lane batching: real lane-cycles/sec, one BatchEngine vs N independent engines",
+		"Design", "Lanes", "Batch lc/s", "Solo lc/s", "Speedup")
+	for _, p := range points {
+		t.Row(p.Design, p.Lanes,
+			report.F1(p.BatchLCS), report.F1(p.SoloLCS),
+			report.F2(p.Speedup)+"x")
+	}
+	return t
+}
+
+// BatchJSON renders the measurements as the machine-readable
+// BENCH_batch.json: one record per design × arrangement × lane count.
+func BatchJSON(points []BatchPoint) ([]byte, error) {
+	type rec struct {
+		Design           string  `json:"design"`
+		Lanes            int     `json:"lanes"`
+		Engine           string  `json:"engine"`
+		LaneCyclesPerSec float64 `json:"lane_cycles_per_sec"`
+	}
+	var recs []rec
+	for _, p := range points {
+		recs = append(recs,
+			rec{p.Design, p.Lanes, "batch", p.BatchLCS},
+			rec{p.Design, p.Lanes, "solo", p.SoloLCS})
+	}
+	return json.MarshalIndent(recs, "", "  ")
+}

@@ -104,20 +104,32 @@ func (c *Client) Compile(req CompileRequest) (*CompileResponse, error) {
 	return &resp, nil
 }
 
-// NewSession opens a stateful simulation over a cached program.
+// NewSession opens a stateful simulation over a cached program, placed on
+// the server's batched execution tier when possible.
 func (c *Client) NewSession(key string) (*SessionHandle, error) {
+	return c.newSession(CreateSessionRequest{Key: key})
+}
+
+// NewSoloSession opens a session pinned to a private engine, bypassing
+// the batched tier.
+func (c *Client) NewSoloSession(key string) (*SessionHandle, error) {
+	return c.newSession(CreateSessionRequest{Key: key, Solo: true})
+}
+
+func (c *Client) newSession(req CreateSessionRequest) (*SessionHandle, error) {
 	var resp SessionResponse
-	if err := c.do(http.MethodPost, "/v1/sessions", CreateSessionRequest{Key: key}, &resp); err != nil {
+	if err := c.do(http.MethodPost, "/v1/sessions", req, &resp); err != nil {
 		return nil, err
 	}
-	return &SessionHandle{c: c, ID: resp.SessionID, Design: resp.Design}, nil
+	return &SessionHandle{c: c, ID: resp.SessionID, Design: resp.Design, Batched: resp.Batched}, nil
 }
 
 // SessionHandle drives one server-side session.
 type SessionHandle struct {
-	c      *Client
-	ID     string
-	Design string
+	c       *Client
+	ID      string
+	Design  string
+	Batched bool // placed on a batch lane at create time
 }
 
 func (s *SessionHandle) path(op string) string {
@@ -157,6 +169,38 @@ func (s *SessionHandle) Run(n int) (uint64, error) {
 		return 0, err
 	}
 	return resp.Cycle, nil
+}
+
+// StartVCD begins waveform capture on the session (spilling it off any
+// batch lane server-side).
+func (s *SessionHandle) StartVCD() error {
+	return s.c.do(http.MethodPost, s.path("vcd"), nil, nil)
+}
+
+// VCD fetches the waveform dump accumulated since StartVCD.
+func (s *SessionHandle) VCD() ([]byte, error) {
+	req, err := http.NewRequest(http.MethodGet, s.c.BaseURL+s.path("vcd"), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := s.c.HTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		var er ErrorResponse
+		msg := string(data)
+		if json.Unmarshal(data, &er) == nil && er.Error != "" {
+			msg = er.Error
+		}
+		return nil, &APIError{Status: resp.StatusCode, Message: msg}
+	}
+	return data, nil
 }
 
 // Close tears the session down, returning its final cycle count.

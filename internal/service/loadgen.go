@@ -110,6 +110,15 @@ func (r *LoadgenResult) Summary() string {
 		fmt.Fprintf(&sb, "compile latency: p50 %.3gms p99 %.3gms (n=%d)   step latency: p50 %.3gms p99 %.3gms (n=%d)\n",
 			m.Compile.Latency.P50Ms, m.Compile.Latency.P99Ms, m.Compile.Latency.Count,
 			m.Sim.StepLatency.P50Ms, m.Sim.StepLatency.P99Ms, m.Sim.StepLatency.Count)
+		b := m.Batch
+		if b.LaneWidth > 1 {
+			fmt.Fprintf(&sb, "batch: %d lanes/group   sessions batched/solo/spilled: %d/%d/%d   runs: %d (%.2f lanes/run, occupancy %s)   batched cycles: %d (%.0f/s)\n",
+				b.LaneWidth, b.SessionsBatched, b.SessionsSolo, b.SessionsSpilled,
+				b.Runs, b.MeanLanesPerRun, report.Pct(b.OccupancyRatio),
+				b.BatchedCycles, b.BatchedCPS)
+		} else {
+			fmt.Fprintf(&sb, "batch: disabled   sessions solo: %d\n", b.SessionsSolo)
+		}
 	}
 	return sb.String()
 }

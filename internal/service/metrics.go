@@ -117,6 +117,13 @@ type Metrics struct {
 	cyclesTotal atomic.Int64
 	stepsTotal  atomic.Int64
 
+	sessionsBatched atomic.Int64 // sessions placed on a batch lane
+	sessionsSolo    atomic.Int64 // sessions given a private engine
+	sessionsSpilled atomic.Int64 // batched sessions migrated off their lane
+	batchRuns       atomic.Int64 // RunMasked rounds led
+	batchRunLanes   atomic.Int64 // sum of lanes carried per round
+	batchedCycles   atomic.Int64 // lane-cycles executed via batch groups
+
 	compileLat Hist
 	stepLat    Hist
 }
@@ -160,6 +167,25 @@ type SimMetrics struct {
 	StepLatency  HistSnapshot `json:"step_latency"`
 }
 
+// BatchMetrics is the lane-batching section of /metrics. MeanLanesPerRun
+// and OccupancyRatio measure coalescing quality: how many sessions each
+// instruction dispatch actually carried, absolutely and relative to the
+// configured lane width.
+type BatchMetrics struct {
+	LaneWidth       int     `json:"lane_width"`
+	Groups          int     `json:"groups"`
+	LanesOccupied   int     `json:"lanes_occupied"`
+	LaneCapacity    int     `json:"lane_capacity"`
+	SessionsBatched int64   `json:"sessions_batched"`
+	SessionsSolo    int64   `json:"sessions_solo"`
+	SessionsSpilled int64   `json:"sessions_spilled"`
+	Runs            int64   `json:"runs"`
+	MeanLanesPerRun float64 `json:"mean_lanes_per_run"`
+	OccupancyRatio  float64 `json:"occupancy_ratio"`
+	BatchedCycles   int64   `json:"batched_cycles"`
+	BatchedCPS      float64 `json:"batched_cycles_per_sec"`
+}
+
 // MetricsSnapshot is the full /metrics payload.
 type MetricsSnapshot struct {
 	UptimeSec float64        `json:"uptime_sec"`
@@ -167,6 +193,7 @@ type MetricsSnapshot struct {
 	Sessions  SessionMetrics `json:"sessions"`
 	Compile   CompileMetrics `json:"compile"`
 	Sim       SimMetrics     `json:"sim"`
+	Batch     BatchMetrics   `json:"batch"`
 }
 
 // snapshot folds the counters into a wire snapshot; gauges (cache
@@ -201,5 +228,25 @@ func (m *Metrics) snapshot() MetricsSnapshot {
 			CyclesTotal: cycles, CyclesPerSec: cps,
 			Steps: m.stepsTotal.Load(), StepLatency: m.stepLat.Snapshot(),
 		},
+		Batch: m.batchSnapshot(up),
 	}
+}
+
+// batchSnapshot renders the batching counters; the pool gauges (groups,
+// occupancy, lane width) are filled in by the Server.
+func (m *Metrics) batchSnapshot(uptimeSec float64) BatchMetrics {
+	b := BatchMetrics{
+		SessionsBatched: m.sessionsBatched.Load(),
+		SessionsSolo:    m.sessionsSolo.Load(),
+		SessionsSpilled: m.sessionsSpilled.Load(),
+		Runs:            m.batchRuns.Load(),
+		BatchedCycles:   m.batchedCycles.Load(),
+	}
+	if b.Runs > 0 {
+		b.MeanLanesPerRun = float64(m.batchRunLanes.Load()) / float64(b.Runs)
+	}
+	if uptimeSec > 0 {
+		b.BatchedCPS = float64(b.BatchedCycles) / uptimeSec
+	}
+	return b
 }

@@ -33,6 +33,10 @@ type Config struct {
 	MaxRunCycles int
 	// Workers bounds each compile's internal parallelism (0 = all cores).
 	Workers int
+	// BatchLanes is the lane width of the batched execution tier: sessions
+	// simulating the same program share one sim.BatchEngine of this many
+	// lanes (default 16; negative or 1 disables batching).
+	BatchLanes int
 	// Logger receives structured request logs (default slog.Default()).
 	Logger *slog.Logger
 }
@@ -58,6 +62,12 @@ func (c *Config) defaults() {
 	}
 	if c.MaxRunCycles == 0 {
 		c.MaxRunCycles = 1_000_000
+	}
+	if c.BatchLanes == 0 {
+		c.BatchLanes = 16
+	}
+	if c.BatchLanes < 0 {
+		c.BatchLanes = 1 // disabled
 	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
@@ -88,7 +98,7 @@ func New(cfg Config) *Server {
 		cfg:        cfg,
 		m:          m,
 		cache:      NewCache(cfg.CacheBytes, cfg.MaxCompiles, cfg.Workers, m),
-		sessions:   NewSessionManager(cfg.MaxSessions, cfg.IdleTimeout, m),
+		sessions:   NewSessionManager(cfg.MaxSessions, cfg.IdleTimeout, cfg.BatchLanes, m),
 		log:        cfg.Logger,
 		mux:        http.NewServeMux(),
 		reaperStop: make(chan struct{}),
@@ -113,6 +123,11 @@ func (s *Server) Metrics() MetricsSnapshot {
 	snap.Cache.ByteBudget = s.cache.Budget()
 	snap.Sessions.Live = s.sessions.Live()
 	snap.Sessions.Capacity = s.sessions.Capacity()
+	snap.Batch.Groups, snap.Batch.LanesOccupied, snap.Batch.LaneCapacity = s.sessions.BatchStats()
+	snap.Batch.LaneWidth = s.cfg.BatchLanes
+	if snap.Batch.LaneWidth > 1 && snap.Batch.Runs > 0 {
+		snap.Batch.OccupancyRatio = snap.Batch.MeanLanesPerRun / float64(snap.Batch.LaneWidth)
+	}
 	return snap
 }
 
@@ -157,6 +172,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/sessions/{id}/peek", s.handlePeek)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/step", s.handleStep)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/run", s.handleStep)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/vcd", s.handleStartVCD)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/vcd", s.handleGetVCD)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/close", s.handleClose)
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleClose)
 }
@@ -288,13 +305,13 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 			ErrorResponse{Error: "service: unknown key (POST /v1/compile first)"})
 		return
 	}
-	sess, err := s.sessions.Create(e)
+	sess, err := s.sessions.Create(e, req.Solo)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, SessionResponse{
-		SessionID: sess.ID, Design: e.Name, Cycle: 0,
+		SessionID: sess.ID, Design: e.Name, Cycle: 0, Batched: sess.Batched(),
 	})
 }
 
@@ -305,7 +322,7 @@ func (s *Server) handlePoke(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	err := s.sessions.Do(r.PathValue("id"), func(sess *Session) error {
-		return sess.Sim.PokeInput(req.Name, req.Value)
+		return sess.Poke(req.Name, req.Value)
 	})
 	if err != nil {
 		writeErr(w, err)
@@ -323,7 +340,7 @@ func (s *Server) handlePeek(w http.ResponseWriter, r *http.Request) {
 	var v uint64
 	err := s.sessions.Do(r.PathValue("id"), func(sess *Session) error {
 		if req.Reg {
-			bv, err := sess.Sim.PeekReg(req.Name)
+			bv, err := sess.PeekReg(req.Name)
 			if err != nil {
 				return err
 			}
@@ -334,7 +351,7 @@ func (s *Server) handlePeek(w http.ResponseWriter, r *http.Request) {
 			return nil
 		}
 		var err error
-		v, err = sess.Sim.PeekOutput(req.Name)
+		v, err = sess.PeekOutput(req.Name)
 		return err
 	})
 	if err != nil {
@@ -361,11 +378,10 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 	var cycles uint64
 	err := s.sessions.Do(r.PathValue("id"), func(sess *Session) error {
 		start := time.Now()
-		sess.Sim.Run(n)
+		cycles = sess.Run(n)
 		s.m.stepLat.Observe(time.Since(start))
 		s.m.stepsTotal.Add(1)
 		s.m.cyclesTotal.Add(int64(n))
-		cycles = sess.Sim.Cycles()
 		return nil
 	})
 	if err != nil {
@@ -375,11 +391,48 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, StepResponse{Cycle: cycles})
 }
 
+// handleStartVCD begins waveform capture; a batched session spills to a
+// private engine first, since the VCD writer samples cycle by cycle.
+func (s *Server) handleStartVCD(w http.ResponseWriter, r *http.Request) {
+	var resp SessionResponse
+	err := s.sessions.Do(r.PathValue("id"), func(sess *Session) error {
+		if err := sess.StartVCD(s.sessions); err != nil {
+			return err
+		}
+		resp = SessionResponse{
+			SessionID: sess.ID, Cycle: sess.Cycles(), Batched: sess.Batched(),
+		}
+		return nil
+	})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleGetVCD streams the capture accumulated so far.
+func (s *Server) handleGetVCD(w http.ResponseWriter, r *http.Request) {
+	var dump []byte
+	err := s.sessions.Do(r.PathValue("id"), func(sess *Session) error {
+		var e2 error
+		dump, e2 = sess.VCD()
+		return e2
+	})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(dump)
+}
+
 func (s *Server) handleClose(w http.ResponseWriter, r *http.Request) {
 	sess, err := s.sessions.Close(r.PathValue("id"))
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, StepResponse{Cycle: sess.Sim.Cycles()})
+	writeJSON(w, http.StatusOK, StepResponse{Cycle: sess.Cycles()})
 }

@@ -286,7 +286,7 @@ func TestGracefulDrain(t *testing.T) {
 		err := srv.Sessions().Do(sess.ID, func(s *Session) error {
 			close(opEntered)
 			time.Sleep(100 * time.Millisecond)
-			s.Sim.Run(1)
+			s.Run(1)
 			return nil
 		})
 		if err != nil {

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -9,7 +10,9 @@ import (
 	"time"
 
 	repcut "repro"
+	"repro/internal/bitvec"
 	"repro/internal/par"
+	"repro/internal/sim"
 )
 
 // Session lifecycle errors, mapped to HTTP statuses by the server.
@@ -18,32 +21,176 @@ var (
 	ErrDraining      = errors.New("service: server is draining")
 	ErrNoSession     = errors.New("service: no such session")
 	ErrSessionClosed = errors.New("service: session is closed")
+	ErrNoVCD         = errors.New("service: session has no VCD capture (POST .../vcd first)")
 )
 
-// Session is one stateful simulation: a private sim.Engine over a shared
-// cached program. Operations on a session are serialized by its mutex;
-// different sessions run fully concurrently (engines share only the
-// read-only Program).
+// Session is one stateful simulation. It runs on one of two backends:
+// a lane of a shared batch group (the default when another live session
+// simulates the same program), or a private sim.Engine (solo creates,
+// ineligible programs, and sessions that spilled for VCD capture).
+// Operations on a session are serialized by its mutex; different sessions
+// run fully concurrently.
 type Session struct {
 	ID  string
 	Key string
+
+	// Sim is the private engine; nil while the session rides a batch lane.
 	Sim *repcut.Simulator
+
+	group *batchGroup // non-nil iff batched
+	lane  int
+
+	vcd    *vcdCapture // non-nil while capturing (implies private engine)
+	cycle  uint64      // cycle count after the last operation
+	report *repcut.PartitionReport
+	com    *repcut.Compiled
 
 	mu       sync.Mutex
 	lastUsed atomic.Int64 // unix nanos
 	closed   bool
 }
 
+// vcdCapture accumulates a waveform dump for one session.
+type vcdCapture struct {
+	buf bytes.Buffer
+	w   *sim.VCDWriter
+}
+
+// Batched reports whether the session currently occupies a batch lane.
+func (s *Session) Batched() bool { return s.group != nil }
+
+// Lane returns the session's batch lane (meaningful only when Batched).
+func (s *Session) Lane() int { return s.lane }
+
+// Cycles returns the session's cycle count as of its last operation.
+func (s *Session) Cycles() uint64 { return s.cycle }
+
+// Poke sets a narrow input port. Batched lanes poke their SoA column; the
+// write waits out any in-flight group round.
+func (s *Session) Poke(name string, v uint64) error {
+	if g := s.group; g != nil {
+		return g.withEngine(func(be *sim.BatchEngine) error {
+			return be.Poke(s.lane, name, v)
+		})
+	}
+	return s.Sim.PokeInput(name, v)
+}
+
+// PeekOutput reads a narrow output port.
+func (s *Session) PeekOutput(name string) (uint64, error) {
+	if g := s.group; g != nil {
+		var v uint64
+		err := g.withEngine(func(be *sim.BatchEngine) error {
+			var err error
+			v, err = be.Peek(s.lane, name)
+			return err
+		})
+		return v, err
+	}
+	return s.Sim.PeekOutput(name)
+}
+
+// PeekReg reads a register, narrow or wide.
+func (s *Session) PeekReg(name string) (bv bitvec.Vec, err error) {
+	if g := s.group; g != nil {
+		err = g.withEngine(func(be *sim.BatchEngine) error {
+			var e2 error
+			bv, e2 = be.PeekReg(s.lane, name)
+			return e2
+		})
+		return bv, err
+	}
+	return s.Sim.PeekReg(name)
+}
+
+// Run advances the session n cycles and returns its new cycle count.
+// Batched lanes go through the group's frontier protocol; a session with
+// an active VCD capture samples every cycle.
+func (s *Session) Run(n int) uint64 {
+	switch {
+	case s.group != nil:
+		s.cycle = s.group.step(s.lane, n)
+	case s.vcd != nil:
+		_ = s.vcd.w.RunSampled(n)
+		s.cycle = s.Sim.Cycles()
+	default:
+		s.Sim.Run(n)
+		s.cycle = s.Sim.Cycles()
+	}
+	return s.cycle
+}
+
+// StartVCD begins waveform capture, spilling the session off its batch
+// lane first (the writer samples a private engine cycle by cycle).
+// Idempotent: a second start keeps the existing capture.
+func (s *Session) StartVCD(sm *SessionManager) error {
+	if s.vcd != nil {
+		return nil
+	}
+	if err := s.spill(sm); err != nil {
+		return err
+	}
+	cap := &vcdCapture{}
+	cap.w = sim.NewVCDWriter(&cap.buf, s.Sim.Engine)
+	if err := cap.w.Sample(); err != nil { // header + initial values
+		return err
+	}
+	s.vcd = cap
+	return nil
+}
+
+// VCD returns the capture accumulated so far.
+func (s *Session) VCD() ([]byte, error) {
+	if s.vcd == nil {
+		return nil, ErrNoVCD
+	}
+	return s.vcd.buf.Bytes(), nil
+}
+
+// spill migrates a batched session onto a private engine carrying the
+// lane's exact architectural state, then releases the lane.
+func (s *Session) spill(sm *SessionManager) error {
+	g := s.group
+	if g == nil {
+		return nil
+	}
+	var eng *sim.Engine
+	err := g.withEngine(func(be *sim.BatchEngine) error {
+		var e2 error
+		eng, e2 = be.ExtractLane(s.lane)
+		return e2
+	})
+	if err != nil {
+		return err
+	}
+	g.pool.free(g, s.lane)
+	s.group = nil
+	s.Sim = &repcut.Simulator{Engine: eng, Report: s.report}
+	sm.m.sessionsSpilled.Add(1)
+	return nil
+}
+
+// release frees the session's backend resources (its batch lane, if any).
+// Called with s.mu held, exactly once, by SessionManager.finish.
+func (s *Session) release() {
+	if g := s.group; g != nil {
+		g.pool.free(g, s.lane)
+		s.group = nil
+	}
+}
+
 // touch records activity for the idle reaper.
 func (s *Session) touch(now time.Time) { s.lastUsed.Store(now.UnixNano()) }
 
 // SessionManager owns the live-session table: bounded admission
-// (par.Sem), idle reaping, and a graceful drain that lets in-flight
-// operations finish before the last session is torn down.
+// (par.Sem), lane placement via the batch pool, idle reaping, and a
+// graceful drain that lets in-flight operations finish before the last
+// session is torn down.
 type SessionManager struct {
-	sem  *par.Sem
-	idle time.Duration
-	m    *Metrics
+	sem   *par.Sem
+	idle  time.Duration
+	m     *Metrics
+	batch *batchPool
 
 	mu   sync.Mutex
 	byID map[string]*Session
@@ -54,17 +201,19 @@ type SessionManager struct {
 }
 
 // NewSessionManager creates a manager admitting at most maxLive concurrent
-// sessions and reaping sessions idle longer than idleTimeout (0 disables
-// reaping).
-func NewSessionManager(maxLive int, idleTimeout time.Duration, m *Metrics) *SessionManager {
+// sessions, reaping sessions idle longer than idleTimeout (0 disables
+// reaping), and coalescing same-program sessions into batch groups of
+// batchLanes lanes (<= 1 disables batching).
+func NewSessionManager(maxLive int, idleTimeout time.Duration, batchLanes int, m *Metrics) *SessionManager {
 	if m == nil {
 		m = NewMetrics()
 	}
 	return &SessionManager{
-		sem:  par.NewSem(maxLive),
-		idle: idleTimeout,
-		m:    m,
-		byID: make(map[string]*Session),
+		sem:   par.NewSem(maxLive),
+		idle:  idleTimeout,
+		m:     m,
+		batch: newBatchPool(batchLanes, m),
+		byID:  make(map[string]*Session),
 	}
 }
 
@@ -78,9 +227,16 @@ func (sm *SessionManager) Live() int {
 // Capacity returns the admission limit.
 func (sm *SessionManager) Capacity() int { return sm.sem.Cap() }
 
-// Create opens a session over a cached entry. ErrSessionLimit when the
-// admission bound is hit (HTTP 429), ErrDraining during shutdown (503).
-func (sm *SessionManager) Create(e *Entry) (*Session, error) {
+// BatchStats exposes the batch pool gauges.
+func (sm *SessionManager) BatchStats() (groups, occupied, capacity int) {
+	return sm.batch.stats()
+}
+
+// Create opens a session over a cached entry, placing it on a batch lane
+// unless solo is set or the program is ineligible. ErrSessionLimit when
+// the admission bound is hit (HTTP 429), ErrDraining during shutdown
+// (503).
+func (sm *SessionManager) Create(e *Entry, solo bool) (*Session, error) {
 	if sm.draining.Load() {
 		return nil, ErrDraining
 	}
@@ -89,14 +245,27 @@ func (sm *SessionManager) Create(e *Entry) (*Session, error) {
 		return nil, ErrSessionLimit
 	}
 	s := &Session{
-		ID:  fmt.Sprintf("s%08x", sm.seq.Add(1)),
-		Key: e.Key,
-		Sim: e.Compiled.NewSimulator(),
+		ID:     fmt.Sprintf("s%08x", sm.seq.Add(1)),
+		Key:    e.Key,
+		report: e.Compiled.Report,
+		com:    e.Compiled,
+	}
+	if !solo {
+		if g, lane, ok := sm.batch.alloc(e); ok {
+			s.group, s.lane = g, lane
+		}
+	}
+	if s.group == nil {
+		s.Sim = e.Compiled.NewSimulator()
+		sm.m.sessionsSolo.Add(1)
+	} else {
+		sm.m.sessionsBatched.Add(1)
 	}
 	s.touch(time.Now())
 	sm.mu.Lock()
 	if sm.draining.Load() { // re-check under the table lock
 		sm.mu.Unlock()
+		s.release()
 		sm.sem.Release()
 		return nil, ErrDraining
 	}
@@ -153,12 +322,14 @@ func (sm *SessionManager) Close(id string) (*Session, error) {
 	return s, nil
 }
 
-// finish marks a removed session closed and returns its admission slot.
-// It waits for any in-flight operation by taking the session mutex.
+// finish marks a removed session closed and returns its admission slot
+// and batch lane. It waits for any in-flight operation by taking the
+// session mutex.
 func (sm *SessionManager) finish(s *Session) {
 	s.mu.Lock()
 	if !s.closed {
 		s.closed = true
+		s.release()
 		sm.sem.Release()
 	}
 	s.mu.Unlock()

@@ -199,15 +199,21 @@ type CompileResponse struct {
 }
 
 // CreateSessionRequest opens a stateful simulation over a cached program.
+// Solo opts out of the lane-batched execution tier, forcing a private
+// engine (e.g. for latency-sensitive interactive use).
 type CreateSessionRequest struct {
-	Key string `json:"key"`
+	Key  string `json:"key"`
+	Solo bool   `json:"solo,omitempty"`
 }
 
-// SessionResponse describes a session.
+// SessionResponse describes a session. Batched reports whether it runs on
+// a shared batch-engine lane (an execution detail — the API behaves
+// identically either way).
 type SessionResponse struct {
 	SessionID string `json:"session_id"`
-	Design    string `json:"design"`
+	Design    string `json:"design,omitempty"`
 	Cycle     uint64 `json:"cycle"`
+	Batched   bool   `json:"batched,omitempty"`
 }
 
 // PokeRequest sets a narrow (≤64-bit) input port.

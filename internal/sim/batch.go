@@ -1,0 +1,471 @@
+package sim
+
+import (
+	"fmt"
+	"unsafe"
+
+	"repro/internal/bitvec"
+)
+
+// This file implements the lane-batched execution engine: N independent
+// simulations ("lanes") of the same linked program advanced together, so
+// each linked instruction is fetched and dispatched once and then executed
+// across all lanes in a tight inner loop (batchexec.go). It is the
+// Parendi-style answer to the service's 1000-sessions-one-program workload:
+// the per-instruction interpreter overhead (stream walk, opcode switch,
+// operand decode) that a private Engine pays per session is paid once per
+// batch group.
+//
+// State is laid out structure-of-arrays: one flat []uint64 of
+// StateWords×laneStride words, where word w of lane l lives at
+// st[w*laneStride+l] and laneStride is the lane count padded to a whole
+// 64-byte cache line. Columns (all lanes of one state word) are contiguous,
+// so the per-instruction lane loop is a sequential walk the hardware
+// prefetches, and the commit memcpy of the two-phase protocol becomes one
+// contiguous block copy across every lane at once.
+//
+// Narrow operations vectorize over lanes. Wide values and memories keep
+// their existing boxed per-lane representation and fall back to the
+// closure-based evalWide path, lane by lane, under the step mask.
+//
+// Only private-temp programs are supported: the eval phase then provably
+// writes nothing but thread-private temps and shadows (the RepCut
+// race-freedom invariant, re-proven by internal/verify), which is what
+// makes it sound to evaluate every lane — including lanes that must not
+// advance this call — and gate only the commit on the mask.
+
+// batchLaneAlign is the lane-stride alignment in 64-bit words: 8 words =
+// one 64-byte cache line, so no column's line is shared with a neighbouring
+// word's column.
+const batchLaneAlign = 8
+
+// BatchEngine executes one linked program across many independent lanes.
+// It is not safe for concurrent use; callers (internal/service batch
+// groups) serialize access externally.
+type BatchEngine struct {
+	prog   *Program
+	lp     *LinkedProgram
+	lanes  int
+	stride int // lanes padded to batchLaneAlign
+
+	// st is the SoA state: word w, lane l at st[w*stride+l].
+	st []uint64
+
+	// blk is st reinterpreted as cache-line blocks of eight lanes: block b
+	// of word w at blk[w*nb+b], nb = stride/batchLaneAlign. The batch
+	// executor's unrolled kernels (batchkern.go) run over this view.
+	blk []blk8
+	nb  int
+
+	// Per-lane boxed state: wide globals, memories (laneGS[l].words is nil —
+	// narrow words live in st), and per-thread wide temps/shadows plus
+	// deferred memory-write buffers.
+	laneGS []*globalState
+	laneTC [][]*threadCtx
+
+	// Per-lane closures for the boxed wide fallback, built once so OpWide
+	// dispatch allocates nothing per cycle.
+	wval   []func(uint32) uint64
+	wstore []func(uint32, uint64)
+
+	cycles []uint64
+
+	// fullMask is the all-lanes mask Run uses when the caller passes nil.
+	fullMask []bool
+
+	// maskRuns is RunMasked's reusable scratch for the active-lane runs of
+	// a partial mask ({start, length} pairs of consecutive selected lanes).
+	maskRuns [][2]int
+}
+
+// NewBatchEngine creates a lane-batched engine over the program's linked
+// form and resets every lane to power-on state. Shared-mode programs are
+// rejected: their threads communicate mid-cycle, so eval cannot run over
+// masked-out lanes.
+func NewBatchEngine(p *Program, lanes int) (*BatchEngine, error) {
+	if lanes < 1 {
+		return nil, fmt.Errorf("sim: batch engine needs lanes >= 1, got %d", lanes)
+	}
+	if p.Shared {
+		return nil, fmt.Errorf("sim: batch engine does not support shared-mode programs")
+	}
+	lp := p.Linked()
+	e := &BatchEngine{
+		prog:     p,
+		lp:       lp,
+		lanes:    lanes,
+		stride:   int(padTo(uint32(lanes), batchLaneAlign)),
+		cycles:   make([]uint64, lanes),
+		fullMask: make([]bool, lanes),
+	}
+	e.st = make([]uint64, lp.StateWords*e.stride)
+	e.nb = e.stride / batchLaneAlign
+	if len(e.st) > 0 {
+		e.blk = unsafe.Slice((*blk8)(unsafe.Pointer(&e.st[0])), len(e.st)/batchLaneAlign)
+	}
+	for l := 0; l < lanes; l++ {
+		e.fullMask[l] = true
+		gs := newGlobalStateWords(p, nil)
+		e.laneGS = append(e.laneGS, gs)
+		tcs := make([]*threadCtx, len(p.Threads))
+		for t := range p.Threads {
+			tcs[t] = newBatchThreadCtx(p, &p.Threads[t])
+		}
+		e.laneTC = append(e.laneTC, tcs)
+		l := l // captured per lane
+		e.wval = append(e.wval, func(r uint32) uint64 {
+			return e.st[int(r)*e.stride+l]
+		})
+		e.wstore = append(e.wstore, func(r uint32, v uint64) {
+			e.st[int(r)*e.stride+l] = v
+		})
+	}
+	e.Reset()
+	return e, nil
+}
+
+// newBatchThreadCtx is newThreadCtx without the narrow temp/shadow arrays
+// (those live in the SoA state) but with the boxed wide state and pre-sized
+// memory-write buffers each lane needs.
+func newBatchThreadCtx(p *Program, tc *ThreadCode) *threadCtx {
+	ctx := &threadCtx{}
+	ctx.wideTemps = make([]bitvec.Vec, tc.NumWideTemps)
+	ctx.wideShadow = make([]bitvec.Vec, len(tc.WideShadowSlots))
+	for i, t := range tc.WideShadowTypes {
+		ctx.wideShadow[i] = bitvec.New(t.Width)
+	}
+	narrow, wide := memWriteCounts(p, tc)
+	if narrow > 0 {
+		ctx.memBuf = make([]memWrite, 0, narrow)
+	}
+	if wide > 0 {
+		ctx.wideMemBuf = make([]wideMemWrite, 0, wide)
+	}
+	return ctx
+}
+
+// Program returns the engine's compiled program.
+func (e *BatchEngine) Program() *Program { return e.prog }
+
+// Lanes returns the configured lane count.
+func (e *BatchEngine) Lanes() int { return e.lanes }
+
+// Cycles returns the number of cycles lane l has simulated since its last
+// reset.
+func (e *BatchEngine) Cycles(lane int) uint64 { return e.cycles[lane] }
+
+// Reset restores every lane to power-on state.
+func (e *BatchEngine) Reset() {
+	for l := 0; l < e.lanes; l++ {
+		e.ResetLane(l)
+	}
+}
+
+// ResetLane restores one lane to power-on state (registers to their init
+// values, memories, outputs, and inputs to zero) without disturbing any
+// other lane. The service batch tier calls it when recycling a dead
+// session's lane for a new one.
+func (e *BatchEngine) ResetLane(lane int) {
+	p, stride := e.prog, e.stride
+	for w := 0; w < e.lp.StateWords; w++ {
+		e.st[w*stride+lane] = 0
+	}
+	for i, v := range p.Imms {
+		e.st[(e.lp.ImmOff+i)*stride+lane] = v
+	}
+	gs := e.laneGS[lane]
+	for i, w := range p.WideWidths {
+		gs.wide[i] = zeroVec(w)
+	}
+	for mi := range gs.mems {
+		if gs.mems[mi] != nil {
+			for i := range gs.mems[mi] {
+				gs.mems[mi][i] = 0
+			}
+		}
+		if gs.wideMems[mi] != nil {
+			for i := range gs.wideMems[mi] {
+				gs.wideMems[mi][i] = zeroVec(p.Mems[mi].Width)
+			}
+		}
+	}
+	for _, r := range p.Regs {
+		if r.Wide {
+			gs.wide[r.Slot] = extendInit(r)
+		} else {
+			e.st[int(r.Slot)*stride+lane] = r.Init.Uint64() & maskOf(r.Width)
+		}
+	}
+	for _, tc := range e.laneTC[lane] {
+		tc.memBuf = tc.memBuf[:0]
+		tc.wideMemBuf = tc.wideMemBuf[:0]
+	}
+	e.cycles[lane] = 0
+}
+
+// checkLane validates a lane index.
+func (e *BatchEngine) checkLane(lane int) error {
+	if lane < 0 || lane >= e.lanes {
+		return fmt.Errorf("sim: lane %d out of range [0,%d)", lane, e.lanes)
+	}
+	return nil
+}
+
+// Poke sets a narrow input port on one lane.
+func (e *BatchEngine) Poke(lane int, name string, v uint64) error {
+	if err := e.checkLane(lane); err != nil {
+		return err
+	}
+	ps, ok := e.prog.Input(name)
+	if !ok {
+		return fmt.Errorf("sim: no input %q", name)
+	}
+	if ps.Wide {
+		return fmt.Errorf("sim: input %q is %d bits wide; use PokeVec", name, ps.Width)
+	}
+	e.st[int(ps.Slot)*e.stride+lane] = v & maskOf(ps.Width)
+	return nil
+}
+
+// PokeVec sets an input port of any width on one lane.
+func (e *BatchEngine) PokeVec(lane int, name string, v bitvec.Vec) error {
+	if err := e.checkLane(lane); err != nil {
+		return err
+	}
+	ps, ok := e.prog.Input(name)
+	if !ok {
+		return fmt.Errorf("sim: no input %q", name)
+	}
+	if ps.Wide {
+		e.laneGS[lane].wide[ps.Slot] = bitvec.ZeroExtend(ps.Width, v)
+		return nil
+	}
+	e.st[int(ps.Slot)*e.stride+lane] = v.Uint64() & maskOf(ps.Width)
+	return nil
+}
+
+// Peek reads a narrow output port of one lane.
+func (e *BatchEngine) Peek(lane int, name string) (uint64, error) {
+	if err := e.checkLane(lane); err != nil {
+		return 0, err
+	}
+	ps, ok := e.prog.Output(name)
+	if !ok {
+		return 0, fmt.Errorf("sim: no output %q", name)
+	}
+	if ps.Wide {
+		return 0, fmt.Errorf("sim: output %q is %d bits wide; use PeekVec", name, ps.Width)
+	}
+	return e.st[int(ps.Slot)*e.stride+lane], nil
+}
+
+// PeekVec reads an output port of any width on one lane.
+func (e *BatchEngine) PeekVec(lane int, name string) (bitvec.Vec, error) {
+	if err := e.checkLane(lane); err != nil {
+		return bitvec.Vec{}, err
+	}
+	ps, ok := e.prog.Output(name)
+	if !ok {
+		return bitvec.Vec{}, fmt.Errorf("sim: no output %q", name)
+	}
+	if ps.Wide {
+		return e.laneGS[lane].wide[ps.Slot].Clone(), nil
+	}
+	return bitvec.FromUint64(ps.Width, e.st[int(ps.Slot)*e.stride+lane]), nil
+}
+
+// PeekReg reads a register's current value on one lane.
+func (e *BatchEngine) PeekReg(lane int, name string) (bitvec.Vec, error) {
+	if err := e.checkLane(lane); err != nil {
+		return bitvec.Vec{}, err
+	}
+	rs, ok := e.prog.Reg(name)
+	if !ok {
+		return bitvec.Vec{}, fmt.Errorf("sim: no register %q", name)
+	}
+	if rs.Wide {
+		return e.laneGS[lane].wide[rs.Slot].Clone(), nil
+	}
+	return bitvec.FromUint64(rs.Width, e.st[int(rs.Slot)*e.stride+lane]), nil
+}
+
+// PeekMemVec reads one memory word of any element width on one lane.
+func (e *BatchEngine) PeekMemVec(lane int, name string, addr int) (bitvec.Vec, error) {
+	if err := e.checkLane(lane); err != nil {
+		return bitvec.Vec{}, err
+	}
+	gs := e.laneGS[lane]
+	for mi, m := range e.prog.Mems {
+		if m.Name != name {
+			continue
+		}
+		if addr < 0 || addr >= m.Depth {
+			return bitvec.Vec{}, fmt.Errorf("sim: mem %q address %d out of range", name, addr)
+		}
+		if m.Wide {
+			return gs.wideMems[mi][addr].Clone(), nil
+		}
+		return bitvec.FromUint64(m.Width, gs.mems[mi][addr]), nil
+	}
+	return bitvec.Vec{}, fmt.Errorf("sim: no memory %q", name)
+}
+
+// Run advances every lane by n cycles.
+func (e *BatchEngine) Run(n int) { e.RunMasked(n, nil) }
+
+// RunMasked advances the lanes selected by mask (nil = all lanes) by n
+// cycles. Unselected lanes cost one branch in the per-lane fallback loops
+// and nothing in the commit: their architectural state (globals, wide
+// values, memories) is bit-for-bit untouched, because under the
+// private-temp model the eval phase writes only temps and shadows, and the
+// commit is gated on the mask. That is what lets batch groups hold lanes
+// at different cycle frontiers.
+func (e *BatchEngine) RunMasked(n int, mask []bool) {
+	if n <= 0 {
+		return
+	}
+	if mask == nil {
+		mask = e.fullMask
+	}
+	full := true
+	any := false
+	for l := 0; l < e.lanes; l++ {
+		if mask[l] {
+			any = true
+		} else {
+			full = false
+		}
+	}
+	if !any {
+		return
+	}
+	// The commit copies contiguous runs of selected lanes; lanes are
+	// handed out densely, so a typical partial mask is one or two runs and
+	// the masked commit stays near memmove speed.
+	runs := e.maskRuns[:0]
+	if !full {
+		for l := 0; l < e.lanes; {
+			if !mask[l] {
+				l++
+				continue
+			}
+			s := l
+			for l < e.lanes && mask[l] {
+				l++
+			}
+			runs = append(runs, [2]int{s, l - s})
+		}
+		e.maskRuns = runs
+	}
+	for c := 0; c < n; c++ {
+		if e.stride == 16 {
+			// Default-width groups take the fully inlined executor
+			// (batchexec16.go); other strides the block-kernel one.
+			for t := range e.prog.Threads {
+				e.evalThreadBatch16(t, mask)
+			}
+		} else {
+			for t := range e.prog.Threads {
+				e.evalThreadBatch(t, mask)
+			}
+		}
+		for t := range e.prog.Threads {
+			e.updateBatch(t, mask, full, runs)
+		}
+	}
+	for l := 0; l < e.lanes; l++ {
+		if mask[l] {
+			e.cycles[l] += uint64(n)
+		}
+	}
+}
+
+// updateBatch publishes thread t's shadow state for the masked lanes: the
+// narrow commit is one contiguous block copy across all lanes when the
+// mask is full (the common case), per-word copies of the mask's lane runs
+// otherwise, then wide shadows and deferred memory writes lane by lane.
+func (e *BatchEngine) updateBatch(t int, mask []bool, full bool, runs [][2]int) {
+	th := &e.prog.Threads[t]
+	lt := &e.lp.Threads[t]
+	stride := e.stride
+	gOff, shOff, sw := th.GlobalOff, int(lt.ShadowOff), th.ShadowWords
+	if sw > 0 {
+		if full {
+			copy(e.st[gOff*stride:(gOff+sw)*stride], e.st[shOff*stride:(shOff+sw)*stride])
+		} else {
+			for w := 0; w < sw; w++ {
+				dst := e.st[(gOff+w)*stride:]
+				src := e.st[(shOff+w)*stride:]
+				for _, r := range runs {
+					copy(dst[r[0]:r[0]+r[1]], src[r[0]:r[0]+r[1]])
+				}
+			}
+		}
+	}
+	for l, on := range mask {
+		if !on {
+			continue
+		}
+		gs := e.laneGS[l]
+		tc := e.laneTC[l][t]
+		for i, slot := range th.WideShadowSlots {
+			gs.wide[slot] = tc.wideShadow[i]
+		}
+		for _, w := range tc.memBuf {
+			m := gs.mems[w.mem]
+			if w.addr < uint64(len(m)) {
+				m[w.addr] = w.data
+			}
+		}
+		tc.memBuf = tc.memBuf[:0]
+		for _, w := range tc.wideMemBuf {
+			m := gs.wideMems[w.mem]
+			if w.addr < uint64(len(m)) {
+				m[w.addr] = w.data
+			}
+		}
+		tc.wideMemBuf = tc.wideMemBuf[:0]
+	}
+}
+
+// ExtractLane copies one lane's architectural state (narrow globals, wide
+// globals, memories, cycle count) into a fresh private Engine over the
+// same program. The service uses it to spill a session out of its batch
+// group when it diverges — VCD capture, verification mode — without losing
+// simulation state. The lane itself is left untouched; the caller decides
+// whether to recycle it.
+func (e *BatchEngine) ExtractLane(lane int) (*Engine, error) {
+	if err := e.checkLane(lane); err != nil {
+		return nil, err
+	}
+	ne := NewEngine(e.prog)
+	for w := 0; w < e.prog.GlobalWords; w++ {
+		ne.gs.words[w] = e.st[w*e.stride+lane]
+	}
+	gs := e.laneGS[lane]
+	for i := range gs.wide {
+		ne.gs.wide[i] = gs.wide[i].Clone()
+	}
+	for mi := range gs.mems {
+		if gs.mems[mi] != nil {
+			copy(ne.gs.mems[mi], gs.mems[mi])
+		}
+		if gs.wideMems[mi] != nil {
+			for a := range gs.wideMems[mi] {
+				ne.gs.wideMems[mi][a] = gs.wideMems[mi][a].Clone()
+			}
+		}
+	}
+	ne.cycles = e.cycles[lane]
+	return ne, nil
+}
+
+// StateBytes estimates the engine's resident mutable state: the SoA array
+// plus every lane's boxed wide values and memories. The service charges it
+// when sizing batch groups.
+func (e *BatchEngine) StateBytes() int64 {
+	n := int64(len(e.st)) * 8
+	n += int64(e.lanes) * (e.prog.StateBytes() - int64(e.prog.GlobalWords)*8)
+	n += int64(unsafe.Sizeof(BatchEngine{}))
+	return n
+}

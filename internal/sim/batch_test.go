@@ -1,0 +1,366 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+)
+
+// pokeBoth drives one cycle of random stimulus into a batch lane and its
+// twin private engine, so the two must stay bit-identical forever.
+func pokeBoth(t *testing.T, be *BatchEngine, lane int, tw *Engine, rng *rand.Rand) {
+	t.Helper()
+	v1 := rng.Uint64()
+	w := bitvec.New(70)
+	for j := range w.Words {
+		w.Words[j] = rng.Uint64()
+	}
+	w = bitvec.ZeroExtend(70, w)
+	if err := be.Poke(lane, "in1", v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := be.PokeVec(lane, "in2", w); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.PokeInput("in1", v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.PokeInputVec("in2", w); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// compareLane checks a batch lane against its twin engine on every
+// register, output, and memory word.
+func compareLane(t *testing.T, be *BatchEngine, lane int, tw *Engine, tag string) {
+	t.Helper()
+	p := be.Program()
+	for _, r := range p.Regs {
+		bv, err := be.PeekReg(lane, r.Name)
+		if err != nil {
+			t.Fatalf("%s: batch peek reg %s: %v", tag, r.Name, err)
+		}
+		ev, err := tw.PeekReg(r.Name)
+		if err != nil {
+			t.Fatalf("%s: twin peek reg %s: %v", tag, r.Name, err)
+		}
+		if !bitvec.Eq(bv, ev) {
+			t.Fatalf("%s: lane %d reg %s: batch %v, engine %v", tag, lane, r.Name, bv, ev)
+		}
+	}
+	for _, o := range p.Outputs {
+		bv, err := be.PeekVec(lane, o.Name)
+		if err != nil {
+			t.Fatalf("%s: batch peek out %s: %v", tag, o.Name, err)
+		}
+		ev, err := tw.PeekOutputVec(o.Name)
+		if err != nil {
+			t.Fatalf("%s: twin peek out %s: %v", tag, o.Name, err)
+		}
+		if !bitvec.Eq(bv, ev) {
+			t.Fatalf("%s: lane %d out %s: batch %v, engine %v", tag, lane, o.Name, bv, ev)
+		}
+	}
+	for _, m := range p.Mems {
+		for a := 0; a < m.Depth; a++ {
+			bv, err := be.PeekMemVec(lane, m.Name, a)
+			if err != nil {
+				t.Fatalf("%s: batch peek mem %s[%d]: %v", tag, m.Name, a, err)
+			}
+			ev, err := tw.PeekMemVec(m.Name, a)
+			if err != nil {
+				t.Fatalf("%s: twin peek mem %s[%d]: %v", tag, m.Name, a, err)
+			}
+			if !bitvec.Eq(bv, ev) {
+				t.Fatalf("%s: lane %d mem %s[%d]: batch %v, engine %v", tag, lane, m.Name, a, bv, ev)
+			}
+		}
+	}
+}
+
+// TestBatchMatchesEngine is the batch engine's correctness claim: N lanes
+// driven with N distinct input streams must each stay bit-identical to a
+// private Engine fed the same stream — serial and partitioned programs,
+// including fused superinstructions, wide values, and memories. Lane count
+// 5 pads to a stride-8 frame (block-kernel executor), 11 to stride 16 (the
+// inlined evalThreadBatch16 path), so both executors are checked along
+// with their padding lanes.
+func TestBatchMatchesEngine(t *testing.T) {
+	for _, lanes := range []int{5, 11} {
+		for seed := int64(50); seed < 54; seed++ {
+			lanes, seed := lanes, seed
+			t.Run(fmt.Sprintf("lanes%d/seed%d", lanes, seed), func(t *testing.T) {
+				g := randomCircuit(t, seed, 70)
+				for _, k := range []int{1, 3} {
+					specs := SerialSpec(g)
+					if k > 1 {
+						res, err := core.Partition(g, core.Options{
+							K: k, Seed: seed, Model: costmodel.Default(), Epsilon: 0.1,
+						})
+						if err != nil {
+							t.Fatalf("partition k=%d: %v", k, err)
+						}
+						specs = partSpecs(res)
+					}
+					prog, err := Compile(g, specs, Config{OptLevel: 2})
+					if err != nil {
+						t.Fatalf("compile k=%d: %v", k, err)
+					}
+					be, err := NewBatchEngine(prog, lanes)
+					if err != nil {
+						t.Fatal(err)
+					}
+					twins := make([]*Engine, lanes)
+					rngs := make([]*rand.Rand, lanes)
+					for l := range twins {
+						twins[l] = NewEngine(prog)
+						rngs[l] = rand.New(rand.NewSource(seed*100 + int64(l)))
+					}
+					for cyc := 0; cyc < 12; cyc++ {
+						for l := 0; l < lanes; l++ {
+							pokeBoth(t, be, l, twins[l], rngs[l])
+						}
+						be.Run(1)
+						for l := 0; l < lanes; l++ {
+							twins[l].Run(1)
+							compareLane(t, be, l, twins[l], fmt.Sprintf("k=%d cycle=%d", k, cyc))
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestBatchMaskedStepping holds lanes at different cycle frontiers — the
+// service's per-group frontier protocol — and checks that masked-out lanes
+// are bit-for-bit untouched while stepped lanes advance exactly like a
+// private engine.
+func TestBatchMaskedStepping(t *testing.T) {
+	const lanes = 4
+	g := randomCircuit(t, 61, 70)
+	prog, err := Compile(g, SerialSpec(g), Config{OptLevel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, err := NewBatchEngine(prog, lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twins := make([]*Engine, lanes)
+	for l := range twins {
+		twins[l] = NewEngine(prog)
+	}
+	rng := rand.New(rand.NewSource(77))
+	// Fixed per-lane stimulus so held lanes see stable inputs.
+	for l := 0; l < lanes; l++ {
+		pokeBoth(t, be, l, twins[l], rng)
+	}
+	// An uneven schedule: each row is (mask, cycles).
+	schedule := []struct {
+		mask []bool
+		n    int
+	}{
+		{[]bool{true, true, true, true}, 2},
+		{[]bool{true, false, true, false}, 3},
+		{[]bool{false, true, false, false}, 1},
+		{[]bool{true, true, false, true}, 2},
+		{[]bool{false, false, false, false}, 5}, // no-op
+		{[]bool{true, true, true, true}, 1},
+	}
+	want := make([]uint64, lanes)
+	for _, s := range schedule {
+		be.RunMasked(s.n, s.mask)
+		for l := 0; l < lanes; l++ {
+			if s.mask[l] {
+				twins[l].Run(s.n)
+				want[l] += uint64(s.n)
+			}
+		}
+	}
+	for l := 0; l < lanes; l++ {
+		if be.Cycles(l) != want[l] {
+			t.Fatalf("lane %d at cycle %d, want %d", l, be.Cycles(l), want[l])
+		}
+		compareLane(t, be, l, twins[l], "frontier")
+	}
+}
+
+// TestBatchResetLane is the lane-recycling contract: resetting one lane
+// restores power-on state (register inits included) without disturbing its
+// neighbours.
+func TestBatchResetLane(t *testing.T) {
+	g := randomCircuit(t, 62, 70)
+	prog, err := Compile(g, SerialSpec(g), Config{OptLevel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, err := NewBatchEngine(prog, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twins := []*Engine{NewEngine(prog), NewEngine(prog), NewEngine(prog)}
+	rng := rand.New(rand.NewSource(9))
+	for cyc := 0; cyc < 6; cyc++ {
+		for l := 0; l < 3; l++ {
+			pokeBoth(t, be, l, twins[l], rng)
+		}
+		be.Run(1)
+		for l := 0; l < 3; l++ {
+			twins[l].Run(1)
+		}
+	}
+	be.ResetLane(1)
+	if be.Cycles(1) != 0 {
+		t.Fatalf("reset lane cycle count = %d, want 0", be.Cycles(1))
+	}
+	fresh := NewEngine(prog)
+	compareLane(t, be, 1, fresh, "recycled lane vs power-on")
+	compareLane(t, be, 0, twins[0], "neighbour 0 after reset")
+	compareLane(t, be, 2, twins[2], "neighbour 2 after reset")
+	// The recycled lane must run correctly from scratch.
+	rng2 := rand.New(rand.NewSource(10))
+	for cyc := 0; cyc < 4; cyc++ {
+		pokeBoth(t, be, 1, fresh, rng2)
+		be.RunMasked(1, []bool{false, true, false})
+		fresh.Run(1)
+	}
+	compareLane(t, be, 1, fresh, "recycled lane after rerun")
+}
+
+// TestBatchExtractLane is the spill contract: the extracted private engine
+// must carry the lane's exact architectural state and then evolve
+// identically under further stimulus.
+func TestBatchExtractLane(t *testing.T) {
+	g := randomCircuit(t, 63, 70)
+	prog, err := Compile(g, SerialSpec(g), Config{OptLevel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, err := NewBatchEngine(prog, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twin := NewEngine(prog)
+	rng := rand.New(rand.NewSource(33))
+	for cyc := 0; cyc < 7; cyc++ {
+		pokeBoth(t, be, 1, twin, rng)
+		be.Run(1)
+		twin.Run(1)
+	}
+	sp, err := be.ExtractLane(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Cycles() != be.Cycles(1) {
+		t.Fatalf("spilled cycles %d, want %d", sp.Cycles(), be.Cycles(1))
+	}
+	// Continue the spilled engine and the twin in lockstep; the batch lane
+	// stays frozen and must be unaffected by the spill.
+	frozen, err := be.ExtractLane(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cyc := 0; cyc < 5; cyc++ {
+		v := rng.Uint64()
+		for _, e := range []*Engine{sp, twin} {
+			if err := e.PokeInput("in1", v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sp.Run(1)
+		twin.Run(1)
+	}
+	compareLane(t, be, 1, frozen, "lane frozen across spill")
+	for _, r := range prog.Regs {
+		sv, _ := sp.PeekReg(r.Name)
+		tv, _ := twin.PeekReg(r.Name)
+		if !bitvec.Eq(sv, tv) {
+			t.Fatalf("spilled engine diverged on reg %s: %v vs %v", r.Name, sv, tv)
+		}
+	}
+}
+
+// TestBatchEngineErrors covers the constructor and lane-index guard rails.
+func TestBatchEngineErrors(t *testing.T) {
+	g := randomCircuit(t, 64, 70)
+	prog, err := Compile(g, SerialSpec(g), Config{OptLevel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewBatchEngine(prog, 0); err == nil {
+		t.Fatal("lanes=0 accepted")
+	}
+	shared, err := Compile(g, SerialSpec(g), Config{Shared: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewBatchEngine(shared, 4); err == nil {
+		t.Fatal("shared-mode program accepted")
+	}
+	be, err := NewBatchEngine(prog, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := be.Poke(2, "in1", 1); err == nil {
+		t.Fatal("out-of-range lane accepted by Poke")
+	}
+	if _, err := be.Peek(-1, "whatever"); err == nil {
+		t.Fatal("negative lane accepted by Peek")
+	}
+	if err := be.Poke(0, "nosuch", 1); err == nil {
+		t.Fatal("unknown input accepted")
+	}
+	if be.Lanes() != 2 {
+		t.Fatalf("Lanes() = %d, want 2", be.Lanes())
+	}
+	if be.StateBytes() <= 0 {
+		t.Fatalf("StateBytes() = %d, want > 0", be.StateBytes())
+	}
+}
+
+// TestBatchRunNoAllocs: a narrow-only design must run allocation-free in
+// steady state across every lane — the SoA frame is pre-laid-out and the
+// memory-write buffers are pre-sized per lane.
+func TestBatchRunNoAllocs(t *testing.T) {
+	src := `
+circuit Cnt {
+  module Cnt {
+    input  en  : UInt<1>
+    input  din : UInt<24>
+    output o   : UInt<24>
+    reg r : UInt<24> init 1
+    reg s : UInt<24> init 0
+    mem m : UInt<24>[16]
+    node nxt = tail(add(r, UInt<24>(1)), 1)
+    r <= mux(en, nxt, r)
+    write(m, bits(r, 3, 0), din, en)
+    node rd = read(m, bits(nxt, 3, 0))
+    s <= mux(lt(rd, din), rd, s)
+    o <= s
+  }
+}
+`
+	prog := compileSrc(t, src)
+	be, err := NewBatchEngine(prog, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := 0; l < 8; l++ {
+		if err := be.Poke(l, "en", 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := be.Poke(l, "din", uint64(1000+l)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	be.Run(4) // reach steady state
+	allocs := testing.AllocsPerRun(50, func() { be.Run(1) })
+	if allocs != 0 {
+		t.Fatalf("batch Run allocates %v objects/cycle; want 0", allocs)
+	}
+}

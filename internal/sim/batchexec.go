@@ -1,0 +1,221 @@
+package sim
+
+import "fmt"
+
+// evalThreadBatch executes thread t's linked instruction stream once,
+// applying each instruction to every lane before moving to the next
+// instruction: instruction fetch, opcode dispatch, and operand decode are
+// paid once per instruction instead of once per lane per instruction.
+//
+// Narrow operations run over e.blk, the state reinterpreted as cache-line
+// blocks (blk8 = one state word's column of eight lanes): per instruction
+// the executor resolves each operand to a block index once, then calls an
+// unrolled 8-lane kernel (batchkern.go) per block. Fixed-size array
+// pointers mean no bounds checks and no loop bookkeeping in the innermost
+// code, and the eight independent statements give the out-of-order core
+// ILP that a scalar engine's serial dependence chain can't.
+//
+// Kernels run over every lane including masked-out and padding lanes —
+// they are total over garbage, and under the private-temp model the eval
+// phase writes only temps/shadow, so computing a masked-out lane is
+// unobservable (the commit in updateBatch is what the step mask gates).
+// Memory operations and the boxed wide path keep per-lane semantics and
+// honor the mask directly.
+func (e *BatchEngine) evalThreadBatch(t int, mask []bool) {
+	code := e.lp.Threads[t].Code
+	st := e.st
+	blk := e.blk
+	nb := e.nb
+	stride := e.stride
+	n := e.lanes
+
+	// col returns the lane column of state word w (per-lane fallbacks).
+	col := func(w uint32) []uint64 { return st[int(w)*stride:][:n] }
+	// bcol returns the block column of state word w (kernel path).
+	bcol := func(w uint32) []blk8 { return blk[int(w)*nb:][:nb] }
+
+	for i := range code {
+		in := &code[i]
+		switch in.Op {
+		case LOp(OpNop):
+		case LOp(OpCopy):
+			copy8(bcol(in.Dst), bcol(in.A), in.Mask)
+		case LOp(OpAdd):
+			add8(bcol(in.Dst), bcol(in.A), bcol(in.B), in.Mask)
+		case LOp(OpSub):
+			sub8(bcol(in.Dst), bcol(in.A), bcol(in.B), in.Mask)
+		case LOp(OpMul):
+			mul8(bcol(in.Dst), bcol(in.A), bcol(in.B), in.Mask)
+		case LOp(OpDiv):
+			div8(bcol(in.Dst), bcol(in.A), bcol(in.B), in.Mask)
+		case LOp(OpRem):
+			rem8(bcol(in.Dst), bcol(in.A), bcol(in.B), in.Mask)
+		case LOp(OpSDiv):
+			d, av, bv, m := col(in.Dst), col(in.A), col(in.B), in.Mask
+			for l := range d {
+				a, b := int64(av[l]), int64(bv[l])
+				switch {
+				case b == 0:
+					d[l] = 0
+				case b == -1:
+					d[l] = uint64(-a) & m // avoids MinInt64 / -1 trap
+				default:
+					d[l] = uint64(a/b) & m
+				}
+			}
+		case LOp(OpSRem):
+			d, av, bv, m := col(in.Dst), col(in.A), col(in.B), in.Mask
+			for l := range d {
+				a, b := int64(av[l]), int64(bv[l])
+				switch {
+				case b == 0:
+					d[l] = uint64(a) & m
+				case b == -1:
+					d[l] = 0
+				default:
+					d[l] = uint64(a%b) & m
+				}
+			}
+		case LOp(OpLt):
+			lt8(bcol(in.Dst), bcol(in.A), bcol(in.B), 0, 0)
+		case LOp(OpLeq):
+			leq8(bcol(in.Dst), bcol(in.A), bcol(in.B), 0, 0)
+		case LOp(OpGt):
+			gt8(bcol(in.Dst), bcol(in.A), bcol(in.B), 0, 0)
+		case LOp(OpGeq):
+			geq8(bcol(in.Dst), bcol(in.A), bcol(in.B), 0, 0)
+		case LOp(OpSLt):
+			slt8(bcol(in.Dst), bcol(in.A), bcol(in.B), 0, 0)
+		case LOp(OpSLeq):
+			sleq8(bcol(in.Dst), bcol(in.A), bcol(in.B), 0, 0)
+		case LOp(OpSGt):
+			sgt8(bcol(in.Dst), bcol(in.A), bcol(in.B), 0, 0)
+		case LOp(OpSGeq):
+			sgeq8(bcol(in.Dst), bcol(in.A), bcol(in.B), 0, 0)
+		case LOp(OpEq):
+			eq8(bcol(in.Dst), bcol(in.A), bcol(in.B), 0, 0)
+		case LOp(OpNeq):
+			neq8(bcol(in.Dst), bcol(in.A), bcol(in.B), 0, 0)
+		case LOp(OpAnd):
+			and8(bcol(in.Dst), bcol(in.A), bcol(in.B), in.Mask)
+		case LOp(OpOr):
+			or8(bcol(in.Dst), bcol(in.A), bcol(in.B), in.Mask)
+		case LOp(OpXor):
+			xor8(bcol(in.Dst), bcol(in.A), bcol(in.B), in.Mask)
+		case LOp(OpNot):
+			not8(bcol(in.Dst), bcol(in.A), in.Mask)
+		case LOp(OpNeg):
+			neg8(bcol(in.Dst), bcol(in.A), in.Mask)
+		case LOp(OpAndr):
+			andr8(bcol(in.Dst), bcol(in.A), in.Mask)
+		case LOp(OpOrr):
+			orr8(bcol(in.Dst), bcol(in.A))
+		case LOp(OpXorr):
+			xorr8(bcol(in.Dst), bcol(in.A))
+		case LOp(OpCat):
+			cat8(bcol(in.Dst), bcol(in.A), bcol(in.B), in.Aux, in.Mask)
+		case LOp(OpShl):
+			shl8(bcol(in.Dst), bcol(in.A), in.Aux, in.Mask)
+		case LOp(OpShr):
+			shr8(bcol(in.Dst), bcol(in.A), in.Aux, in.Mask)
+		case LOp(OpSar):
+			sar8(bcol(in.Dst), bcol(in.A), in.Aux, in.Mask)
+		case LOp(OpDshl):
+			dshl8(bcol(in.Dst), bcol(in.A), bcol(in.B), in.Mask)
+		case LOp(OpDshr):
+			dshr8(bcol(in.Dst), bcol(in.A), bcol(in.B), in.Mask)
+		case LOp(OpDsar):
+			dsar8(bcol(in.Dst), bcol(in.A), bcol(in.B), in.Mask)
+		case LOp(OpMux):
+			mux8(bcol(in.Dst), bcol(in.A), bcol(in.B), bcol(in.C), in.Mask)
+		case LOp(OpSext):
+			sext8(bcol(in.Dst), bcol(in.A), in.Aux)
+		case LOp(OpMemRd):
+			d, a, m := col(in.Dst), col(in.A), in.Mask
+			for l := 0; l < n; l++ {
+				if !mask[l] {
+					continue
+				}
+				mem := e.laneGS[l].mems[in.Aux]
+				if addr := a[l]; addr < uint64(len(mem)) {
+					d[l] = mem[addr] & m
+				} else {
+					d[l] = 0
+				}
+			}
+		case LOp(OpMemWr):
+			a, b, c, m := col(in.A), col(in.B), col(in.C), in.Mask
+			for l := 0; l < n; l++ {
+				if !mask[l] || c[l] == 0 {
+					continue
+				}
+				tc := e.laneTC[l][t]
+				tc.memBuf = append(tc.memBuf, memWrite{
+					mem: in.Aux, addr: a[l], data: b[l] & m,
+				})
+			}
+		case LOp(OpWide):
+			wn := &e.lp.WideNodes[in.Aux]
+			for l := 0; l < n; l++ {
+				if !mask[l] {
+					continue
+				}
+				evalWide(wn, e.prog, e.laneGS[l], e.laneTC[l][t], e.wval[l], e.wstore[l])
+			}
+
+		// Fused superinstructions (fuse.go), same kernels as the plain
+		// forms but with the real operand widths for the inline sext.
+		case lLtExt:
+			lt8(bcol(in.Dst), bcol(in.A), bcol(in.B), in.Aux&0xff, in.Aux>>8)
+		case lLeqExt:
+			leq8(bcol(in.Dst), bcol(in.A), bcol(in.B), in.Aux&0xff, in.Aux>>8)
+		case lGtExt:
+			gt8(bcol(in.Dst), bcol(in.A), bcol(in.B), in.Aux&0xff, in.Aux>>8)
+		case lGeqExt:
+			geq8(bcol(in.Dst), bcol(in.A), bcol(in.B), in.Aux&0xff, in.Aux>>8)
+		case lSLtExt:
+			slt8(bcol(in.Dst), bcol(in.A), bcol(in.B), in.Aux&0xff, in.Aux>>8)
+		case lSLeqExt:
+			sleq8(bcol(in.Dst), bcol(in.A), bcol(in.B), in.Aux&0xff, in.Aux>>8)
+		case lSGtExt:
+			sgt8(bcol(in.Dst), bcol(in.A), bcol(in.B), in.Aux&0xff, in.Aux>>8)
+		case lSGeqExt:
+			sgeq8(bcol(in.Dst), bcol(in.A), bcol(in.B), in.Aux&0xff, in.Aux>>8)
+		case lEqExt:
+			eq8(bcol(in.Dst), bcol(in.A), bcol(in.B), in.Aux&0xff, in.Aux>>8)
+		case lNeqExt:
+			neq8(bcol(in.Dst), bcol(in.A), bcol(in.B), in.Aux&0xff, in.Aux>>8)
+		case lLtMux:
+			ltMux8(bcol(in.Dst), bcol(in.A), bcol(in.B), bcol(in.C), bcol(in.D), in.Aux&0xff, in.Aux>>8, in.Mask)
+		case lLeqMux:
+			leqMux8(bcol(in.Dst), bcol(in.A), bcol(in.B), bcol(in.C), bcol(in.D), in.Aux&0xff, in.Aux>>8, in.Mask)
+		case lGtMux:
+			gtMux8(bcol(in.Dst), bcol(in.A), bcol(in.B), bcol(in.C), bcol(in.D), in.Aux&0xff, in.Aux>>8, in.Mask)
+		case lGeqMux:
+			geqMux8(bcol(in.Dst), bcol(in.A), bcol(in.B), bcol(in.C), bcol(in.D), in.Aux&0xff, in.Aux>>8, in.Mask)
+		case lSLtMux:
+			sltMux8(bcol(in.Dst), bcol(in.A), bcol(in.B), bcol(in.C), bcol(in.D), in.Aux&0xff, in.Aux>>8, in.Mask)
+		case lSLeqMux:
+			sleqMux8(bcol(in.Dst), bcol(in.A), bcol(in.B), bcol(in.C), bcol(in.D), in.Aux&0xff, in.Aux>>8, in.Mask)
+		case lSGtMux:
+			sgtMux8(bcol(in.Dst), bcol(in.A), bcol(in.B), bcol(in.C), bcol(in.D), in.Aux&0xff, in.Aux>>8, in.Mask)
+		case lSGeqMux:
+			sgeqMux8(bcol(in.Dst), bcol(in.A), bcol(in.B), bcol(in.C), bcol(in.D), in.Aux&0xff, in.Aux>>8, in.Mask)
+		case lEqMux:
+			eqMux8(bcol(in.Dst), bcol(in.A), bcol(in.B), bcol(in.C), bcol(in.D), in.Aux&0xff, in.Aux>>8, in.Mask)
+		case lNeqMux:
+			neqMux8(bcol(in.Dst), bcol(in.A), bcol(in.B), bcol(in.C), bcol(in.D), in.Aux&0xff, in.Aux>>8, in.Mask)
+		case lAndMux:
+			andMux8(bcol(in.Dst), bcol(in.A), bcol(in.B), bcol(in.C), bcol(in.D), in.Mask)
+		case lOrMux:
+			orMux8(bcol(in.Dst), bcol(in.A), bcol(in.B), bcol(in.C), bcol(in.D), in.Mask)
+		case lCopyRun:
+			// Consecutive state words are consecutive SoA columns, so the
+			// whole run commits as one contiguous block copy across lanes.
+			copy(st[int(in.Dst)*stride:int(in.Dst+in.Aux)*stride],
+				st[int(in.A)*stride:int(in.A+in.Aux)*stride])
+		default:
+			panic(fmt.Sprintf("sim: bad linked opcode %v", in.Op))
+		}
+	}
+}

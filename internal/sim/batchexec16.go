@@ -1,0 +1,1171 @@
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+	"unsafe"
+)
+
+// blk16 is one full SoA column at the default lane width: sixteen lanes'
+// values of one state word, two cache lines.
+type blk16 = [16]uint64
+
+// evalThreadBatch16 is evalThreadBatch specialized for stride == 16, the
+// column width of the default 16-lane batch groups and of the benchmark
+// gate. The kernel bodies from batchkern.go are unrolled inline across all
+// sixteen lanes: each instruction costs one switch dispatch and a handful
+// of pointer computations, with no kernel call, no slice-header
+// construction, and no block loop. Operand columns are resolved with raw
+// pointer arithmetic (one state word = 128 bytes), which is sound for the
+// same reason BatchEngine's blk view is: linked slot indices are bounded
+// by the program's state-word count, and e.st spans stateWords*stride
+// words.
+//
+// The per-lane semantics are byte-for-byte those of batchkern.go (which
+// in turn mirror evalLinked): branchless division guards, saturating
+// dynamic shifts, inline sign extension for the fused compares. Plain
+// compares carry Aux == 0 (fuse.go refuses to fuse otherwise), so they
+// compare raw column values without the sign-extension detour.
+//
+// This file is mechanically regular by construction — when touching the
+// semantics of an operation, change batchkern.go first and mirror the
+// per-lane expression here in all sixteen statements.
+func (e *BatchEngine) evalThreadBatch16(t int, mask []bool) {
+	code := e.lp.Threads[t].Code
+	st := e.st
+	n := e.lanes
+	base := unsafe.Pointer(&st[0])
+
+	// p returns the 16-lane column of state word w.
+	p := func(w uint32) *blk16 {
+		return (*blk16)(unsafe.Add(base, uintptr(w)*16*8))
+	}
+	// col is the live-lane prefix of a column (per-lane fallbacks).
+	col := func(w uint32) []uint64 { return st[int(w)*16:][:n] }
+
+	for i := range code {
+		in := &code[i]
+		switch in.Op {
+		case LOp(OpNop):
+		case LOp(OpCopy):
+			d, a := p(in.Dst), p(in.A)
+			m := in.Mask
+			d[0] = a[0] & m
+			d[1] = a[1] & m
+			d[2] = a[2] & m
+			d[3] = a[3] & m
+			d[4] = a[4] & m
+			d[5] = a[5] & m
+			d[6] = a[6] & m
+			d[7] = a[7] & m
+			d[8] = a[8] & m
+			d[9] = a[9] & m
+			d[10] = a[10] & m
+			d[11] = a[11] & m
+			d[12] = a[12] & m
+			d[13] = a[13] & m
+			d[14] = a[14] & m
+			d[15] = a[15] & m
+		case LOp(OpAdd):
+			d, a, b := p(in.Dst), p(in.A), p(in.B)
+			m := in.Mask
+			d[0] = (a[0] + b[0]) & m
+			d[1] = (a[1] + b[1]) & m
+			d[2] = (a[2] + b[2]) & m
+			d[3] = (a[3] + b[3]) & m
+			d[4] = (a[4] + b[4]) & m
+			d[5] = (a[5] + b[5]) & m
+			d[6] = (a[6] + b[6]) & m
+			d[7] = (a[7] + b[7]) & m
+			d[8] = (a[8] + b[8]) & m
+			d[9] = (a[9] + b[9]) & m
+			d[10] = (a[10] + b[10]) & m
+			d[11] = (a[11] + b[11]) & m
+			d[12] = (a[12] + b[12]) & m
+			d[13] = (a[13] + b[13]) & m
+			d[14] = (a[14] + b[14]) & m
+			d[15] = (a[15] + b[15]) & m
+		case LOp(OpSub):
+			d, a, b := p(in.Dst), p(in.A), p(in.B)
+			m := in.Mask
+			d[0] = (a[0] - b[0]) & m
+			d[1] = (a[1] - b[1]) & m
+			d[2] = (a[2] - b[2]) & m
+			d[3] = (a[3] - b[3]) & m
+			d[4] = (a[4] - b[4]) & m
+			d[5] = (a[5] - b[5]) & m
+			d[6] = (a[6] - b[6]) & m
+			d[7] = (a[7] - b[7]) & m
+			d[8] = (a[8] - b[8]) & m
+			d[9] = (a[9] - b[9]) & m
+			d[10] = (a[10] - b[10]) & m
+			d[11] = (a[11] - b[11]) & m
+			d[12] = (a[12] - b[12]) & m
+			d[13] = (a[13] - b[13]) & m
+			d[14] = (a[14] - b[14]) & m
+			d[15] = (a[15] - b[15]) & m
+		case LOp(OpMul):
+			d, a, b := p(in.Dst), p(in.A), p(in.B)
+			m := in.Mask
+			d[0] = (a[0] * b[0]) & m
+			d[1] = (a[1] * b[1]) & m
+			d[2] = (a[2] * b[2]) & m
+			d[3] = (a[3] * b[3]) & m
+			d[4] = (a[4] * b[4]) & m
+			d[5] = (a[5] * b[5]) & m
+			d[6] = (a[6] * b[6]) & m
+			d[7] = (a[7] * b[7]) & m
+			d[8] = (a[8] * b[8]) & m
+			d[9] = (a[9] * b[9]) & m
+			d[10] = (a[10] * b[10]) & m
+			d[11] = (a[11] * b[11]) & m
+			d[12] = (a[12] * b[12]) & m
+			d[13] = (a[13] * b[13]) & m
+			d[14] = (a[14] * b[14]) & m
+			d[15] = (a[15] * b[15]) & m
+		case LOp(OpDiv):
+			d, a, b := p(in.Dst), p(in.A), p(in.B)
+			m := in.Mask
+			d[0] = divLane(a[0], b[0], m)
+			d[1] = divLane(a[1], b[1], m)
+			d[2] = divLane(a[2], b[2], m)
+			d[3] = divLane(a[3], b[3], m)
+			d[4] = divLane(a[4], b[4], m)
+			d[5] = divLane(a[5], b[5], m)
+			d[6] = divLane(a[6], b[6], m)
+			d[7] = divLane(a[7], b[7], m)
+			d[8] = divLane(a[8], b[8], m)
+			d[9] = divLane(a[9], b[9], m)
+			d[10] = divLane(a[10], b[10], m)
+			d[11] = divLane(a[11], b[11], m)
+			d[12] = divLane(a[12], b[12], m)
+			d[13] = divLane(a[13], b[13], m)
+			d[14] = divLane(a[14], b[14], m)
+			d[15] = divLane(a[15], b[15], m)
+		case LOp(OpRem):
+			d, a, b := p(in.Dst), p(in.A), p(in.B)
+			m := in.Mask
+			d[0] = remLane(a[0], b[0], m)
+			d[1] = remLane(a[1], b[1], m)
+			d[2] = remLane(a[2], b[2], m)
+			d[3] = remLane(a[3], b[3], m)
+			d[4] = remLane(a[4], b[4], m)
+			d[5] = remLane(a[5], b[5], m)
+			d[6] = remLane(a[6], b[6], m)
+			d[7] = remLane(a[7], b[7], m)
+			d[8] = remLane(a[8], b[8], m)
+			d[9] = remLane(a[9], b[9], m)
+			d[10] = remLane(a[10], b[10], m)
+			d[11] = remLane(a[11], b[11], m)
+			d[12] = remLane(a[12], b[12], m)
+			d[13] = remLane(a[13], b[13], m)
+			d[14] = remLane(a[14], b[14], m)
+			d[15] = remLane(a[15], b[15], m)
+		case LOp(OpAnd):
+			d, a, b := p(in.Dst), p(in.A), p(in.B)
+			m := in.Mask
+			d[0] = a[0] & b[0] & m
+			d[1] = a[1] & b[1] & m
+			d[2] = a[2] & b[2] & m
+			d[3] = a[3] & b[3] & m
+			d[4] = a[4] & b[4] & m
+			d[5] = a[5] & b[5] & m
+			d[6] = a[6] & b[6] & m
+			d[7] = a[7] & b[7] & m
+			d[8] = a[8] & b[8] & m
+			d[9] = a[9] & b[9] & m
+			d[10] = a[10] & b[10] & m
+			d[11] = a[11] & b[11] & m
+			d[12] = a[12] & b[12] & m
+			d[13] = a[13] & b[13] & m
+			d[14] = a[14] & b[14] & m
+			d[15] = a[15] & b[15] & m
+		case LOp(OpOr):
+			d, a, b := p(in.Dst), p(in.A), p(in.B)
+			m := in.Mask
+			d[0] = (a[0] | b[0]) & m
+			d[1] = (a[1] | b[1]) & m
+			d[2] = (a[2] | b[2]) & m
+			d[3] = (a[3] | b[3]) & m
+			d[4] = (a[4] | b[4]) & m
+			d[5] = (a[5] | b[5]) & m
+			d[6] = (a[6] | b[6]) & m
+			d[7] = (a[7] | b[7]) & m
+			d[8] = (a[8] | b[8]) & m
+			d[9] = (a[9] | b[9]) & m
+			d[10] = (a[10] | b[10]) & m
+			d[11] = (a[11] | b[11]) & m
+			d[12] = (a[12] | b[12]) & m
+			d[13] = (a[13] | b[13]) & m
+			d[14] = (a[14] | b[14]) & m
+			d[15] = (a[15] | b[15]) & m
+		case LOp(OpXor):
+			d, a, b := p(in.Dst), p(in.A), p(in.B)
+			m := in.Mask
+			d[0] = (a[0] ^ b[0]) & m
+			d[1] = (a[1] ^ b[1]) & m
+			d[2] = (a[2] ^ b[2]) & m
+			d[3] = (a[3] ^ b[3]) & m
+			d[4] = (a[4] ^ b[4]) & m
+			d[5] = (a[5] ^ b[5]) & m
+			d[6] = (a[6] ^ b[6]) & m
+			d[7] = (a[7] ^ b[7]) & m
+			d[8] = (a[8] ^ b[8]) & m
+			d[9] = (a[9] ^ b[9]) & m
+			d[10] = (a[10] ^ b[10]) & m
+			d[11] = (a[11] ^ b[11]) & m
+			d[12] = (a[12] ^ b[12]) & m
+			d[13] = (a[13] ^ b[13]) & m
+			d[14] = (a[14] ^ b[14]) & m
+			d[15] = (a[15] ^ b[15]) & m
+		case LOp(OpNot):
+			d, a := p(in.Dst), p(in.A)
+			m := in.Mask
+			d[0] = ^a[0] & m
+			d[1] = ^a[1] & m
+			d[2] = ^a[2] & m
+			d[3] = ^a[3] & m
+			d[4] = ^a[4] & m
+			d[5] = ^a[5] & m
+			d[6] = ^a[6] & m
+			d[7] = ^a[7] & m
+			d[8] = ^a[8] & m
+			d[9] = ^a[9] & m
+			d[10] = ^a[10] & m
+			d[11] = ^a[11] & m
+			d[12] = ^a[12] & m
+			d[13] = ^a[13] & m
+			d[14] = ^a[14] & m
+			d[15] = ^a[15] & m
+		case LOp(OpNeg):
+			d, a := p(in.Dst), p(in.A)
+			m := in.Mask
+			d[0] = -a[0] & m
+			d[1] = -a[1] & m
+			d[2] = -a[2] & m
+			d[3] = -a[3] & m
+			d[4] = -a[4] & m
+			d[5] = -a[5] & m
+			d[6] = -a[6] & m
+			d[7] = -a[7] & m
+			d[8] = -a[8] & m
+			d[9] = -a[9] & m
+			d[10] = -a[10] & m
+			d[11] = -a[11] & m
+			d[12] = -a[12] & m
+			d[13] = -a[13] & m
+			d[14] = -a[14] & m
+			d[15] = -a[15] & m
+		case LOp(OpAndr):
+			d, a := p(in.Dst), p(in.A)
+			m := in.Mask
+			d[0] = b2u(a[0] == m)
+			d[1] = b2u(a[1] == m)
+			d[2] = b2u(a[2] == m)
+			d[3] = b2u(a[3] == m)
+			d[4] = b2u(a[4] == m)
+			d[5] = b2u(a[5] == m)
+			d[6] = b2u(a[6] == m)
+			d[7] = b2u(a[7] == m)
+			d[8] = b2u(a[8] == m)
+			d[9] = b2u(a[9] == m)
+			d[10] = b2u(a[10] == m)
+			d[11] = b2u(a[11] == m)
+			d[12] = b2u(a[12] == m)
+			d[13] = b2u(a[13] == m)
+			d[14] = b2u(a[14] == m)
+			d[15] = b2u(a[15] == m)
+		case LOp(OpOrr):
+			d, a := p(in.Dst), p(in.A)
+			d[0] = b2u(a[0] != 0)
+			d[1] = b2u(a[1] != 0)
+			d[2] = b2u(a[2] != 0)
+			d[3] = b2u(a[3] != 0)
+			d[4] = b2u(a[4] != 0)
+			d[5] = b2u(a[5] != 0)
+			d[6] = b2u(a[6] != 0)
+			d[7] = b2u(a[7] != 0)
+			d[8] = b2u(a[8] != 0)
+			d[9] = b2u(a[9] != 0)
+			d[10] = b2u(a[10] != 0)
+			d[11] = b2u(a[11] != 0)
+			d[12] = b2u(a[12] != 0)
+			d[13] = b2u(a[13] != 0)
+			d[14] = b2u(a[14] != 0)
+			d[15] = b2u(a[15] != 0)
+		case LOp(OpXorr):
+			d, a := p(in.Dst), p(in.A)
+			d[0] = uint64(bits.OnesCount64(a[0]) & 1)
+			d[1] = uint64(bits.OnesCount64(a[1]) & 1)
+			d[2] = uint64(bits.OnesCount64(a[2]) & 1)
+			d[3] = uint64(bits.OnesCount64(a[3]) & 1)
+			d[4] = uint64(bits.OnesCount64(a[4]) & 1)
+			d[5] = uint64(bits.OnesCount64(a[5]) & 1)
+			d[6] = uint64(bits.OnesCount64(a[6]) & 1)
+			d[7] = uint64(bits.OnesCount64(a[7]) & 1)
+			d[8] = uint64(bits.OnesCount64(a[8]) & 1)
+			d[9] = uint64(bits.OnesCount64(a[9]) & 1)
+			d[10] = uint64(bits.OnesCount64(a[10]) & 1)
+			d[11] = uint64(bits.OnesCount64(a[11]) & 1)
+			d[12] = uint64(bits.OnesCount64(a[12]) & 1)
+			d[13] = uint64(bits.OnesCount64(a[13]) & 1)
+			d[14] = uint64(bits.OnesCount64(a[14]) & 1)
+			d[15] = uint64(bits.OnesCount64(a[15]) & 1)
+		case LOp(OpCat):
+			d, a, b := p(in.Dst), p(in.A), p(in.B)
+			sh, m := in.Aux, in.Mask
+			d[0] = (a[0]<<sh | b[0]) & m
+			d[1] = (a[1]<<sh | b[1]) & m
+			d[2] = (a[2]<<sh | b[2]) & m
+			d[3] = (a[3]<<sh | b[3]) & m
+			d[4] = (a[4]<<sh | b[4]) & m
+			d[5] = (a[5]<<sh | b[5]) & m
+			d[6] = (a[6]<<sh | b[6]) & m
+			d[7] = (a[7]<<sh | b[7]) & m
+			d[8] = (a[8]<<sh | b[8]) & m
+			d[9] = (a[9]<<sh | b[9]) & m
+			d[10] = (a[10]<<sh | b[10]) & m
+			d[11] = (a[11]<<sh | b[11]) & m
+			d[12] = (a[12]<<sh | b[12]) & m
+			d[13] = (a[13]<<sh | b[13]) & m
+			d[14] = (a[14]<<sh | b[14]) & m
+			d[15] = (a[15]<<sh | b[15]) & m
+		case LOp(OpShl):
+			d, a := p(in.Dst), p(in.A)
+			sh, m := in.Aux, in.Mask
+			d[0] = a[0] << sh & m
+			d[1] = a[1] << sh & m
+			d[2] = a[2] << sh & m
+			d[3] = a[3] << sh & m
+			d[4] = a[4] << sh & m
+			d[5] = a[5] << sh & m
+			d[6] = a[6] << sh & m
+			d[7] = a[7] << sh & m
+			d[8] = a[8] << sh & m
+			d[9] = a[9] << sh & m
+			d[10] = a[10] << sh & m
+			d[11] = a[11] << sh & m
+			d[12] = a[12] << sh & m
+			d[13] = a[13] << sh & m
+			d[14] = a[14] << sh & m
+			d[15] = a[15] << sh & m
+		case LOp(OpShr):
+			d, a := p(in.Dst), p(in.A)
+			sh, m := in.Aux, in.Mask
+			d[0] = a[0] >> sh & m
+			d[1] = a[1] >> sh & m
+			d[2] = a[2] >> sh & m
+			d[3] = a[3] >> sh & m
+			d[4] = a[4] >> sh & m
+			d[5] = a[5] >> sh & m
+			d[6] = a[6] >> sh & m
+			d[7] = a[7] >> sh & m
+			d[8] = a[8] >> sh & m
+			d[9] = a[9] >> sh & m
+			d[10] = a[10] >> sh & m
+			d[11] = a[11] >> sh & m
+			d[12] = a[12] >> sh & m
+			d[13] = a[13] >> sh & m
+			d[14] = a[14] >> sh & m
+			d[15] = a[15] >> sh & m
+		case LOp(OpSar):
+			d, a := p(in.Dst), p(in.A)
+			sh, m := in.Aux, in.Mask
+			d[0] = uint64(int64(a[0])>>sh) & m
+			d[1] = uint64(int64(a[1])>>sh) & m
+			d[2] = uint64(int64(a[2])>>sh) & m
+			d[3] = uint64(int64(a[3])>>sh) & m
+			d[4] = uint64(int64(a[4])>>sh) & m
+			d[5] = uint64(int64(a[5])>>sh) & m
+			d[6] = uint64(int64(a[6])>>sh) & m
+			d[7] = uint64(int64(a[7])>>sh) & m
+			d[8] = uint64(int64(a[8])>>sh) & m
+			d[9] = uint64(int64(a[9])>>sh) & m
+			d[10] = uint64(int64(a[10])>>sh) & m
+			d[11] = uint64(int64(a[11])>>sh) & m
+			d[12] = uint64(int64(a[12])>>sh) & m
+			d[13] = uint64(int64(a[13])>>sh) & m
+			d[14] = uint64(int64(a[14])>>sh) & m
+			d[15] = uint64(int64(a[15])>>sh) & m
+		case LOp(OpDshl):
+			d, a, b := p(in.Dst), p(in.A), p(in.B)
+			m := in.Mask
+			d[0] = a[0] << b[0] & m
+			d[1] = a[1] << b[1] & m
+			d[2] = a[2] << b[2] & m
+			d[3] = a[3] << b[3] & m
+			d[4] = a[4] << b[4] & m
+			d[5] = a[5] << b[5] & m
+			d[6] = a[6] << b[6] & m
+			d[7] = a[7] << b[7] & m
+			d[8] = a[8] << b[8] & m
+			d[9] = a[9] << b[9] & m
+			d[10] = a[10] << b[10] & m
+			d[11] = a[11] << b[11] & m
+			d[12] = a[12] << b[12] & m
+			d[13] = a[13] << b[13] & m
+			d[14] = a[14] << b[14] & m
+			d[15] = a[15] << b[15] & m
+		case LOp(OpDshr):
+			d, a, b := p(in.Dst), p(in.A), p(in.B)
+			m := in.Mask
+			d[0] = a[0] >> b[0] & m
+			d[1] = a[1] >> b[1] & m
+			d[2] = a[2] >> b[2] & m
+			d[3] = a[3] >> b[3] & m
+			d[4] = a[4] >> b[4] & m
+			d[5] = a[5] >> b[5] & m
+			d[6] = a[6] >> b[6] & m
+			d[7] = a[7] >> b[7] & m
+			d[8] = a[8] >> b[8] & m
+			d[9] = a[9] >> b[9] & m
+			d[10] = a[10] >> b[10] & m
+			d[11] = a[11] >> b[11] & m
+			d[12] = a[12] >> b[12] & m
+			d[13] = a[13] >> b[13] & m
+			d[14] = a[14] >> b[14] & m
+			d[15] = a[15] >> b[15] & m
+		case LOp(OpDsar):
+			d, a, b := p(in.Dst), p(in.A), p(in.B)
+			m := in.Mask
+			d[0] = dsarOne(a[0], b[0], m)
+			d[1] = dsarOne(a[1], b[1], m)
+			d[2] = dsarOne(a[2], b[2], m)
+			d[3] = dsarOne(a[3], b[3], m)
+			d[4] = dsarOne(a[4], b[4], m)
+			d[5] = dsarOne(a[5], b[5], m)
+			d[6] = dsarOne(a[6], b[6], m)
+			d[7] = dsarOne(a[7], b[7], m)
+			d[8] = dsarOne(a[8], b[8], m)
+			d[9] = dsarOne(a[9], b[9], m)
+			d[10] = dsarOne(a[10], b[10], m)
+			d[11] = dsarOne(a[11], b[11], m)
+			d[12] = dsarOne(a[12], b[12], m)
+			d[13] = dsarOne(a[13], b[13], m)
+			d[14] = dsarOne(a[14], b[14], m)
+			d[15] = dsarOne(a[15], b[15], m)
+		case LOp(OpSext):
+			d, a := p(in.Dst), p(in.A)
+			w := in.Aux
+			d[0] = signExtend64(a[0], w)
+			d[1] = signExtend64(a[1], w)
+			d[2] = signExtend64(a[2], w)
+			d[3] = signExtend64(a[3], w)
+			d[4] = signExtend64(a[4], w)
+			d[5] = signExtend64(a[5], w)
+			d[6] = signExtend64(a[6], w)
+			d[7] = signExtend64(a[7], w)
+			d[8] = signExtend64(a[8], w)
+			d[9] = signExtend64(a[9], w)
+			d[10] = signExtend64(a[10], w)
+			d[11] = signExtend64(a[11], w)
+			d[12] = signExtend64(a[12], w)
+			d[13] = signExtend64(a[13], w)
+			d[14] = signExtend64(a[14], w)
+			d[15] = signExtend64(a[15], w)
+		case LOp(OpMux):
+			d, a, b := p(in.Dst), p(in.A), p(in.B)
+			c := p(in.C)
+			m := in.Mask
+			d[0] = sel(-b2u(a[0] != 0), b[0], c[0]) & m
+			d[1] = sel(-b2u(a[1] != 0), b[1], c[1]) & m
+			d[2] = sel(-b2u(a[2] != 0), b[2], c[2]) & m
+			d[3] = sel(-b2u(a[3] != 0), b[3], c[3]) & m
+			d[4] = sel(-b2u(a[4] != 0), b[4], c[4]) & m
+			d[5] = sel(-b2u(a[5] != 0), b[5], c[5]) & m
+			d[6] = sel(-b2u(a[6] != 0), b[6], c[6]) & m
+			d[7] = sel(-b2u(a[7] != 0), b[7], c[7]) & m
+			d[8] = sel(-b2u(a[8] != 0), b[8], c[8]) & m
+			d[9] = sel(-b2u(a[9] != 0), b[9], c[9]) & m
+			d[10] = sel(-b2u(a[10] != 0), b[10], c[10]) & m
+			d[11] = sel(-b2u(a[11] != 0), b[11], c[11]) & m
+			d[12] = sel(-b2u(a[12] != 0), b[12], c[12]) & m
+			d[13] = sel(-b2u(a[13] != 0), b[13], c[13]) & m
+			d[14] = sel(-b2u(a[14] != 0), b[14], c[14]) & m
+			d[15] = sel(-b2u(a[15] != 0), b[15], c[15]) & m
+		case LOp(OpLt):
+			d, a, b := p(in.Dst), p(in.A), p(in.B)
+			d[0] = b2u(a[0] < b[0])
+			d[1] = b2u(a[1] < b[1])
+			d[2] = b2u(a[2] < b[2])
+			d[3] = b2u(a[3] < b[3])
+			d[4] = b2u(a[4] < b[4])
+			d[5] = b2u(a[5] < b[5])
+			d[6] = b2u(a[6] < b[6])
+			d[7] = b2u(a[7] < b[7])
+			d[8] = b2u(a[8] < b[8])
+			d[9] = b2u(a[9] < b[9])
+			d[10] = b2u(a[10] < b[10])
+			d[11] = b2u(a[11] < b[11])
+			d[12] = b2u(a[12] < b[12])
+			d[13] = b2u(a[13] < b[13])
+			d[14] = b2u(a[14] < b[14])
+			d[15] = b2u(a[15] < b[15])
+		case LOp(OpLeq):
+			d, a, b := p(in.Dst), p(in.A), p(in.B)
+			d[0] = b2u(a[0] <= b[0])
+			d[1] = b2u(a[1] <= b[1])
+			d[2] = b2u(a[2] <= b[2])
+			d[3] = b2u(a[3] <= b[3])
+			d[4] = b2u(a[4] <= b[4])
+			d[5] = b2u(a[5] <= b[5])
+			d[6] = b2u(a[6] <= b[6])
+			d[7] = b2u(a[7] <= b[7])
+			d[8] = b2u(a[8] <= b[8])
+			d[9] = b2u(a[9] <= b[9])
+			d[10] = b2u(a[10] <= b[10])
+			d[11] = b2u(a[11] <= b[11])
+			d[12] = b2u(a[12] <= b[12])
+			d[13] = b2u(a[13] <= b[13])
+			d[14] = b2u(a[14] <= b[14])
+			d[15] = b2u(a[15] <= b[15])
+		case LOp(OpGt):
+			d, a, b := p(in.Dst), p(in.A), p(in.B)
+			d[0] = b2u(a[0] > b[0])
+			d[1] = b2u(a[1] > b[1])
+			d[2] = b2u(a[2] > b[2])
+			d[3] = b2u(a[3] > b[3])
+			d[4] = b2u(a[4] > b[4])
+			d[5] = b2u(a[5] > b[5])
+			d[6] = b2u(a[6] > b[6])
+			d[7] = b2u(a[7] > b[7])
+			d[8] = b2u(a[8] > b[8])
+			d[9] = b2u(a[9] > b[9])
+			d[10] = b2u(a[10] > b[10])
+			d[11] = b2u(a[11] > b[11])
+			d[12] = b2u(a[12] > b[12])
+			d[13] = b2u(a[13] > b[13])
+			d[14] = b2u(a[14] > b[14])
+			d[15] = b2u(a[15] > b[15])
+		case LOp(OpGeq):
+			d, a, b := p(in.Dst), p(in.A), p(in.B)
+			d[0] = b2u(a[0] >= b[0])
+			d[1] = b2u(a[1] >= b[1])
+			d[2] = b2u(a[2] >= b[2])
+			d[3] = b2u(a[3] >= b[3])
+			d[4] = b2u(a[4] >= b[4])
+			d[5] = b2u(a[5] >= b[5])
+			d[6] = b2u(a[6] >= b[6])
+			d[7] = b2u(a[7] >= b[7])
+			d[8] = b2u(a[8] >= b[8])
+			d[9] = b2u(a[9] >= b[9])
+			d[10] = b2u(a[10] >= b[10])
+			d[11] = b2u(a[11] >= b[11])
+			d[12] = b2u(a[12] >= b[12])
+			d[13] = b2u(a[13] >= b[13])
+			d[14] = b2u(a[14] >= b[14])
+			d[15] = b2u(a[15] >= b[15])
+		case LOp(OpSLt):
+			d, a, b := p(in.Dst), p(in.A), p(in.B)
+			d[0] = b2u(int64(a[0]) < int64(b[0]))
+			d[1] = b2u(int64(a[1]) < int64(b[1]))
+			d[2] = b2u(int64(a[2]) < int64(b[2]))
+			d[3] = b2u(int64(a[3]) < int64(b[3]))
+			d[4] = b2u(int64(a[4]) < int64(b[4]))
+			d[5] = b2u(int64(a[5]) < int64(b[5]))
+			d[6] = b2u(int64(a[6]) < int64(b[6]))
+			d[7] = b2u(int64(a[7]) < int64(b[7]))
+			d[8] = b2u(int64(a[8]) < int64(b[8]))
+			d[9] = b2u(int64(a[9]) < int64(b[9]))
+			d[10] = b2u(int64(a[10]) < int64(b[10]))
+			d[11] = b2u(int64(a[11]) < int64(b[11]))
+			d[12] = b2u(int64(a[12]) < int64(b[12]))
+			d[13] = b2u(int64(a[13]) < int64(b[13]))
+			d[14] = b2u(int64(a[14]) < int64(b[14]))
+			d[15] = b2u(int64(a[15]) < int64(b[15]))
+		case LOp(OpSLeq):
+			d, a, b := p(in.Dst), p(in.A), p(in.B)
+			d[0] = b2u(int64(a[0]) <= int64(b[0]))
+			d[1] = b2u(int64(a[1]) <= int64(b[1]))
+			d[2] = b2u(int64(a[2]) <= int64(b[2]))
+			d[3] = b2u(int64(a[3]) <= int64(b[3]))
+			d[4] = b2u(int64(a[4]) <= int64(b[4]))
+			d[5] = b2u(int64(a[5]) <= int64(b[5]))
+			d[6] = b2u(int64(a[6]) <= int64(b[6]))
+			d[7] = b2u(int64(a[7]) <= int64(b[7]))
+			d[8] = b2u(int64(a[8]) <= int64(b[8]))
+			d[9] = b2u(int64(a[9]) <= int64(b[9]))
+			d[10] = b2u(int64(a[10]) <= int64(b[10]))
+			d[11] = b2u(int64(a[11]) <= int64(b[11]))
+			d[12] = b2u(int64(a[12]) <= int64(b[12]))
+			d[13] = b2u(int64(a[13]) <= int64(b[13]))
+			d[14] = b2u(int64(a[14]) <= int64(b[14]))
+			d[15] = b2u(int64(a[15]) <= int64(b[15]))
+		case LOp(OpSGt):
+			d, a, b := p(in.Dst), p(in.A), p(in.B)
+			d[0] = b2u(int64(a[0]) > int64(b[0]))
+			d[1] = b2u(int64(a[1]) > int64(b[1]))
+			d[2] = b2u(int64(a[2]) > int64(b[2]))
+			d[3] = b2u(int64(a[3]) > int64(b[3]))
+			d[4] = b2u(int64(a[4]) > int64(b[4]))
+			d[5] = b2u(int64(a[5]) > int64(b[5]))
+			d[6] = b2u(int64(a[6]) > int64(b[6]))
+			d[7] = b2u(int64(a[7]) > int64(b[7]))
+			d[8] = b2u(int64(a[8]) > int64(b[8]))
+			d[9] = b2u(int64(a[9]) > int64(b[9]))
+			d[10] = b2u(int64(a[10]) > int64(b[10]))
+			d[11] = b2u(int64(a[11]) > int64(b[11]))
+			d[12] = b2u(int64(a[12]) > int64(b[12]))
+			d[13] = b2u(int64(a[13]) > int64(b[13]))
+			d[14] = b2u(int64(a[14]) > int64(b[14]))
+			d[15] = b2u(int64(a[15]) > int64(b[15]))
+		case LOp(OpSGeq):
+			d, a, b := p(in.Dst), p(in.A), p(in.B)
+			d[0] = b2u(int64(a[0]) >= int64(b[0]))
+			d[1] = b2u(int64(a[1]) >= int64(b[1]))
+			d[2] = b2u(int64(a[2]) >= int64(b[2]))
+			d[3] = b2u(int64(a[3]) >= int64(b[3]))
+			d[4] = b2u(int64(a[4]) >= int64(b[4]))
+			d[5] = b2u(int64(a[5]) >= int64(b[5]))
+			d[6] = b2u(int64(a[6]) >= int64(b[6]))
+			d[7] = b2u(int64(a[7]) >= int64(b[7]))
+			d[8] = b2u(int64(a[8]) >= int64(b[8]))
+			d[9] = b2u(int64(a[9]) >= int64(b[9]))
+			d[10] = b2u(int64(a[10]) >= int64(b[10]))
+			d[11] = b2u(int64(a[11]) >= int64(b[11]))
+			d[12] = b2u(int64(a[12]) >= int64(b[12]))
+			d[13] = b2u(int64(a[13]) >= int64(b[13]))
+			d[14] = b2u(int64(a[14]) >= int64(b[14]))
+			d[15] = b2u(int64(a[15]) >= int64(b[15]))
+		case LOp(OpEq):
+			d, a, b := p(in.Dst), p(in.A), p(in.B)
+			d[0] = b2u(a[0] == b[0])
+			d[1] = b2u(a[1] == b[1])
+			d[2] = b2u(a[2] == b[2])
+			d[3] = b2u(a[3] == b[3])
+			d[4] = b2u(a[4] == b[4])
+			d[5] = b2u(a[5] == b[5])
+			d[6] = b2u(a[6] == b[6])
+			d[7] = b2u(a[7] == b[7])
+			d[8] = b2u(a[8] == b[8])
+			d[9] = b2u(a[9] == b[9])
+			d[10] = b2u(a[10] == b[10])
+			d[11] = b2u(a[11] == b[11])
+			d[12] = b2u(a[12] == b[12])
+			d[13] = b2u(a[13] == b[13])
+			d[14] = b2u(a[14] == b[14])
+			d[15] = b2u(a[15] == b[15])
+		case LOp(OpNeq):
+			d, a, b := p(in.Dst), p(in.A), p(in.B)
+			d[0] = b2u(a[0] != b[0])
+			d[1] = b2u(a[1] != b[1])
+			d[2] = b2u(a[2] != b[2])
+			d[3] = b2u(a[3] != b[3])
+			d[4] = b2u(a[4] != b[4])
+			d[5] = b2u(a[5] != b[5])
+			d[6] = b2u(a[6] != b[6])
+			d[7] = b2u(a[7] != b[7])
+			d[8] = b2u(a[8] != b[8])
+			d[9] = b2u(a[9] != b[9])
+			d[10] = b2u(a[10] != b[10])
+			d[11] = b2u(a[11] != b[11])
+			d[12] = b2u(a[12] != b[12])
+			d[13] = b2u(a[13] != b[13])
+			d[14] = b2u(a[14] != b[14])
+			d[15] = b2u(a[15] != b[15])
+		case lLtExt:
+			d, a, b := p(in.Dst), p(in.A), p(in.B)
+			wa, wb := in.Aux&0xff, in.Aux>>8
+			d[0] = b2u(signExtend64(a[0], wa) < signExtend64(b[0], wb))
+			d[1] = b2u(signExtend64(a[1], wa) < signExtend64(b[1], wb))
+			d[2] = b2u(signExtend64(a[2], wa) < signExtend64(b[2], wb))
+			d[3] = b2u(signExtend64(a[3], wa) < signExtend64(b[3], wb))
+			d[4] = b2u(signExtend64(a[4], wa) < signExtend64(b[4], wb))
+			d[5] = b2u(signExtend64(a[5], wa) < signExtend64(b[5], wb))
+			d[6] = b2u(signExtend64(a[6], wa) < signExtend64(b[6], wb))
+			d[7] = b2u(signExtend64(a[7], wa) < signExtend64(b[7], wb))
+			d[8] = b2u(signExtend64(a[8], wa) < signExtend64(b[8], wb))
+			d[9] = b2u(signExtend64(a[9], wa) < signExtend64(b[9], wb))
+			d[10] = b2u(signExtend64(a[10], wa) < signExtend64(b[10], wb))
+			d[11] = b2u(signExtend64(a[11], wa) < signExtend64(b[11], wb))
+			d[12] = b2u(signExtend64(a[12], wa) < signExtend64(b[12], wb))
+			d[13] = b2u(signExtend64(a[13], wa) < signExtend64(b[13], wb))
+			d[14] = b2u(signExtend64(a[14], wa) < signExtend64(b[14], wb))
+			d[15] = b2u(signExtend64(a[15], wa) < signExtend64(b[15], wb))
+		case lLeqExt:
+			d, a, b := p(in.Dst), p(in.A), p(in.B)
+			wa, wb := in.Aux&0xff, in.Aux>>8
+			d[0] = b2u(signExtend64(a[0], wa) <= signExtend64(b[0], wb))
+			d[1] = b2u(signExtend64(a[1], wa) <= signExtend64(b[1], wb))
+			d[2] = b2u(signExtend64(a[2], wa) <= signExtend64(b[2], wb))
+			d[3] = b2u(signExtend64(a[3], wa) <= signExtend64(b[3], wb))
+			d[4] = b2u(signExtend64(a[4], wa) <= signExtend64(b[4], wb))
+			d[5] = b2u(signExtend64(a[5], wa) <= signExtend64(b[5], wb))
+			d[6] = b2u(signExtend64(a[6], wa) <= signExtend64(b[6], wb))
+			d[7] = b2u(signExtend64(a[7], wa) <= signExtend64(b[7], wb))
+			d[8] = b2u(signExtend64(a[8], wa) <= signExtend64(b[8], wb))
+			d[9] = b2u(signExtend64(a[9], wa) <= signExtend64(b[9], wb))
+			d[10] = b2u(signExtend64(a[10], wa) <= signExtend64(b[10], wb))
+			d[11] = b2u(signExtend64(a[11], wa) <= signExtend64(b[11], wb))
+			d[12] = b2u(signExtend64(a[12], wa) <= signExtend64(b[12], wb))
+			d[13] = b2u(signExtend64(a[13], wa) <= signExtend64(b[13], wb))
+			d[14] = b2u(signExtend64(a[14], wa) <= signExtend64(b[14], wb))
+			d[15] = b2u(signExtend64(a[15], wa) <= signExtend64(b[15], wb))
+		case lGtExt:
+			d, a, b := p(in.Dst), p(in.A), p(in.B)
+			wa, wb := in.Aux&0xff, in.Aux>>8
+			d[0] = b2u(signExtend64(a[0], wa) > signExtend64(b[0], wb))
+			d[1] = b2u(signExtend64(a[1], wa) > signExtend64(b[1], wb))
+			d[2] = b2u(signExtend64(a[2], wa) > signExtend64(b[2], wb))
+			d[3] = b2u(signExtend64(a[3], wa) > signExtend64(b[3], wb))
+			d[4] = b2u(signExtend64(a[4], wa) > signExtend64(b[4], wb))
+			d[5] = b2u(signExtend64(a[5], wa) > signExtend64(b[5], wb))
+			d[6] = b2u(signExtend64(a[6], wa) > signExtend64(b[6], wb))
+			d[7] = b2u(signExtend64(a[7], wa) > signExtend64(b[7], wb))
+			d[8] = b2u(signExtend64(a[8], wa) > signExtend64(b[8], wb))
+			d[9] = b2u(signExtend64(a[9], wa) > signExtend64(b[9], wb))
+			d[10] = b2u(signExtend64(a[10], wa) > signExtend64(b[10], wb))
+			d[11] = b2u(signExtend64(a[11], wa) > signExtend64(b[11], wb))
+			d[12] = b2u(signExtend64(a[12], wa) > signExtend64(b[12], wb))
+			d[13] = b2u(signExtend64(a[13], wa) > signExtend64(b[13], wb))
+			d[14] = b2u(signExtend64(a[14], wa) > signExtend64(b[14], wb))
+			d[15] = b2u(signExtend64(a[15], wa) > signExtend64(b[15], wb))
+		case lGeqExt:
+			d, a, b := p(in.Dst), p(in.A), p(in.B)
+			wa, wb := in.Aux&0xff, in.Aux>>8
+			d[0] = b2u(signExtend64(a[0], wa) >= signExtend64(b[0], wb))
+			d[1] = b2u(signExtend64(a[1], wa) >= signExtend64(b[1], wb))
+			d[2] = b2u(signExtend64(a[2], wa) >= signExtend64(b[2], wb))
+			d[3] = b2u(signExtend64(a[3], wa) >= signExtend64(b[3], wb))
+			d[4] = b2u(signExtend64(a[4], wa) >= signExtend64(b[4], wb))
+			d[5] = b2u(signExtend64(a[5], wa) >= signExtend64(b[5], wb))
+			d[6] = b2u(signExtend64(a[6], wa) >= signExtend64(b[6], wb))
+			d[7] = b2u(signExtend64(a[7], wa) >= signExtend64(b[7], wb))
+			d[8] = b2u(signExtend64(a[8], wa) >= signExtend64(b[8], wb))
+			d[9] = b2u(signExtend64(a[9], wa) >= signExtend64(b[9], wb))
+			d[10] = b2u(signExtend64(a[10], wa) >= signExtend64(b[10], wb))
+			d[11] = b2u(signExtend64(a[11], wa) >= signExtend64(b[11], wb))
+			d[12] = b2u(signExtend64(a[12], wa) >= signExtend64(b[12], wb))
+			d[13] = b2u(signExtend64(a[13], wa) >= signExtend64(b[13], wb))
+			d[14] = b2u(signExtend64(a[14], wa) >= signExtend64(b[14], wb))
+			d[15] = b2u(signExtend64(a[15], wa) >= signExtend64(b[15], wb))
+		case lSLtExt:
+			d, a, b := p(in.Dst), p(in.A), p(in.B)
+			wa, wb := in.Aux&0xff, in.Aux>>8
+			d[0] = b2u(int64(signExtend64(a[0], wa)) < int64(signExtend64(b[0], wb)))
+			d[1] = b2u(int64(signExtend64(a[1], wa)) < int64(signExtend64(b[1], wb)))
+			d[2] = b2u(int64(signExtend64(a[2], wa)) < int64(signExtend64(b[2], wb)))
+			d[3] = b2u(int64(signExtend64(a[3], wa)) < int64(signExtend64(b[3], wb)))
+			d[4] = b2u(int64(signExtend64(a[4], wa)) < int64(signExtend64(b[4], wb)))
+			d[5] = b2u(int64(signExtend64(a[5], wa)) < int64(signExtend64(b[5], wb)))
+			d[6] = b2u(int64(signExtend64(a[6], wa)) < int64(signExtend64(b[6], wb)))
+			d[7] = b2u(int64(signExtend64(a[7], wa)) < int64(signExtend64(b[7], wb)))
+			d[8] = b2u(int64(signExtend64(a[8], wa)) < int64(signExtend64(b[8], wb)))
+			d[9] = b2u(int64(signExtend64(a[9], wa)) < int64(signExtend64(b[9], wb)))
+			d[10] = b2u(int64(signExtend64(a[10], wa)) < int64(signExtend64(b[10], wb)))
+			d[11] = b2u(int64(signExtend64(a[11], wa)) < int64(signExtend64(b[11], wb)))
+			d[12] = b2u(int64(signExtend64(a[12], wa)) < int64(signExtend64(b[12], wb)))
+			d[13] = b2u(int64(signExtend64(a[13], wa)) < int64(signExtend64(b[13], wb)))
+			d[14] = b2u(int64(signExtend64(a[14], wa)) < int64(signExtend64(b[14], wb)))
+			d[15] = b2u(int64(signExtend64(a[15], wa)) < int64(signExtend64(b[15], wb)))
+		case lSLeqExt:
+			d, a, b := p(in.Dst), p(in.A), p(in.B)
+			wa, wb := in.Aux&0xff, in.Aux>>8
+			d[0] = b2u(int64(signExtend64(a[0], wa)) <= int64(signExtend64(b[0], wb)))
+			d[1] = b2u(int64(signExtend64(a[1], wa)) <= int64(signExtend64(b[1], wb)))
+			d[2] = b2u(int64(signExtend64(a[2], wa)) <= int64(signExtend64(b[2], wb)))
+			d[3] = b2u(int64(signExtend64(a[3], wa)) <= int64(signExtend64(b[3], wb)))
+			d[4] = b2u(int64(signExtend64(a[4], wa)) <= int64(signExtend64(b[4], wb)))
+			d[5] = b2u(int64(signExtend64(a[5], wa)) <= int64(signExtend64(b[5], wb)))
+			d[6] = b2u(int64(signExtend64(a[6], wa)) <= int64(signExtend64(b[6], wb)))
+			d[7] = b2u(int64(signExtend64(a[7], wa)) <= int64(signExtend64(b[7], wb)))
+			d[8] = b2u(int64(signExtend64(a[8], wa)) <= int64(signExtend64(b[8], wb)))
+			d[9] = b2u(int64(signExtend64(a[9], wa)) <= int64(signExtend64(b[9], wb)))
+			d[10] = b2u(int64(signExtend64(a[10], wa)) <= int64(signExtend64(b[10], wb)))
+			d[11] = b2u(int64(signExtend64(a[11], wa)) <= int64(signExtend64(b[11], wb)))
+			d[12] = b2u(int64(signExtend64(a[12], wa)) <= int64(signExtend64(b[12], wb)))
+			d[13] = b2u(int64(signExtend64(a[13], wa)) <= int64(signExtend64(b[13], wb)))
+			d[14] = b2u(int64(signExtend64(a[14], wa)) <= int64(signExtend64(b[14], wb)))
+			d[15] = b2u(int64(signExtend64(a[15], wa)) <= int64(signExtend64(b[15], wb)))
+		case lSGtExt:
+			d, a, b := p(in.Dst), p(in.A), p(in.B)
+			wa, wb := in.Aux&0xff, in.Aux>>8
+			d[0] = b2u(int64(signExtend64(a[0], wa)) > int64(signExtend64(b[0], wb)))
+			d[1] = b2u(int64(signExtend64(a[1], wa)) > int64(signExtend64(b[1], wb)))
+			d[2] = b2u(int64(signExtend64(a[2], wa)) > int64(signExtend64(b[2], wb)))
+			d[3] = b2u(int64(signExtend64(a[3], wa)) > int64(signExtend64(b[3], wb)))
+			d[4] = b2u(int64(signExtend64(a[4], wa)) > int64(signExtend64(b[4], wb)))
+			d[5] = b2u(int64(signExtend64(a[5], wa)) > int64(signExtend64(b[5], wb)))
+			d[6] = b2u(int64(signExtend64(a[6], wa)) > int64(signExtend64(b[6], wb)))
+			d[7] = b2u(int64(signExtend64(a[7], wa)) > int64(signExtend64(b[7], wb)))
+			d[8] = b2u(int64(signExtend64(a[8], wa)) > int64(signExtend64(b[8], wb)))
+			d[9] = b2u(int64(signExtend64(a[9], wa)) > int64(signExtend64(b[9], wb)))
+			d[10] = b2u(int64(signExtend64(a[10], wa)) > int64(signExtend64(b[10], wb)))
+			d[11] = b2u(int64(signExtend64(a[11], wa)) > int64(signExtend64(b[11], wb)))
+			d[12] = b2u(int64(signExtend64(a[12], wa)) > int64(signExtend64(b[12], wb)))
+			d[13] = b2u(int64(signExtend64(a[13], wa)) > int64(signExtend64(b[13], wb)))
+			d[14] = b2u(int64(signExtend64(a[14], wa)) > int64(signExtend64(b[14], wb)))
+			d[15] = b2u(int64(signExtend64(a[15], wa)) > int64(signExtend64(b[15], wb)))
+		case lSGeqExt:
+			d, a, b := p(in.Dst), p(in.A), p(in.B)
+			wa, wb := in.Aux&0xff, in.Aux>>8
+			d[0] = b2u(int64(signExtend64(a[0], wa)) >= int64(signExtend64(b[0], wb)))
+			d[1] = b2u(int64(signExtend64(a[1], wa)) >= int64(signExtend64(b[1], wb)))
+			d[2] = b2u(int64(signExtend64(a[2], wa)) >= int64(signExtend64(b[2], wb)))
+			d[3] = b2u(int64(signExtend64(a[3], wa)) >= int64(signExtend64(b[3], wb)))
+			d[4] = b2u(int64(signExtend64(a[4], wa)) >= int64(signExtend64(b[4], wb)))
+			d[5] = b2u(int64(signExtend64(a[5], wa)) >= int64(signExtend64(b[5], wb)))
+			d[6] = b2u(int64(signExtend64(a[6], wa)) >= int64(signExtend64(b[6], wb)))
+			d[7] = b2u(int64(signExtend64(a[7], wa)) >= int64(signExtend64(b[7], wb)))
+			d[8] = b2u(int64(signExtend64(a[8], wa)) >= int64(signExtend64(b[8], wb)))
+			d[9] = b2u(int64(signExtend64(a[9], wa)) >= int64(signExtend64(b[9], wb)))
+			d[10] = b2u(int64(signExtend64(a[10], wa)) >= int64(signExtend64(b[10], wb)))
+			d[11] = b2u(int64(signExtend64(a[11], wa)) >= int64(signExtend64(b[11], wb)))
+			d[12] = b2u(int64(signExtend64(a[12], wa)) >= int64(signExtend64(b[12], wb)))
+			d[13] = b2u(int64(signExtend64(a[13], wa)) >= int64(signExtend64(b[13], wb)))
+			d[14] = b2u(int64(signExtend64(a[14], wa)) >= int64(signExtend64(b[14], wb)))
+			d[15] = b2u(int64(signExtend64(a[15], wa)) >= int64(signExtend64(b[15], wb)))
+		case lEqExt:
+			d, a, b := p(in.Dst), p(in.A), p(in.B)
+			wa, wb := in.Aux&0xff, in.Aux>>8
+			d[0] = b2u(signExtend64(a[0], wa) == signExtend64(b[0], wb))
+			d[1] = b2u(signExtend64(a[1], wa) == signExtend64(b[1], wb))
+			d[2] = b2u(signExtend64(a[2], wa) == signExtend64(b[2], wb))
+			d[3] = b2u(signExtend64(a[3], wa) == signExtend64(b[3], wb))
+			d[4] = b2u(signExtend64(a[4], wa) == signExtend64(b[4], wb))
+			d[5] = b2u(signExtend64(a[5], wa) == signExtend64(b[5], wb))
+			d[6] = b2u(signExtend64(a[6], wa) == signExtend64(b[6], wb))
+			d[7] = b2u(signExtend64(a[7], wa) == signExtend64(b[7], wb))
+			d[8] = b2u(signExtend64(a[8], wa) == signExtend64(b[8], wb))
+			d[9] = b2u(signExtend64(a[9], wa) == signExtend64(b[9], wb))
+			d[10] = b2u(signExtend64(a[10], wa) == signExtend64(b[10], wb))
+			d[11] = b2u(signExtend64(a[11], wa) == signExtend64(b[11], wb))
+			d[12] = b2u(signExtend64(a[12], wa) == signExtend64(b[12], wb))
+			d[13] = b2u(signExtend64(a[13], wa) == signExtend64(b[13], wb))
+			d[14] = b2u(signExtend64(a[14], wa) == signExtend64(b[14], wb))
+			d[15] = b2u(signExtend64(a[15], wa) == signExtend64(b[15], wb))
+		case lNeqExt:
+			d, a, b := p(in.Dst), p(in.A), p(in.B)
+			wa, wb := in.Aux&0xff, in.Aux>>8
+			d[0] = b2u(signExtend64(a[0], wa) != signExtend64(b[0], wb))
+			d[1] = b2u(signExtend64(a[1], wa) != signExtend64(b[1], wb))
+			d[2] = b2u(signExtend64(a[2], wa) != signExtend64(b[2], wb))
+			d[3] = b2u(signExtend64(a[3], wa) != signExtend64(b[3], wb))
+			d[4] = b2u(signExtend64(a[4], wa) != signExtend64(b[4], wb))
+			d[5] = b2u(signExtend64(a[5], wa) != signExtend64(b[5], wb))
+			d[6] = b2u(signExtend64(a[6], wa) != signExtend64(b[6], wb))
+			d[7] = b2u(signExtend64(a[7], wa) != signExtend64(b[7], wb))
+			d[8] = b2u(signExtend64(a[8], wa) != signExtend64(b[8], wb))
+			d[9] = b2u(signExtend64(a[9], wa) != signExtend64(b[9], wb))
+			d[10] = b2u(signExtend64(a[10], wa) != signExtend64(b[10], wb))
+			d[11] = b2u(signExtend64(a[11], wa) != signExtend64(b[11], wb))
+			d[12] = b2u(signExtend64(a[12], wa) != signExtend64(b[12], wb))
+			d[13] = b2u(signExtend64(a[13], wa) != signExtend64(b[13], wb))
+			d[14] = b2u(signExtend64(a[14], wa) != signExtend64(b[14], wb))
+			d[15] = b2u(signExtend64(a[15], wa) != signExtend64(b[15], wb))
+		case lLtMux:
+			d, a, b := p(in.Dst), p(in.A), p(in.B)
+			c, e := p(in.C), p(in.D)
+			wa, wb := in.Aux&0xff, in.Aux>>8
+			m := in.Mask
+			d[0] = sel(-b2u(signExtend64(a[0], wa) < signExtend64(b[0], wb)), c[0], e[0]) & m
+			d[1] = sel(-b2u(signExtend64(a[1], wa) < signExtend64(b[1], wb)), c[1], e[1]) & m
+			d[2] = sel(-b2u(signExtend64(a[2], wa) < signExtend64(b[2], wb)), c[2], e[2]) & m
+			d[3] = sel(-b2u(signExtend64(a[3], wa) < signExtend64(b[3], wb)), c[3], e[3]) & m
+			d[4] = sel(-b2u(signExtend64(a[4], wa) < signExtend64(b[4], wb)), c[4], e[4]) & m
+			d[5] = sel(-b2u(signExtend64(a[5], wa) < signExtend64(b[5], wb)), c[5], e[5]) & m
+			d[6] = sel(-b2u(signExtend64(a[6], wa) < signExtend64(b[6], wb)), c[6], e[6]) & m
+			d[7] = sel(-b2u(signExtend64(a[7], wa) < signExtend64(b[7], wb)), c[7], e[7]) & m
+			d[8] = sel(-b2u(signExtend64(a[8], wa) < signExtend64(b[8], wb)), c[8], e[8]) & m
+			d[9] = sel(-b2u(signExtend64(a[9], wa) < signExtend64(b[9], wb)), c[9], e[9]) & m
+			d[10] = sel(-b2u(signExtend64(a[10], wa) < signExtend64(b[10], wb)), c[10], e[10]) & m
+			d[11] = sel(-b2u(signExtend64(a[11], wa) < signExtend64(b[11], wb)), c[11], e[11]) & m
+			d[12] = sel(-b2u(signExtend64(a[12], wa) < signExtend64(b[12], wb)), c[12], e[12]) & m
+			d[13] = sel(-b2u(signExtend64(a[13], wa) < signExtend64(b[13], wb)), c[13], e[13]) & m
+			d[14] = sel(-b2u(signExtend64(a[14], wa) < signExtend64(b[14], wb)), c[14], e[14]) & m
+			d[15] = sel(-b2u(signExtend64(a[15], wa) < signExtend64(b[15], wb)), c[15], e[15]) & m
+		case lLeqMux:
+			d, a, b := p(in.Dst), p(in.A), p(in.B)
+			c, e := p(in.C), p(in.D)
+			wa, wb := in.Aux&0xff, in.Aux>>8
+			m := in.Mask
+			d[0] = sel(-b2u(signExtend64(a[0], wa) <= signExtend64(b[0], wb)), c[0], e[0]) & m
+			d[1] = sel(-b2u(signExtend64(a[1], wa) <= signExtend64(b[1], wb)), c[1], e[1]) & m
+			d[2] = sel(-b2u(signExtend64(a[2], wa) <= signExtend64(b[2], wb)), c[2], e[2]) & m
+			d[3] = sel(-b2u(signExtend64(a[3], wa) <= signExtend64(b[3], wb)), c[3], e[3]) & m
+			d[4] = sel(-b2u(signExtend64(a[4], wa) <= signExtend64(b[4], wb)), c[4], e[4]) & m
+			d[5] = sel(-b2u(signExtend64(a[5], wa) <= signExtend64(b[5], wb)), c[5], e[5]) & m
+			d[6] = sel(-b2u(signExtend64(a[6], wa) <= signExtend64(b[6], wb)), c[6], e[6]) & m
+			d[7] = sel(-b2u(signExtend64(a[7], wa) <= signExtend64(b[7], wb)), c[7], e[7]) & m
+			d[8] = sel(-b2u(signExtend64(a[8], wa) <= signExtend64(b[8], wb)), c[8], e[8]) & m
+			d[9] = sel(-b2u(signExtend64(a[9], wa) <= signExtend64(b[9], wb)), c[9], e[9]) & m
+			d[10] = sel(-b2u(signExtend64(a[10], wa) <= signExtend64(b[10], wb)), c[10], e[10]) & m
+			d[11] = sel(-b2u(signExtend64(a[11], wa) <= signExtend64(b[11], wb)), c[11], e[11]) & m
+			d[12] = sel(-b2u(signExtend64(a[12], wa) <= signExtend64(b[12], wb)), c[12], e[12]) & m
+			d[13] = sel(-b2u(signExtend64(a[13], wa) <= signExtend64(b[13], wb)), c[13], e[13]) & m
+			d[14] = sel(-b2u(signExtend64(a[14], wa) <= signExtend64(b[14], wb)), c[14], e[14]) & m
+			d[15] = sel(-b2u(signExtend64(a[15], wa) <= signExtend64(b[15], wb)), c[15], e[15]) & m
+		case lGtMux:
+			d, a, b := p(in.Dst), p(in.A), p(in.B)
+			c, e := p(in.C), p(in.D)
+			wa, wb := in.Aux&0xff, in.Aux>>8
+			m := in.Mask
+			d[0] = sel(-b2u(signExtend64(a[0], wa) > signExtend64(b[0], wb)), c[0], e[0]) & m
+			d[1] = sel(-b2u(signExtend64(a[1], wa) > signExtend64(b[1], wb)), c[1], e[1]) & m
+			d[2] = sel(-b2u(signExtend64(a[2], wa) > signExtend64(b[2], wb)), c[2], e[2]) & m
+			d[3] = sel(-b2u(signExtend64(a[3], wa) > signExtend64(b[3], wb)), c[3], e[3]) & m
+			d[4] = sel(-b2u(signExtend64(a[4], wa) > signExtend64(b[4], wb)), c[4], e[4]) & m
+			d[5] = sel(-b2u(signExtend64(a[5], wa) > signExtend64(b[5], wb)), c[5], e[5]) & m
+			d[6] = sel(-b2u(signExtend64(a[6], wa) > signExtend64(b[6], wb)), c[6], e[6]) & m
+			d[7] = sel(-b2u(signExtend64(a[7], wa) > signExtend64(b[7], wb)), c[7], e[7]) & m
+			d[8] = sel(-b2u(signExtend64(a[8], wa) > signExtend64(b[8], wb)), c[8], e[8]) & m
+			d[9] = sel(-b2u(signExtend64(a[9], wa) > signExtend64(b[9], wb)), c[9], e[9]) & m
+			d[10] = sel(-b2u(signExtend64(a[10], wa) > signExtend64(b[10], wb)), c[10], e[10]) & m
+			d[11] = sel(-b2u(signExtend64(a[11], wa) > signExtend64(b[11], wb)), c[11], e[11]) & m
+			d[12] = sel(-b2u(signExtend64(a[12], wa) > signExtend64(b[12], wb)), c[12], e[12]) & m
+			d[13] = sel(-b2u(signExtend64(a[13], wa) > signExtend64(b[13], wb)), c[13], e[13]) & m
+			d[14] = sel(-b2u(signExtend64(a[14], wa) > signExtend64(b[14], wb)), c[14], e[14]) & m
+			d[15] = sel(-b2u(signExtend64(a[15], wa) > signExtend64(b[15], wb)), c[15], e[15]) & m
+		case lGeqMux:
+			d, a, b := p(in.Dst), p(in.A), p(in.B)
+			c, e := p(in.C), p(in.D)
+			wa, wb := in.Aux&0xff, in.Aux>>8
+			m := in.Mask
+			d[0] = sel(-b2u(signExtend64(a[0], wa) >= signExtend64(b[0], wb)), c[0], e[0]) & m
+			d[1] = sel(-b2u(signExtend64(a[1], wa) >= signExtend64(b[1], wb)), c[1], e[1]) & m
+			d[2] = sel(-b2u(signExtend64(a[2], wa) >= signExtend64(b[2], wb)), c[2], e[2]) & m
+			d[3] = sel(-b2u(signExtend64(a[3], wa) >= signExtend64(b[3], wb)), c[3], e[3]) & m
+			d[4] = sel(-b2u(signExtend64(a[4], wa) >= signExtend64(b[4], wb)), c[4], e[4]) & m
+			d[5] = sel(-b2u(signExtend64(a[5], wa) >= signExtend64(b[5], wb)), c[5], e[5]) & m
+			d[6] = sel(-b2u(signExtend64(a[6], wa) >= signExtend64(b[6], wb)), c[6], e[6]) & m
+			d[7] = sel(-b2u(signExtend64(a[7], wa) >= signExtend64(b[7], wb)), c[7], e[7]) & m
+			d[8] = sel(-b2u(signExtend64(a[8], wa) >= signExtend64(b[8], wb)), c[8], e[8]) & m
+			d[9] = sel(-b2u(signExtend64(a[9], wa) >= signExtend64(b[9], wb)), c[9], e[9]) & m
+			d[10] = sel(-b2u(signExtend64(a[10], wa) >= signExtend64(b[10], wb)), c[10], e[10]) & m
+			d[11] = sel(-b2u(signExtend64(a[11], wa) >= signExtend64(b[11], wb)), c[11], e[11]) & m
+			d[12] = sel(-b2u(signExtend64(a[12], wa) >= signExtend64(b[12], wb)), c[12], e[12]) & m
+			d[13] = sel(-b2u(signExtend64(a[13], wa) >= signExtend64(b[13], wb)), c[13], e[13]) & m
+			d[14] = sel(-b2u(signExtend64(a[14], wa) >= signExtend64(b[14], wb)), c[14], e[14]) & m
+			d[15] = sel(-b2u(signExtend64(a[15], wa) >= signExtend64(b[15], wb)), c[15], e[15]) & m
+		case lSLtMux:
+			d, a, b := p(in.Dst), p(in.A), p(in.B)
+			c, e := p(in.C), p(in.D)
+			wa, wb := in.Aux&0xff, in.Aux>>8
+			m := in.Mask
+			d[0] = sel(-b2u(int64(signExtend64(a[0], wa)) < int64(signExtend64(b[0], wb))), c[0], e[0]) & m
+			d[1] = sel(-b2u(int64(signExtend64(a[1], wa)) < int64(signExtend64(b[1], wb))), c[1], e[1]) & m
+			d[2] = sel(-b2u(int64(signExtend64(a[2], wa)) < int64(signExtend64(b[2], wb))), c[2], e[2]) & m
+			d[3] = sel(-b2u(int64(signExtend64(a[3], wa)) < int64(signExtend64(b[3], wb))), c[3], e[3]) & m
+			d[4] = sel(-b2u(int64(signExtend64(a[4], wa)) < int64(signExtend64(b[4], wb))), c[4], e[4]) & m
+			d[5] = sel(-b2u(int64(signExtend64(a[5], wa)) < int64(signExtend64(b[5], wb))), c[5], e[5]) & m
+			d[6] = sel(-b2u(int64(signExtend64(a[6], wa)) < int64(signExtend64(b[6], wb))), c[6], e[6]) & m
+			d[7] = sel(-b2u(int64(signExtend64(a[7], wa)) < int64(signExtend64(b[7], wb))), c[7], e[7]) & m
+			d[8] = sel(-b2u(int64(signExtend64(a[8], wa)) < int64(signExtend64(b[8], wb))), c[8], e[8]) & m
+			d[9] = sel(-b2u(int64(signExtend64(a[9], wa)) < int64(signExtend64(b[9], wb))), c[9], e[9]) & m
+			d[10] = sel(-b2u(int64(signExtend64(a[10], wa)) < int64(signExtend64(b[10], wb))), c[10], e[10]) & m
+			d[11] = sel(-b2u(int64(signExtend64(a[11], wa)) < int64(signExtend64(b[11], wb))), c[11], e[11]) & m
+			d[12] = sel(-b2u(int64(signExtend64(a[12], wa)) < int64(signExtend64(b[12], wb))), c[12], e[12]) & m
+			d[13] = sel(-b2u(int64(signExtend64(a[13], wa)) < int64(signExtend64(b[13], wb))), c[13], e[13]) & m
+			d[14] = sel(-b2u(int64(signExtend64(a[14], wa)) < int64(signExtend64(b[14], wb))), c[14], e[14]) & m
+			d[15] = sel(-b2u(int64(signExtend64(a[15], wa)) < int64(signExtend64(b[15], wb))), c[15], e[15]) & m
+		case lSLeqMux:
+			d, a, b := p(in.Dst), p(in.A), p(in.B)
+			c, e := p(in.C), p(in.D)
+			wa, wb := in.Aux&0xff, in.Aux>>8
+			m := in.Mask
+			d[0] = sel(-b2u(int64(signExtend64(a[0], wa)) <= int64(signExtend64(b[0], wb))), c[0], e[0]) & m
+			d[1] = sel(-b2u(int64(signExtend64(a[1], wa)) <= int64(signExtend64(b[1], wb))), c[1], e[1]) & m
+			d[2] = sel(-b2u(int64(signExtend64(a[2], wa)) <= int64(signExtend64(b[2], wb))), c[2], e[2]) & m
+			d[3] = sel(-b2u(int64(signExtend64(a[3], wa)) <= int64(signExtend64(b[3], wb))), c[3], e[3]) & m
+			d[4] = sel(-b2u(int64(signExtend64(a[4], wa)) <= int64(signExtend64(b[4], wb))), c[4], e[4]) & m
+			d[5] = sel(-b2u(int64(signExtend64(a[5], wa)) <= int64(signExtend64(b[5], wb))), c[5], e[5]) & m
+			d[6] = sel(-b2u(int64(signExtend64(a[6], wa)) <= int64(signExtend64(b[6], wb))), c[6], e[6]) & m
+			d[7] = sel(-b2u(int64(signExtend64(a[7], wa)) <= int64(signExtend64(b[7], wb))), c[7], e[7]) & m
+			d[8] = sel(-b2u(int64(signExtend64(a[8], wa)) <= int64(signExtend64(b[8], wb))), c[8], e[8]) & m
+			d[9] = sel(-b2u(int64(signExtend64(a[9], wa)) <= int64(signExtend64(b[9], wb))), c[9], e[9]) & m
+			d[10] = sel(-b2u(int64(signExtend64(a[10], wa)) <= int64(signExtend64(b[10], wb))), c[10], e[10]) & m
+			d[11] = sel(-b2u(int64(signExtend64(a[11], wa)) <= int64(signExtend64(b[11], wb))), c[11], e[11]) & m
+			d[12] = sel(-b2u(int64(signExtend64(a[12], wa)) <= int64(signExtend64(b[12], wb))), c[12], e[12]) & m
+			d[13] = sel(-b2u(int64(signExtend64(a[13], wa)) <= int64(signExtend64(b[13], wb))), c[13], e[13]) & m
+			d[14] = sel(-b2u(int64(signExtend64(a[14], wa)) <= int64(signExtend64(b[14], wb))), c[14], e[14]) & m
+			d[15] = sel(-b2u(int64(signExtend64(a[15], wa)) <= int64(signExtend64(b[15], wb))), c[15], e[15]) & m
+		case lSGtMux:
+			d, a, b := p(in.Dst), p(in.A), p(in.B)
+			c, e := p(in.C), p(in.D)
+			wa, wb := in.Aux&0xff, in.Aux>>8
+			m := in.Mask
+			d[0] = sel(-b2u(int64(signExtend64(a[0], wa)) > int64(signExtend64(b[0], wb))), c[0], e[0]) & m
+			d[1] = sel(-b2u(int64(signExtend64(a[1], wa)) > int64(signExtend64(b[1], wb))), c[1], e[1]) & m
+			d[2] = sel(-b2u(int64(signExtend64(a[2], wa)) > int64(signExtend64(b[2], wb))), c[2], e[2]) & m
+			d[3] = sel(-b2u(int64(signExtend64(a[3], wa)) > int64(signExtend64(b[3], wb))), c[3], e[3]) & m
+			d[4] = sel(-b2u(int64(signExtend64(a[4], wa)) > int64(signExtend64(b[4], wb))), c[4], e[4]) & m
+			d[5] = sel(-b2u(int64(signExtend64(a[5], wa)) > int64(signExtend64(b[5], wb))), c[5], e[5]) & m
+			d[6] = sel(-b2u(int64(signExtend64(a[6], wa)) > int64(signExtend64(b[6], wb))), c[6], e[6]) & m
+			d[7] = sel(-b2u(int64(signExtend64(a[7], wa)) > int64(signExtend64(b[7], wb))), c[7], e[7]) & m
+			d[8] = sel(-b2u(int64(signExtend64(a[8], wa)) > int64(signExtend64(b[8], wb))), c[8], e[8]) & m
+			d[9] = sel(-b2u(int64(signExtend64(a[9], wa)) > int64(signExtend64(b[9], wb))), c[9], e[9]) & m
+			d[10] = sel(-b2u(int64(signExtend64(a[10], wa)) > int64(signExtend64(b[10], wb))), c[10], e[10]) & m
+			d[11] = sel(-b2u(int64(signExtend64(a[11], wa)) > int64(signExtend64(b[11], wb))), c[11], e[11]) & m
+			d[12] = sel(-b2u(int64(signExtend64(a[12], wa)) > int64(signExtend64(b[12], wb))), c[12], e[12]) & m
+			d[13] = sel(-b2u(int64(signExtend64(a[13], wa)) > int64(signExtend64(b[13], wb))), c[13], e[13]) & m
+			d[14] = sel(-b2u(int64(signExtend64(a[14], wa)) > int64(signExtend64(b[14], wb))), c[14], e[14]) & m
+			d[15] = sel(-b2u(int64(signExtend64(a[15], wa)) > int64(signExtend64(b[15], wb))), c[15], e[15]) & m
+		case lSGeqMux:
+			d, a, b := p(in.Dst), p(in.A), p(in.B)
+			c, e := p(in.C), p(in.D)
+			wa, wb := in.Aux&0xff, in.Aux>>8
+			m := in.Mask
+			d[0] = sel(-b2u(int64(signExtend64(a[0], wa)) >= int64(signExtend64(b[0], wb))), c[0], e[0]) & m
+			d[1] = sel(-b2u(int64(signExtend64(a[1], wa)) >= int64(signExtend64(b[1], wb))), c[1], e[1]) & m
+			d[2] = sel(-b2u(int64(signExtend64(a[2], wa)) >= int64(signExtend64(b[2], wb))), c[2], e[2]) & m
+			d[3] = sel(-b2u(int64(signExtend64(a[3], wa)) >= int64(signExtend64(b[3], wb))), c[3], e[3]) & m
+			d[4] = sel(-b2u(int64(signExtend64(a[4], wa)) >= int64(signExtend64(b[4], wb))), c[4], e[4]) & m
+			d[5] = sel(-b2u(int64(signExtend64(a[5], wa)) >= int64(signExtend64(b[5], wb))), c[5], e[5]) & m
+			d[6] = sel(-b2u(int64(signExtend64(a[6], wa)) >= int64(signExtend64(b[6], wb))), c[6], e[6]) & m
+			d[7] = sel(-b2u(int64(signExtend64(a[7], wa)) >= int64(signExtend64(b[7], wb))), c[7], e[7]) & m
+			d[8] = sel(-b2u(int64(signExtend64(a[8], wa)) >= int64(signExtend64(b[8], wb))), c[8], e[8]) & m
+			d[9] = sel(-b2u(int64(signExtend64(a[9], wa)) >= int64(signExtend64(b[9], wb))), c[9], e[9]) & m
+			d[10] = sel(-b2u(int64(signExtend64(a[10], wa)) >= int64(signExtend64(b[10], wb))), c[10], e[10]) & m
+			d[11] = sel(-b2u(int64(signExtend64(a[11], wa)) >= int64(signExtend64(b[11], wb))), c[11], e[11]) & m
+			d[12] = sel(-b2u(int64(signExtend64(a[12], wa)) >= int64(signExtend64(b[12], wb))), c[12], e[12]) & m
+			d[13] = sel(-b2u(int64(signExtend64(a[13], wa)) >= int64(signExtend64(b[13], wb))), c[13], e[13]) & m
+			d[14] = sel(-b2u(int64(signExtend64(a[14], wa)) >= int64(signExtend64(b[14], wb))), c[14], e[14]) & m
+			d[15] = sel(-b2u(int64(signExtend64(a[15], wa)) >= int64(signExtend64(b[15], wb))), c[15], e[15]) & m
+		case lEqMux:
+			d, a, b := p(in.Dst), p(in.A), p(in.B)
+			c, e := p(in.C), p(in.D)
+			wa, wb := in.Aux&0xff, in.Aux>>8
+			m := in.Mask
+			d[0] = sel(-b2u(signExtend64(a[0], wa) == signExtend64(b[0], wb)), c[0], e[0]) & m
+			d[1] = sel(-b2u(signExtend64(a[1], wa) == signExtend64(b[1], wb)), c[1], e[1]) & m
+			d[2] = sel(-b2u(signExtend64(a[2], wa) == signExtend64(b[2], wb)), c[2], e[2]) & m
+			d[3] = sel(-b2u(signExtend64(a[3], wa) == signExtend64(b[3], wb)), c[3], e[3]) & m
+			d[4] = sel(-b2u(signExtend64(a[4], wa) == signExtend64(b[4], wb)), c[4], e[4]) & m
+			d[5] = sel(-b2u(signExtend64(a[5], wa) == signExtend64(b[5], wb)), c[5], e[5]) & m
+			d[6] = sel(-b2u(signExtend64(a[6], wa) == signExtend64(b[6], wb)), c[6], e[6]) & m
+			d[7] = sel(-b2u(signExtend64(a[7], wa) == signExtend64(b[7], wb)), c[7], e[7]) & m
+			d[8] = sel(-b2u(signExtend64(a[8], wa) == signExtend64(b[8], wb)), c[8], e[8]) & m
+			d[9] = sel(-b2u(signExtend64(a[9], wa) == signExtend64(b[9], wb)), c[9], e[9]) & m
+			d[10] = sel(-b2u(signExtend64(a[10], wa) == signExtend64(b[10], wb)), c[10], e[10]) & m
+			d[11] = sel(-b2u(signExtend64(a[11], wa) == signExtend64(b[11], wb)), c[11], e[11]) & m
+			d[12] = sel(-b2u(signExtend64(a[12], wa) == signExtend64(b[12], wb)), c[12], e[12]) & m
+			d[13] = sel(-b2u(signExtend64(a[13], wa) == signExtend64(b[13], wb)), c[13], e[13]) & m
+			d[14] = sel(-b2u(signExtend64(a[14], wa) == signExtend64(b[14], wb)), c[14], e[14]) & m
+			d[15] = sel(-b2u(signExtend64(a[15], wa) == signExtend64(b[15], wb)), c[15], e[15]) & m
+		case lNeqMux:
+			d, a, b := p(in.Dst), p(in.A), p(in.B)
+			c, e := p(in.C), p(in.D)
+			wa, wb := in.Aux&0xff, in.Aux>>8
+			m := in.Mask
+			d[0] = sel(-b2u(signExtend64(a[0], wa) != signExtend64(b[0], wb)), c[0], e[0]) & m
+			d[1] = sel(-b2u(signExtend64(a[1], wa) != signExtend64(b[1], wb)), c[1], e[1]) & m
+			d[2] = sel(-b2u(signExtend64(a[2], wa) != signExtend64(b[2], wb)), c[2], e[2]) & m
+			d[3] = sel(-b2u(signExtend64(a[3], wa) != signExtend64(b[3], wb)), c[3], e[3]) & m
+			d[4] = sel(-b2u(signExtend64(a[4], wa) != signExtend64(b[4], wb)), c[4], e[4]) & m
+			d[5] = sel(-b2u(signExtend64(a[5], wa) != signExtend64(b[5], wb)), c[5], e[5]) & m
+			d[6] = sel(-b2u(signExtend64(a[6], wa) != signExtend64(b[6], wb)), c[6], e[6]) & m
+			d[7] = sel(-b2u(signExtend64(a[7], wa) != signExtend64(b[7], wb)), c[7], e[7]) & m
+			d[8] = sel(-b2u(signExtend64(a[8], wa) != signExtend64(b[8], wb)), c[8], e[8]) & m
+			d[9] = sel(-b2u(signExtend64(a[9], wa) != signExtend64(b[9], wb)), c[9], e[9]) & m
+			d[10] = sel(-b2u(signExtend64(a[10], wa) != signExtend64(b[10], wb)), c[10], e[10]) & m
+			d[11] = sel(-b2u(signExtend64(a[11], wa) != signExtend64(b[11], wb)), c[11], e[11]) & m
+			d[12] = sel(-b2u(signExtend64(a[12], wa) != signExtend64(b[12], wb)), c[12], e[12]) & m
+			d[13] = sel(-b2u(signExtend64(a[13], wa) != signExtend64(b[13], wb)), c[13], e[13]) & m
+			d[14] = sel(-b2u(signExtend64(a[14], wa) != signExtend64(b[14], wb)), c[14], e[14]) & m
+			d[15] = sel(-b2u(signExtend64(a[15], wa) != signExtend64(b[15], wb)), c[15], e[15]) & m
+		case lAndMux:
+			d, a, b := p(in.Dst), p(in.A), p(in.B)
+			c, e := p(in.C), p(in.D)
+			m := in.Mask
+			d[0] = sel(-b2u(a[0]&b[0] != 0), c[0], e[0]) & m
+			d[1] = sel(-b2u(a[1]&b[1] != 0), c[1], e[1]) & m
+			d[2] = sel(-b2u(a[2]&b[2] != 0), c[2], e[2]) & m
+			d[3] = sel(-b2u(a[3]&b[3] != 0), c[3], e[3]) & m
+			d[4] = sel(-b2u(a[4]&b[4] != 0), c[4], e[4]) & m
+			d[5] = sel(-b2u(a[5]&b[5] != 0), c[5], e[5]) & m
+			d[6] = sel(-b2u(a[6]&b[6] != 0), c[6], e[6]) & m
+			d[7] = sel(-b2u(a[7]&b[7] != 0), c[7], e[7]) & m
+			d[8] = sel(-b2u(a[8]&b[8] != 0), c[8], e[8]) & m
+			d[9] = sel(-b2u(a[9]&b[9] != 0), c[9], e[9]) & m
+			d[10] = sel(-b2u(a[10]&b[10] != 0), c[10], e[10]) & m
+			d[11] = sel(-b2u(a[11]&b[11] != 0), c[11], e[11]) & m
+			d[12] = sel(-b2u(a[12]&b[12] != 0), c[12], e[12]) & m
+			d[13] = sel(-b2u(a[13]&b[13] != 0), c[13], e[13]) & m
+			d[14] = sel(-b2u(a[14]&b[14] != 0), c[14], e[14]) & m
+			d[15] = sel(-b2u(a[15]&b[15] != 0), c[15], e[15]) & m
+		case lOrMux:
+			d, a, b := p(in.Dst), p(in.A), p(in.B)
+			c, e := p(in.C), p(in.D)
+			m := in.Mask
+			d[0] = sel(-b2u(a[0]|b[0] != 0), c[0], e[0]) & m
+			d[1] = sel(-b2u(a[1]|b[1] != 0), c[1], e[1]) & m
+			d[2] = sel(-b2u(a[2]|b[2] != 0), c[2], e[2]) & m
+			d[3] = sel(-b2u(a[3]|b[3] != 0), c[3], e[3]) & m
+			d[4] = sel(-b2u(a[4]|b[4] != 0), c[4], e[4]) & m
+			d[5] = sel(-b2u(a[5]|b[5] != 0), c[5], e[5]) & m
+			d[6] = sel(-b2u(a[6]|b[6] != 0), c[6], e[6]) & m
+			d[7] = sel(-b2u(a[7]|b[7] != 0), c[7], e[7]) & m
+			d[8] = sel(-b2u(a[8]|b[8] != 0), c[8], e[8]) & m
+			d[9] = sel(-b2u(a[9]|b[9] != 0), c[9], e[9]) & m
+			d[10] = sel(-b2u(a[10]|b[10] != 0), c[10], e[10]) & m
+			d[11] = sel(-b2u(a[11]|b[11] != 0), c[11], e[11]) & m
+			d[12] = sel(-b2u(a[12]|b[12] != 0), c[12], e[12]) & m
+			d[13] = sel(-b2u(a[13]|b[13] != 0), c[13], e[13]) & m
+			d[14] = sel(-b2u(a[14]|b[14] != 0), c[14], e[14]) & m
+			d[15] = sel(-b2u(a[15]|b[15] != 0), c[15], e[15]) & m
+		case LOp(OpSDiv):
+			d, av, bv, m := col(in.Dst), col(in.A), col(in.B), in.Mask
+			for l := range d {
+				a, b := int64(av[l]), int64(bv[l])
+				switch {
+				case b == 0:
+					d[l] = 0
+				case b == -1:
+					d[l] = uint64(-a) & m // avoids MinInt64 / -1 trap
+				default:
+					d[l] = uint64(a/b) & m
+				}
+			}
+		case LOp(OpSRem):
+			d, av, bv, m := col(in.Dst), col(in.A), col(in.B), in.Mask
+			for l := range d {
+				a, b := int64(av[l]), int64(bv[l])
+				switch {
+				case b == 0:
+					d[l] = uint64(a) & m
+				case b == -1:
+					d[l] = 0
+				default:
+					d[l] = uint64(a%b) & m
+				}
+			}
+		case LOp(OpMemRd):
+			d, a, m := col(in.Dst), col(in.A), in.Mask
+			for l := 0; l < n; l++ {
+				if !mask[l] {
+					continue
+				}
+				mem := e.laneGS[l].mems[in.Aux]
+				if addr := a[l]; addr < uint64(len(mem)) {
+					d[l] = mem[addr] & m
+				} else {
+					d[l] = 0
+				}
+			}
+		case LOp(OpMemWr):
+			a, b, c, m := col(in.A), col(in.B), col(in.C), in.Mask
+			for l := 0; l < n; l++ {
+				if !mask[l] || c[l] == 0 {
+					continue
+				}
+				tc := e.laneTC[l][t]
+				tc.memBuf = append(tc.memBuf, memWrite{
+					mem: in.Aux, addr: a[l], data: b[l] & m,
+				})
+			}
+		case LOp(OpWide):
+			wn := &e.lp.WideNodes[in.Aux]
+			for l := 0; l < n; l++ {
+				if !mask[l] {
+					continue
+				}
+				evalWide(wn, e.prog, e.laneGS[l], e.laneTC[l][t], e.wval[l], e.wstore[l])
+			}
+		case lCopyRun:
+			copy(st[int(in.Dst)*16:int(in.Dst+in.Aux)*16],
+				st[int(in.A)*16:int(in.A+in.Aux)*16])
+		default:
+			panic(fmt.Sprintf("sim: bad linked opcode %v", in.Op))
+		}
+	}
+}
