@@ -8,11 +8,19 @@ build:
 test:
 	$(GO) test ./...
 
-# Style gate: gofmt must produce no diffs, vet must be clean.
+# Style gate: gofmt must produce no diffs, vet must be clean. staticcheck
+# and govulncheck additionally run when installed (CI installs them; get
+# them locally with:
+#   go install honnef.co/go/tools/cmd/staticcheck@latest
+#   go install golang.org/x/vuln/cmd/govulncheck@latest).
 lint:
 	@fmtout="$$(gofmt -l .)"; if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+		else echo "staticcheck not installed; skipping"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+		else echo "govulncheck not installed; skipping"; fi
 
 # Full gate: lint plus the whole suite under the race detector. The parallel
 # partition+compile pipeline must stay race-clean and deterministic.

@@ -39,6 +39,7 @@ func main() {
 		svcDur  = flag.Duration("service-duration", 2*time.Second, "length of the repcutd service throughput run (0 disables)")
 		interpO = flag.Bool("interp-only", false, "run only the interp-vs-linked fast path measurement and exit")
 		batchO  = flag.Bool("batch-only", false, "run only the lane-batching sweep and exit")
+		valO    = flag.Bool("validate", false, "run only the translation-validation overhead measurement and exit")
 		workers = flag.Int("workers", 0, "worker count for partitioning+compilation (0 = all cores, 1 = serial; results are identical)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -79,6 +80,10 @@ func main() {
 	}
 	if *batchO {
 		batchSweep(s, *outDir, write)
+		return
+	}
+	if *valO {
+		validateOverhead(s, write)
 		return
 	}
 
@@ -198,6 +203,19 @@ func batchSweep(s *experiments.Suite, outDir string, write func(string, *report.
 			fatal(err)
 		}
 	}
+}
+
+// validateOverhead measures the translation validator's cost relative to
+// the compile it rides on and writes validate.{txt,csv}. Any divergence is
+// fatal: the bundled designs must all validate clean.
+func validateOverhead(s *experiments.Suite, write func(string, *report.Table)) {
+	step("translation validation overhead (internal/verify/tvalid)")
+	t, diverged := s.ValidateAll()
+	write("validate", t)
+	if diverged > 0 {
+		fatal(fmt.Errorf("translation validation found %d divergence(s); the optimizer miscompiles", diverged))
+	}
+	fmt.Println("every optimized program proven equivalent to its O0 reference")
 }
 
 // serviceThroughput boots an in-process repcutd and drives it with the

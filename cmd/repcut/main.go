@@ -64,6 +64,7 @@ func main() {
 		vcdPath    = flag.String("vcd", "", "dump register/output waveforms to this VCD file")
 		workers    = flag.Int("workers", 0, "worker count for partitioning+compilation (0 = all cores, 1 = serial; output is identical)")
 		verifyFlag = flag.Bool("verify", false, "statically prove the compiled program race-free and partition-closed; fail on any violation")
+		validate   = flag.Bool("validate", false, "translation validation: symbolically prove the optimized program equivalent to its O0 reference; fail on any divergence (implies -verify)")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -90,7 +91,7 @@ func main() {
 	}
 
 	opts := repcut.Options{Threads: *threads, Unweighted: *uw, OptLevel: *opt, Seed: *seed,
-		Workers: *workers, Verify: *verifyFlag}
+		Workers: *workers, Verify: *verifyFlag, Validate: *validate}
 	start := time.Now()
 	compiled, err := d.CompileProgram(opts)
 	if err != nil {
@@ -109,6 +110,10 @@ func main() {
 		fmt.Printf("partitioned + compiled for %d threads in %v\n", *threads, compileTime.Round(time.Millisecond))
 		if s.Verification != nil {
 			fmt.Println(s.Verification)
+		}
+		if v := out.Validation; v != nil && v.Skipped == "" {
+			fmt.Printf("translation validated: %d pairs (%d proved, %d probed) in %.1f ms\n",
+				v.Pairs, v.Proved, v.Probed, v.ElapsedMs)
 		}
 		if r := s.Report; r != nil && *threads > 1 {
 			fmt.Printf("replication cost: %s   imbalance (excl/incl): %.3f / %.3f   replicated vertices: %d\n",

@@ -2,8 +2,8 @@
 // `go test -fuzz` loop: it generates seeded random circuits, runs each
 // one through the full cross-engine oracle (reference interpreter, serial
 // O0/O2, parallel partitions, task engine, compile-cache round-trip,
-// static verifier), and on any disagreement greedily shrinks the circuit
-// and writes a replayable crasher to disk.
+// static verifier, translation validator), and on any disagreement greedily
+// shrinks the circuit and writes a replayable crasher to disk.
 //
 // Unlike native fuzzing this is fully deterministic — seed k always
 // produces the same circuit and stimulus — so it doubles as a long-form
@@ -45,14 +45,15 @@ type crasherMeta struct {
 
 func main() {
 	var (
-		seeds   = flag.Int("seeds", 200, "number of generator seeds to sweep (1..N)")
-		budget  = flag.Duration("budget", 30*time.Second, "wall-clock budget; 0 disables")
-		shrink  = flag.Bool("shrink", true, "minimize failing circuits before writing them")
-		outDir  = flag.String("out", "internal/difftest/testdata/crashers", "directory for crasher .fir + .json files")
-		size    = flag.Int("size", 60, "target combinational node count per circuit")
-		cycles  = flag.Int("cycles", 20, "cycles to simulate per circuit")
-		seed0   = flag.Int64("seed-base", 0, "offset added to every seed (vary the sweep)")
-		verbose = flag.Bool("v", false, "log every seed, not just failures")
+		seeds    = flag.Int("seeds", 200, "number of generator seeds to sweep (1..N)")
+		budget   = flag.Duration("budget", 30*time.Second, "wall-clock budget; 0 disables")
+		shrink   = flag.Bool("shrink", true, "minimize failing circuits before writing them")
+		outDir   = flag.String("out", "internal/difftest/testdata/crashers", "directory for crasher .fir + .json files")
+		size     = flag.Int("size", 60, "target combinational node count per circuit")
+		cycles   = flag.Int("cycles", 20, "cycles to simulate per circuit")
+		seed0    = flag.Int64("seed-base", 0, "offset added to every seed (vary the sweep)")
+		validate = flag.Bool("validate", true, "run the translation validator on every circuit and cross-check its verdict against the oracle")
+		verbose  = flag.Bool("v", false, "log every seed, not just failures")
 	)
 	flag.Parse()
 
@@ -82,6 +83,7 @@ func main() {
 		ran++
 		opt := difftest.Default(seed)
 		opt.Cycles = *cycles
+		opt.Validate = *validate
 		m := difftest.Run(d, opt)
 		if m == nil {
 			if *verbose {

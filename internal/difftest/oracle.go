@@ -22,6 +22,7 @@ import (
 	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/verify"
+	"repro/internal/verify/tvalid"
 	"repro/internal/verilator"
 )
 
@@ -47,6 +48,12 @@ type Options struct {
 	// Verify runs the static soundness verifier over each parallel
 	// program; a verifier rejection is reported as a mismatch.
 	Verify bool
+	// Validate runs the translation validator (internal/verify/tvalid)
+	// over the serial O0/O2 pair and each parallel program, then
+	// cross-checks its static verdict against the dynamic oracle's:
+	// a certificate for a program the oracle refutes, or a refutation of a
+	// program every engine agrees on, is reported as a mismatch either way.
+	Validate bool
 	// Mutate, when set, is applied to an extra serial O0 program before it
 	// joins the engine matrix (mutation testing: the oracle must catch the
 	// planted bug). Returning false marks the mutation inapplicable and no
@@ -70,7 +77,7 @@ type Options struct {
 
 // Default returns the full-matrix options used by the corpus test and CLI.
 func Default(seed int64) Options {
-	return Options{Seed: seed, Cycles: 20, Tasks: true, Service: true, Verify: true, Batch: true}
+	return Options{Seed: seed, Cycles: 20, Tasks: true, Service: true, Verify: true, Validate: true, Batch: true}
 }
 
 func (o *Options) fill() {
@@ -89,7 +96,7 @@ func (o *Options) fill() {
 type Mismatch struct {
 	Engine string // engine that disagreed with the reference
 	Cycle  int    // cycle index at the time of disagreement (-1: static)
-	Kind   string // "reg", "output", "mem", "fingerprint", "verify", "cache", "compile"
+	Kind   string // "reg", "output", "mem", "fingerprint", "verify", "validate", "cache", "compile"
 	Name   string // signal or memory name (when applicable)
 	Addr   int    // memory address (Kind=="mem")
 	Got    string
@@ -183,6 +190,14 @@ func Run(d *genckt.Design, opt Options) *Mismatch {
 	}
 	addProgram("linked-O2", p2, false)
 
+	// Translation validation of the serial pair. The verdict is not trusted
+	// on its own: validatorCrossCheck reconciles it with what the dynamic
+	// engines actually do, so a validator bug in either direction surfaces.
+	var cert *tvalid.Result
+	if opt.Validate {
+		cert = tvalid.Validate(p0, p2, tvalid.Options{Seed: opt.Seed})
+	}
+
 	// Metamorphic: the compiler is deterministic across worker-pool sizes.
 	base := p2.Fingerprint()
 	for _, w := range opt.Workers {
@@ -206,10 +221,14 @@ func Run(d *genckt.Design, opt Options) *Mismatch {
 		if err != nil {
 			return &Mismatch{Engine: fmt.Sprintf("par-k%d", k), Cycle: -1, Kind: "compile", Got: err.Error()}
 		}
-		if opt.Verify {
-			rep := verify.Program(pk, verify.Options{Graph: g, Parts: specs, Linked: true})
+		if opt.Verify || opt.Validate {
+			rep := verify.Program(pk, verify.Options{Graph: g, Parts: specs, Linked: true, Validate: opt.Validate})
 			if err := rep.Err(); err != nil {
-				return &Mismatch{Engine: fmt.Sprintf("par-k%d", k), Cycle: -1, Kind: "verify", Got: err.Error()}
+				kind := "verify"
+				if rep.Validation != nil && len(rep.Validation.Divergences) > 0 {
+					kind = "validate"
+				}
+				return &Mismatch{Engine: fmt.Sprintf("par-k%d", k), Cycle: -1, Kind: kind, Got: err.Error()}
 			}
 		}
 		addProgram(fmt.Sprintf("par-k%d", k), pk, false)
@@ -290,7 +309,7 @@ func Run(d *genckt.Design, opt Options) *Mismatch {
 		}
 		for _, ne := range engines {
 			if m := compare(g, ref, ne, cyc); m != nil {
-				return m
+				return validatorCrossCheck(cert, m)
 			}
 		}
 	}
@@ -303,7 +322,32 @@ func Run(d *genckt.Design, opt Options) *Mismatch {
 			return m
 		}
 	}
-	return nil
+	return validatorCrossCheck(cert, nil)
+}
+
+// validatorCrossCheck reconciles the translation validator's static verdict
+// with the dynamic oracle's. Both directions of disagreement are bugs: a
+// refutation of a program every engine agrees on is a validator false
+// alarm, and a certificate for the linked-O2 program the oracle just caught
+// diverging is a validator false negative — the worse failure, since in
+// production it would wave a miscompile through.
+func validatorCrossCheck(cert *tvalid.Result, m *Mismatch) *Mismatch {
+	if cert == nil {
+		return m
+	}
+	if m == nil {
+		if err := cert.Err(); err != nil {
+			return &Mismatch{Engine: "tvalid", Cycle: -1, Kind: "validate",
+				Got:  err.Error(),
+				Want: "equivalence certificate (dynamic oracle found no divergence)"}
+		}
+		return nil
+	}
+	if m.Engine == "linked-O2" && cert.Skipped == "" && cert.Valid() {
+		return &Mismatch{Engine: "tvalid", Cycle: m.Cycle, Kind: "validate", Name: m.Name,
+			Got: "equivalence certificate", Want: "refutation: " + m.Error()}
+	}
+	return m
 }
 
 // runBatchColumn cross-checks the lane-batched executor: an L-lane

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/designs"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/verify/tvalid"
+)
+
+// validateTrials is how many times each design × thread-count cell is
+// measured; the reported times are the per-phase minima, the standard
+// noise-free estimator for costs in the single-digit-millisecond range.
+const validateTrials = 3
+
+// ValidateAll runs translation validation over every design the suite
+// covers — serial plus a small thread sample — and returns a table of
+// validator cost next to the compile cost it rides on, plus the total
+// divergence count (0 means every optimized program was proven equivalent
+// to its O0 reference). Everything is timed fresh (not memoized): the
+// CompileMs column is the full pipeline a served -validate compile pays
+// before validation (elaborate + partition + O2 compile + link, matching
+// the service's CompileTime), and ValidateMs is the marginal cost
+// validation adds on top (O0 reference recompile + symbolic proof).
+func (s *Suite) ValidateAll() (*report.Table, int) {
+	t := report.NewTable("Translation validation overhead (internal/verify/tvalid)",
+		"Design", "Threads", "CompileMs", "ValidateMs", "Overhead", "Pairs", "Proved", "Probed", "Diverged")
+	diverged := 0
+	for _, cfg := range s.Designs {
+		for _, k := range []int{1, 4} {
+			var (
+				compileMs, validateMs float64
+				res                   *tvalid.Result
+			)
+			for trial := 0; trial < validateTrials; trial++ {
+				c, v, r := s.validateOnce(cfg, k)
+				if trial == 0 || c < compileMs {
+					compileMs = c
+				}
+				if trial == 0 || v < validateMs {
+					validateMs = v
+				}
+				res = r
+			}
+			diverged += len(res.Divergences)
+
+			t.Row(cfg.Name(), k,
+				fmt.Sprintf("%.1f", compileMs),
+				fmt.Sprintf("%.1f", validateMs),
+				report.Pct(validateMs/compileMs),
+				res.Pairs, res.Proved, res.Probed, len(res.Divergences))
+		}
+	}
+	return t, diverged
+}
+
+// validateOnce measures one cold compile+validate run: (compile ms,
+// validate ms, certificate).
+func (s *Suite) validateOnce(cfg designs.Config, k int) (float64, float64, *tvalid.Result) {
+	start := time.Now()
+	g, err := designs.Build(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: build %s: %v", cfg.Name(), err))
+	}
+	var specs []sim.PartSpec
+	if k <= 1 {
+		specs = sim.SerialSpec(g)
+	} else {
+		res, err := core.Partition(g, core.Options{K: k, Seed: s.Seed, Model: costmodel.Default(), Workers: s.Workers})
+		if err != nil {
+			panic(fmt.Sprintf("experiments: partition %s k=%d: %v", cfg.Name(), k, err))
+		}
+		specs = make([]sim.PartSpec, len(res.Parts))
+		for i := range res.Parts {
+			specs[i] = sim.PartSpec{Vertices: res.Parts[i].Vertices, Sinks: res.Parts[i].Sinks}
+		}
+	}
+	p2, err := sim.Compile(g, specs, sim.Config{OptLevel: 2, Workers: s.Workers})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: compile %s k=%d: %v", cfg.Name(), k, err))
+	}
+	p2.Linked() // part of the compile cost a served artifact pays
+	compileMs := float64(time.Since(start).Nanoseconds()) / 1e6
+
+	// The validation pass as CompileProgram runs it: recompile the O0
+	// reference from the same partition, then prove equivalence.
+	start = time.Now()
+	ref, err := sim.Compile(g, specs, sim.Config{OptLevel: 0, Workers: s.Workers})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: compile %s k=%d O0: %v", cfg.Name(), k, err))
+	}
+	res := tvalid.Validate(ref, p2, tvalid.Options{Seed: s.Seed})
+	validateMs := float64(time.Since(start).Nanoseconds()) / 1e6
+	return compileMs, validateMs, res
+}

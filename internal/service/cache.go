@@ -29,8 +29,13 @@ type Entry struct {
 	Compiled    *repcut.Compiled
 	Stats       cgraph.Stats
 	Fingerprint uint64
-	Bytes       int64         // LRU charge: resident program bytes
-	CompileTime time.Duration // the miss's wall-clock compile latency
+	// Bytes is the LRU charge: resident program bytes plus, for validated
+	// compiles, the translation-validation certificate (including its peak
+	// hash-cons arena — re-validating on a refill costs that much again).
+	Bytes        int64
+	CompileTime  time.Duration // the miss's wall-clock compile latency
+	Validated    bool          // the compile carried translation validation
+	ValidateTime time.Duration // wall time the validation pass took
 }
 
 // Report renders the entry as the shared CLI/server report shape.
@@ -201,14 +206,22 @@ func (c *Cache) compile(req CompileRequest, key string) (*Entry, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Entry{
+	e := &Entry{
 		Key:         key,
 		Name:        name,
 		Compiled:    compiled,
 		Stats:       d.Stats(),
 		Fingerprint: compiled.Program.Fingerprint(),
 		Bytes:       compiled.Program.MemBytes(),
-	}, nil
+	}
+	if v := compiled.Verification; v != nil && v.Validation != nil {
+		e.Bytes += v.Validation.MemBytes()
+		e.Validated = true
+		e.ValidateTime = v.Validation.Elapsed
+		c.m.validations.Add(1)
+		c.m.validateLat.Observe(e.ValidateTime)
+	}
+	return e, nil
 }
 
 // resolveDesign turns a request's design half into a checked circuit.

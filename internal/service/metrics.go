@@ -108,6 +108,7 @@ type Metrics struct {
 
 	compileErrors   atomic.Int64
 	compileRejected atomic.Int64
+	validations     atomic.Int64 // compiles that carried translation validation
 
 	sessionsCreated  atomic.Int64
 	sessionsClosed   atomic.Int64
@@ -124,8 +125,9 @@ type Metrics struct {
 	batchRunLanes   atomic.Int64 // sum of lanes carried per round
 	batchedCycles   atomic.Int64 // lane-cycles executed via batch groups
 
-	compileLat Hist
-	stepLat    Hist
+	compileLat  Hist
+	validateLat Hist
+	stepLat     Hist
 }
 
 // NewMetrics creates a metrics sink with the uptime clock started now.
@@ -152,11 +154,15 @@ type SessionMetrics struct {
 	Rejected int64 `json:"rejected"`
 }
 
-// CompileMetrics is the compile section of /metrics.
+// CompileMetrics is the compile section of /metrics. Validations counts
+// cache misses whose compile carried translation validation; the separate
+// latency histogram isolates the validator's overhead from the compile's.
 type CompileMetrics struct {
-	Errors   int64        `json:"errors"`
-	Rejected int64        `json:"rejected"`
-	Latency  HistSnapshot `json:"latency"`
+	Errors          int64        `json:"errors"`
+	Rejected        int64        `json:"rejected"`
+	Validations     int64        `json:"validations"`
+	Latency         HistSnapshot `json:"latency"`
+	ValidateLatency HistSnapshot `json:"validate_latency"`
 }
 
 // SimMetrics is the simulation section of /metrics.
@@ -222,7 +228,9 @@ func (m *Metrics) snapshot() MetricsSnapshot {
 		},
 		Compile: CompileMetrics{
 			Errors: m.compileErrors.Load(), Rejected: m.compileRejected.Load(),
-			Latency: m.compileLat.Snapshot(),
+			Validations:     m.validations.Load(),
+			Latency:         m.compileLat.Snapshot(),
+			ValidateLatency: m.validateLat.Snapshot(),
 		},
 		Sim: SimMetrics{
 			CyclesTotal: cycles, CyclesPerSec: cps,

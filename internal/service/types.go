@@ -15,6 +15,7 @@ import (
 	repcut "repro"
 	"repro/internal/cgraph"
 	"repro/internal/sim"
+	"repro/internal/verify"
 )
 
 // CompileRequest names a design and the partition options to compile it
@@ -32,6 +33,11 @@ type CompileRequest struct {
 	Unweighted bool    `json:"unweighted,omitempty"`
 	OptLevel   int     `json:"opt_level,omitempty"`
 	Verify     bool    `json:"verify,omitempty"`
+	// Validate runs translation validation during the compile (see
+	// repcut.Options.Validate). Like Verify and Workers it is excluded from
+	// the content address: validation checks the artifact, it never changes
+	// it, so validated and unvalidated compiles of one design share a key.
+	Validate bool `json:"validate,omitempty"`
 }
 
 // normalize applies the same defaults repcut.Options does, so requests
@@ -60,7 +66,7 @@ func (r CompileRequest) Options(workers int) repcut.Options {
 	return repcut.Options{
 		Threads: n.Threads, Epsilon: n.Epsilon, Seed: n.Seed,
 		Unweighted: n.Unweighted, OptLevel: n.OptLevel, Verify: n.Verify,
-		Workers: workers,
+		Validate: n.Validate, Workers: workers,
 	}
 }
 
@@ -150,6 +156,33 @@ func ProgramJSON(p *sim.Program) ProgramSummary {
 	}
 }
 
+// ValidationSummary is the wire form of a translation-validation
+// certificate (internal/verify/tvalid): how many slot pairs were compared,
+// how each was settled, and what the proof cost.
+type ValidationSummary struct {
+	Pairs      int     `json:"pairs"`
+	Proved     int     `json:"proved"`
+	Probed     int     `json:"probed"`
+	ArenaBytes int64   `json:"arena_bytes"`
+	ElapsedMs  float64 `json:"elapsed_ms"`
+	Skipped    string  `json:"skipped,omitempty"`
+}
+
+// ValidationJSON extracts the validation summary from a verification
+// report (nil when the compile did not validate).
+func ValidationJSON(r *verify.Report) *ValidationSummary {
+	if r == nil || r.Validation == nil {
+		return nil
+	}
+	v := r.Validation
+	return &ValidationSummary{
+		Pairs: v.Pairs, Proved: v.Proved, Probed: v.Probed,
+		ArenaBytes: v.ArenaBytes,
+		ElapsedMs:  float64(v.Elapsed.Nanoseconds()) / 1e6,
+		Skipped:    v.Skipped,
+	}
+}
+
 // PortInfo names one top-level port.
 type PortInfo struct {
 	Name  string `json:"name"`
@@ -170,23 +203,25 @@ func PortsJSON(slots []sim.PortSlot) []PortInfo {
 // and the service: the CLI emits exactly this struct, the server embeds
 // it in CompileResponse, so the two can never drift.
 type DesignReport struct {
-	Design    string            `json:"design"`
-	Stats     DesignStats       `json:"stats"`
-	Partition *PartitionSummary `json:"partition,omitempty"`
-	Program   ProgramSummary    `json:"program"`
-	Inputs    []PortInfo        `json:"inputs"`
-	Outputs   []PortInfo        `json:"outputs"`
+	Design     string             `json:"design"`
+	Stats      DesignStats        `json:"stats"`
+	Partition  *PartitionSummary  `json:"partition,omitempty"`
+	Program    ProgramSummary     `json:"program"`
+	Validation *ValidationSummary `json:"validation,omitempty"`
+	Inputs     []PortInfo         `json:"inputs"`
+	Outputs    []PortInfo         `json:"outputs"`
 }
 
 // ReportFor assembles the shared report for a compiled design.
 func ReportFor(name string, stats cgraph.Stats, c *repcut.Compiled) DesignReport {
 	return DesignReport{
-		Design:    name,
-		Stats:     StatsJSON(stats),
-		Partition: PartitionJSON(c.Report),
-		Program:   ProgramJSON(c.Program),
-		Inputs:    PortsJSON(c.Program.Inputs),
-		Outputs:   PortsJSON(c.Program.Outputs),
+		Design:     name,
+		Stats:      StatsJSON(stats),
+		Partition:  PartitionJSON(c.Report),
+		Program:    ProgramJSON(c.Program),
+		Validation: ValidationJSON(c.Verification),
+		Inputs:     PortsJSON(c.Program.Inputs),
+		Outputs:    PortsJSON(c.Program.Outputs),
 	}
 }
 

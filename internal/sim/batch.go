@@ -39,6 +39,17 @@ import (
 // word's column.
 const batchLaneAlign = 8
 
+// BatchAlign exports the lane-stride alignment for external analyses
+// (internal/verify proves the SoA layout lane-disjoint against it).
+const BatchAlign = batchLaneAlign
+
+// BatchStride returns the per-word lane stride a BatchEngine with the given
+// lane count uses: word w, lane l lives at st[w*stride+l]. Exported so the
+// static verifier reasons about the exact layout the engine allocates.
+func BatchStride(lanes int) int {
+	return int(padTo(uint32(lanes), batchLaneAlign))
+}
+
 // BatchEngine executes one linked program across many independent lanes.
 // It is not safe for concurrent use; callers (internal/service batch
 // groups) serialize access externally.

@@ -1,0 +1,147 @@
+package sim
+
+// Exported per-opcode semantics surface for analyses outside the package,
+// chiefly the translation validator (internal/verify/tvalid). The validator
+// never re-implements an opcode: constant folding and concrete probing both
+// route through EvalOp, which executes the real interpreter (evalBlock) on a
+// one-instruction probe — the same trick the optimizer's foldConstants uses —
+// so executor and validator cannot drift apart.
+
+// OpTraits classifies one narrow opcode for symbolic analysis.
+type OpTraits struct {
+	// Reads is the operand arity (same as OpReads).
+	Reads int
+	// Commutative: dst is invariant under swapping operands A and B.
+	Commutative bool
+	// MasksResult: the executor truncates the stored result with in.Mask.
+	// False for compares, reductions, and OpSext, whose results the
+	// executor stores untouched.
+	MasksResult bool
+	// MaskIsOperand: in.Mask is a semantic comparand, not a truncation
+	// (OpAndr compares a against the mask itself).
+	MaskIsOperand bool
+	// Pure: the op is a data-only narrow computation EvalOp can fold —
+	// no memory, wide, or side-effecting behavior.
+	Pure bool
+}
+
+// opTraitsTable is indexed by OpCode. Built once; TraitsOf is the accessor.
+var opTraitsTable = func() [numOpCodes]OpTraits {
+	var t [numOpCodes]OpTraits
+	for op := OpCode(0); op < numOpCodes; op++ {
+		tr := OpTraits{Reads: opReads(op), Pure: true}
+		switch op {
+		case OpNop, OpWide, OpMemWr, OpMemRd:
+			tr.Pure = false
+		}
+		switch op {
+		case OpAdd, OpMul, OpAnd, OpOr, OpXor, OpEq, OpNeq:
+			tr.Commutative = true
+		}
+		switch op {
+		case OpCopy, OpAdd, OpSub, OpMul, OpDiv, OpRem, OpSDiv, OpSRem,
+			OpAnd, OpOr, OpXor, OpNot, OpNeg, OpCat, OpShl, OpShr, OpSar,
+			OpDshl, OpDshr, OpDsar, OpMux, OpMemRd:
+			tr.MasksResult = true
+		}
+		if op == OpAndr {
+			tr.MaskIsOperand = true
+		}
+		t[op] = tr
+	}
+	return t
+}()
+
+// TraitsOf returns the semantic classification of a narrow opcode.
+func TraitsOf(op OpCode) OpTraits {
+	if op >= numOpCodes {
+		return OpTraits{}
+	}
+	return opTraitsTable[op]
+}
+
+// EvalOp computes the narrow result of one pure opcode on concrete operands
+// by running the real interpreter on a single-instruction probe (operands
+// supplied as immediates, result read back from temp 0). ok is false for
+// ops EvalOp cannot fold: OpNop, OpWide, and the memory ops.
+func EvalOp(op OpCode, aux uint32, mask uint64, a, b, c uint64) (uint64, bool) {
+	if op >= numOpCodes || !opTraitsTable[op].Pure {
+		return 0, false
+	}
+	probe := Instr{
+		Op:  op,
+		Dst: MakeRef(RefLocal, 0),
+		A:   MakeRef(RefImm, 0), B: MakeRef(RefImm, 1), C: MakeRef(RefImm, 2),
+		Aux: aux, Mask: mask,
+	}
+	p := &Program{Imms: []uint64{a, b, c}}
+	tc := &threadCtx{temps: make([]uint64, 1)}
+	evalBlock([]Instr{probe}, p, &globalState{}, tc)
+	return tc.temps[0], true
+}
+
+// SignExtend64 exposes the executor's sign extension: the low w bits of x
+// extended to 64 bits (w == 0 or w >= 64 returns x unchanged, matching
+// OpSext with Aux 0 meaning "as-is").
+func SignExtend64(x uint64, w uint32) uint64 { return signExtend64(x, w) }
+
+// LClass partitions linked opcodes for analyses that must desugar fused
+// superinstructions back into base-op terms.
+type LClass uint8
+
+// Linked opcode classes.
+const (
+	// LClassBase: the LOp is a base OpCode executed with resolved operands.
+	LClassBase LClass = iota
+	// LClassCmpExt: compare with inline sign extension — base(sext(A, Aux
+	// low byte), sext(B, Aux high byte)); width 0 means "as-is".
+	LClassCmpExt
+	// LClassCmpMux: dst = base(sext(A, lo), sext(B, hi)) ? C&Mask : D&Mask.
+	LClassCmpMux
+	// LClassGateMux: dst = (A base B) != 0 ? C&Mask : D&Mask, base And/Or.
+	LClassGateMux
+	// LClassCopyRun: st[Dst+i] = st[A+i] for i in [0, Aux).
+	LClassCopyRun
+)
+
+// ClassifyLOp classifies a linked opcode and returns the base OpCode its
+// semantics desugar to: the LOp itself for base ops, the underlying compare
+// for the Ext/Mux fusions, OpAnd/OpOr for the gating fusions, and OpCopy
+// for lCopyRun.
+func ClassifyLOp(o LOp) (LClass, OpCode) {
+	switch {
+	case o < LFuseStart:
+		return LClassBase, OpCode(o)
+	case o >= lLtExt && o <= lNeqExt:
+		return LClassCmpExt, OpLt + OpCode(o-lLtExt)
+	case o >= lLtMux && o <= lNeqMux:
+		return LClassCmpMux, OpLt + OpCode(o-lLtMux)
+	case o == lAndMux:
+		return LClassGateMux, OpAnd
+	case o == lOrMux:
+		return LClassGateMux, OpOr
+	default: // lCopyRun
+		return LClassCopyRun, OpCopy
+	}
+}
+
+// Exported wide-node kind and operand-space identifiers, mirroring the
+// package-private enums so external analyses can branch on them.
+const (
+	WideKindPrim   = uint8(wkPrim)
+	WideKindCopy   = uint8(wkCopy)
+	WideKindConst  = uint8(wkConst)
+	WideKindMemRd  = uint8(wkMemRd)
+	WideKindMemWr  = uint8(wkMemWr)
+	WideSpaceLocal = uint8(wsWideLocal)
+	WideSpaceGlob  = uint8(wsWideGlobal)
+	WideSpaceImm   = uint8(wsWideImm)
+	WideSpaceShad  = uint8(wsWideShadow)
+	WideSpaceNarr  = uint8(wsNarrow)
+)
+
+// KindID returns the wide node's kind as one of the WideKind* constants.
+func (wn *WideNode) KindID() uint8 { return uint8(wn.Kind) }
+
+// SpaceID returns the operand's space as one of the WideSpace* constants.
+func (a WideOperand) SpaceID() uint8 { return uint8(a.Space) }

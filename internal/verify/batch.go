@@ -1,0 +1,102 @@
+package verify
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// scanBatch proves the program safe for a lane-batched engine
+// (sim.BatchEngine) with the given lane count. The batch executor stores
+// narrow state word w of lane l at st[w*stride+l]; its correctness rests on
+// three static facts this scan establishes:
+//
+//   - Lane disjointness: distinct lanes never alias one state cell. With
+//     stride >= lanes, w*stride+l == w'*stride+l' forces l == l', so it
+//     suffices that the stride covers the lane count and the word regions
+//     the engine block-copies (globals, immediates, per-thread frames) are
+//     disjoint and inside the allocation.
+//
+//   - RunMasked commit gating: masked-out lanes still evaluate but must not
+//     publish. Sound iff the eval phase is side-effect-free outside private
+//     temps and shadow — exactly the race-freedom family scanLinked proves
+//     over the linked stream (Program runs it whenever BatchLanes is set) —
+//     and the program is not shared-slot.
+//
+//   - Lane recycling: ResetLane re-seeds the immediate column and register
+//     initial values for one lane; every slot it touches must exist, or a
+//     recycled lane leaks the previous session's state.
+func (v *verifier) scanBatch(lanes int) {
+	p := v.p
+	if p.Shared {
+		v.diag(CheckBatch, Error, -1, -1, "",
+			"shared-slot program is not batch-executable: lanes would communicate mid-cycle through shared globals; NewBatchEngine rejects it")
+		return
+	}
+	if lanes < 1 {
+		v.diag(CheckBatch, Error, -1, -1, "", fmt.Sprintf("lane count %d is not positive", lanes))
+		return
+	}
+	stride := sim.BatchStride(lanes)
+	if stride < lanes {
+		v.diag(CheckBatch, Error, -1, -1, "",
+			fmt.Sprintf("lane stride %d is smaller than the lane count %d: columns of distinct lanes alias", stride, lanes))
+	}
+	if stride%sim.BatchAlign != 0 {
+		v.diag(CheckBatch, Error, -1, -1, "",
+			fmt.Sprintf("lane stride %d is not a multiple of the %d-lane block width: block kernels would straddle rows", stride, sim.BatchAlign))
+	}
+
+	lp := p.Linked()
+	// Word-region integrity, in ascending order: globals, immediates, then
+	// one frame (temps ++ shadow) per thread.
+	if lp.ImmOff < p.GlobalWords {
+		v.diag(CheckBatch, Error, -1, -1, fmt.Sprintf("state word %d", lp.ImmOff),
+			fmt.Sprintf("immediate region begins at %d, inside the %d-word global region: ResetLane's constant re-seed would clobber live registers", lp.ImmOff, p.GlobalWords))
+	}
+	end := lp.ImmOff + len(p.Imms)
+	for t := range lp.Threads {
+		lt := &lp.Threads[t]
+		th := &p.Threads[t]
+		if int(lt.TempOff) < end {
+			v.diag(CheckBatch, Error, t, -1, fmt.Sprintf("state word %d", lt.TempOff),
+				fmt.Sprintf("thread frame begins at %d, inside the previous region ending at %d: lane columns of different regions overlap", lt.TempOff, end))
+		}
+		if lt.ShadowOff != lt.TempOff+uint32(th.NumTemps) {
+			v.diag(CheckBatch, Error, t, -1, fmt.Sprintf("state word %d", lt.ShadowOff),
+				fmt.Sprintf("shadow region at %d does not abut the %d-temp region at %d: the commit block-copy would publish the wrong words", lt.ShadowOff, th.NumTemps, lt.TempOff))
+		}
+		if e := int(lt.ShadowOff) + th.ShadowWords; e > end {
+			end = e
+		}
+		if th.GlobalOff+th.ShadowWords > p.GlobalWords {
+			v.diag(CheckBatch, Error, t, -1, fmt.Sprintf("global word %d", th.GlobalOff),
+				fmt.Sprintf("commit range [%d,%d) overruns the %d-word global region: RunMasked's gated commit would write out of bounds", th.GlobalOff, th.GlobalOff+th.ShadowWords, p.GlobalWords))
+		}
+	}
+	if end > lp.StateWords {
+		v.diag(CheckBatch, Error, -1, -1, "",
+			fmt.Sprintf("regions end at word %d but the state allocation is %d words: the last lane column runs off the array", end, lp.StateWords))
+	}
+
+	// ResetLane cleanliness: every slot the per-lane reset re-seeds exists.
+	if len(p.WideWidths) != p.GlobalWide {
+		v.diag(CheckBatch, Error, -1, -1, "",
+			fmt.Sprintf("wide width table has %d entries for %d wide globals: lane recycling cannot rebuild the wide column", len(p.WideWidths), p.GlobalWide))
+	}
+	for i := range p.Regs {
+		r := &p.Regs[i]
+		if r.Wide {
+			if int(r.Slot) >= p.GlobalWide {
+				v.diag(CheckBatch, Error, -1, -1, v.wideDesc(r.Slot),
+					fmt.Sprintf("register %q init slot out of range: a recycled lane would keep the previous session's value", r.Name))
+			}
+		} else if int(r.Slot) >= p.GlobalWords {
+			v.diag(CheckBatch, Error, -1, -1, v.wordDesc(r.Slot),
+				fmt.Sprintf("register %q init slot out of range: a recycled lane would keep the previous session's value", r.Name))
+		}
+	}
+
+	v.diag(CheckBatch, Info, -1, -1, "",
+		fmt.Sprintf("batch layout proven lane-disjoint for %d lanes (stride %d): RunMasked may evaluate masked-out lanes and gate only their commit", lanes, stride))
+}

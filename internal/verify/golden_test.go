@@ -1,0 +1,116 @@
+package verify
+
+// Golden diagnostic tests pin the exact rendered text of one diagnostic
+// per failure class. The thread/pc/slot provenance format is part of the
+// verifier's contract — tools (and people) grep these strings — so a
+// formatting change must show up as an explicit test diff, not silently.
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// maskConstSrc keeps a recognizable and-mask constant in the O2 immediate
+// pool so the translation case can corrupt it deterministically.
+const maskConstSrc = `
+circuit G {
+  module G {
+    input a : UInt<8>
+    output o : UInt<32>
+    o <= and(UInt<32>(4294967295), asSInt(a))
+  }
+}
+`
+
+// TestGoldenDiagnostics plants one mutation per check family and pins the
+// first Error diagnostic of that family, fully rendered.
+func TestGoldenDiagnostics(t *testing.T) {
+	cases := []struct {
+		name  string
+		check Check
+		plant func(t *testing.T) *Report
+		want  string
+	}{
+		{
+			name:  "race/cross-thread-write",
+			check: CheckRace,
+			plant: func(t *testing.T) *Report {
+				p := mutProgram(t)
+				pc := firstLocalDef(t, p, 0)
+				p.Threads[0].Code[pc].Dst = sim.MakeRef(sim.RefGlobal, uint32(p.Threads[1].GlobalOff))
+				return Program(p, Options{})
+			},
+			want: "error [race-freedom] thread 0 pc 0 at global word 16 (output \"out\", segment of thread 1): eval-phase write to a shared global word: races with concurrent readers and the owner's commit",
+		},
+		{
+			name:  "closure/missing-def",
+			check: CheckClosure,
+			plant: func(t *testing.T) *Report {
+				p := mutProgram(t)
+				defPC, _ := firstLocalUse(t, p, 0)
+				p.Threads[0].Code[defPC] = sim.Instr{Op: sim.OpNop}
+				return Program(p, Options{})
+			},
+			want: "error [replication-closure] thread 0 pc 2 at local[0]: read of a temp with no earlier definition in this thread: the partition is not closed",
+		},
+		{
+			name:  "schedule/wide-index-out-of-range",
+			check: CheckSchedule,
+			plant: func(t *testing.T) *Report {
+				p := mutProgram(t)
+				for ti := range p.Threads {
+					for pc := range p.Threads[ti].Code {
+						if p.Threads[ti].Code[pc].Op == sim.OpWide {
+							p.Threads[ti].Code[pc].Aux = uint32(len(p.WideNodes)) + 7
+							return Program(p, Options{})
+						}
+					}
+				}
+				t.Fatal("program has no wide instructions")
+				return nil
+			},
+			want: "error [schedule] thread 0 pc 1 at wide node 11: wide-node index out of range (4 nodes)",
+		},
+		{
+			name:  "translation/constant-pool",
+			check: CheckTranslation,
+			plant: func(t *testing.T) *Report {
+				g := mustGraph(t, maskConstSrc)
+				p, parts := compileParts(t, g, 1, 2)
+				idx := -1
+				for i, v := range p.Imms {
+					if v == 4294967295 {
+						idx = i
+					}
+				}
+				if idx < 0 {
+					t.Fatal("and-mask constant not in O2 imm pool")
+				}
+				p.Imms[idx] ^= 1
+				return Program(p, Options{Graph: g, Parts: parts, Validate: true})
+			},
+			want: "error [translation] thread 0 pc 2 at output \"o\" (global word 8): O0 pc 3 (copy) vs linked pc 2 (and): optimized stream computes a different function than the O0 reference; probe witness (round 0 cycle 0): output \"o\" O0=32'hffffffff optimized=32'hfffffffe",
+		},
+		{
+			name:  "batch/frame-overlap",
+			check: CheckBatch,
+			plant: func(t *testing.T) *Report {
+				g := mustGraph(t, memMixSrc)
+				p, _ := compileParts(t, g, 2, 0)
+				p.Linked().Threads[0].TempOff = 0
+				return Program(p, Options{BatchLanes: 4})
+			},
+			want: "error [batch-layout] thread 0 at state word 0: thread frame begins at 0, inside the previous region ending at 24: lane columns of different regions overlap",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := tc.plant(t)
+			got := findDiag(t, rep, tc.check).String()
+			if got != tc.want {
+				t.Fatalf("diagnostic text changed:\n got: %s\nwant: %s", got, tc.want)
+			}
+		})
+	}
+}

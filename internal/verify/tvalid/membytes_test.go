@@ -1,0 +1,78 @@
+package tvalid
+
+// Companion to sim/membytes_test.go: the validation certificate is charged
+// to the compile cache (service.Entry.Bytes), so its MemBytes must be
+// honest the same way Program.MemBytes is — positive, stable, and covering
+// the hash-cons arena the proof built.
+
+import (
+	"testing"
+)
+
+const membytesSrc = `
+circuit MB {
+  module MB {
+    input  in  : UInt<8>
+    output out : UInt<8>
+    reg a : UInt<8> init 1
+    reg b : UInt<80> init 2
+    a <= tail(add(a, in), 1)
+    b <= cat(a, pad(xor(bits(b, 7, 0), a), 64))
+    out <= xor(a, bits(b, 71, 64))
+  }
+}
+`
+
+func TestCertificateMemBytes(t *testing.T) {
+	g := mustGraph(t, membytesSrc)
+	p0, p2 := compilePair(t, g, 1)
+	r := Validate(p0, p2, Options{})
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if r.ArenaBytes <= 0 {
+		t.Fatalf("arena bytes = %d, want > 0 (the proof interned terms)", r.ArenaBytes)
+	}
+	got := r.MemBytes()
+	if got < r.ArenaBytes {
+		t.Fatalf("MemBytes %d < arena %d: the cache charge misses the proof's peak", got, r.ArenaBytes)
+	}
+	// Deterministic: same certificate, same accounting.
+	if again := r.MemBytes(); again != got {
+		t.Errorf("MemBytes not stable: %d then %d", got, again)
+	}
+	// A nil certificate (validation not run) charges nothing.
+	var nilRes *Result
+	if n := nilRes.MemBytes(); n != 0 {
+		t.Errorf("nil certificate charges %d bytes", n)
+	}
+}
+
+// TestCertificateChargesDivergences proves a refuting certificate charges
+// its retained diagnostics: the divergence records (slots, details,
+// witness text) live as long as the cache entry does.
+func TestCertificateChargesDivergences(t *testing.T) {
+	g := mustGraph(t, mixedKindSrc) // keeps a corruptible and-mask in the pool
+	p0, p2 := compilePair(t, g, 1)
+	clean := Validate(p0, p2, Options{})
+	if err := clean.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	p0b, p2b := compilePair(t, g, 1)
+	if len(p2b.Imms) == 0 {
+		t.Fatal("no immediates to corrupt")
+	}
+	p2b.Imms[0] ^= 1
+	bad := Validate(p0b, p2b, Options{})
+	if bad.Err() == nil {
+		t.Fatal("corrupt immediate validated clean")
+	}
+	// Same design, so comparing the metadata halves (charge minus arena)
+	// isolates the divergence records: they must add to the charge.
+	meta := bad.MemBytes() - bad.ArenaBytes
+	cleanMeta := clean.MemBytes() - clean.ArenaBytes
+	if meta <= cleanMeta {
+		t.Fatalf("refuting certificate metadata %d B <= clean %d B: divergences not charged", meta, cleanMeta)
+	}
+}

@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/cgraph"
 	"repro/internal/sim"
+	"repro/internal/verify/tvalid"
 )
 
 // Severity ranks a diagnostic.
@@ -61,11 +62,15 @@ func (s Severity) String() string {
 // Check names the invariant family a diagnostic belongs to.
 type Check string
 
-// The three invariant families.
+// The invariant families. The first three are structural; CheckTranslation
+// is the semantic family (O0 vs optimized equivalence, internal/verify/
+// tvalid); CheckBatch covers the lane-batched engine's layout contract.
 const (
-	CheckRace     Check = "race-freedom"
-	CheckClosure  Check = "replication-closure"
-	CheckSchedule Check = "schedule"
+	CheckRace        Check = "race-freedom"
+	CheckClosure     Check = "replication-closure"
+	CheckSchedule    Check = "schedule"
+	CheckTranslation Check = "translation"
+	CheckBatch       Check = "batch-layout"
 )
 
 // Diag is one finding, with full provenance: which thread's code, which
@@ -111,6 +116,20 @@ type Options struct {
 	// over fused superinstructions. Builds (and caches) the linked form if
 	// the program has not been linked yet.
 	Linked bool
+	// Validate runs translation validation (internal/verify/tvalid): the
+	// program is proven to compute the same cycle function as an O0
+	// reference recompiled from Graph+Parts. Requires Graph and Parts;
+	// implies the linked form is built. Divergences surface as
+	// CheckTranslation errors and the full certificate as Report.Validation.
+	Validate bool
+	// BatchLanes, when positive, additionally proves the program safe for
+	// a sim.BatchEngine with that many lanes: the SoA stride layout is
+	// lane-disjoint, RunMasked's commit gating is sound under the
+	// private-temp model (eval is side-effect-free outside temps/shadow,
+	// so masked-out lanes may evaluate without committing), and lane
+	// recycling (ResetLane) can re-seed every constant and register.
+	// Implies the linked-stream scan.
+	BatchLanes int
 }
 
 // Report is the outcome of verifying one program.
@@ -121,6 +140,9 @@ type Report struct {
 	Locs    int // def/use locations examined
 	Diags   []Diag
 	Elapsed time.Duration
+	// Validation is the translation-validation certificate when
+	// Options.Validate ran (nil otherwise).
+	Validation *tvalid.Result
 }
 
 // Count returns the number of diagnostics at the given severity.
@@ -235,11 +257,25 @@ func Program(p *sim.Program, opts Options) *Report {
 	for t := range p.Threads {
 		v.scanThread(t)
 	}
-	if opts.Linked {
+	// The batch-layout scan is a precondition of the linked-stream scan:
+	// scanLinked classifies flat state indices by the region layout, so if
+	// the layout itself is corrupt the classification is meaningless (and
+	// may index off the end of per-region tracking). Prove the layout
+	// first and only scan the streams when it holds.
+	layoutOK := true
+	if opts.BatchLanes > 0 {
+		pre := v.rep.Count(Error)
+		v.scanBatch(opts.BatchLanes)
+		layoutOK = v.rep.Count(Error) == pre
+	}
+	if (opts.Linked || opts.BatchLanes > 0) && layoutOK {
 		v.scanLinked()
 	}
 	v.checkMems()
 	v.crossCheck()
+	if opts.Validate {
+		v.validate()
+	}
 	v.rep.Elapsed = time.Since(start)
 	return v.rep
 }

@@ -105,6 +105,11 @@ type Options struct {
 	// returning it; compilation fails on any violation, and the full
 	// diagnostic report is attached to the Simulator.
 	Verify bool
+	// Validate additionally runs translation validation: the optimized,
+	// fused, linked program is symbolically proven equivalent to an O0
+	// reference recompiled from the same partition (internal/verify/tvalid).
+	// Compilation fails on any divergence. Implies the Verify scan.
+	Validate bool
 }
 
 func (o *Options) defaults() {
@@ -237,8 +242,10 @@ func (d *Design) CompileProgram(opt Options) (*Compiled, error) {
 	// LRU charge) is stable and includes the linked bytes.
 	p.Linked()
 	c := &Compiled{Program: p, Report: rep}
-	if opt.Verify {
-		c.Verification = verify.Program(p, verify.Options{Graph: d.Graph, Parts: specs, Linked: true})
+	if opt.Verify || opt.Validate {
+		c.Verification = verify.Program(p, verify.Options{
+			Graph: d.Graph, Parts: specs, Linked: true, Validate: opt.Validate,
+		})
 		if err := c.Verification.Err(); err != nil {
 			return nil, err
 		}
