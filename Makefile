@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint check bench bench-interp bench-batch results serve loadgen loadgen-hot fuzz
+.PHONY: build test lint check bench bench-interp bench-batch bench-codegen results serve loadgen loadgen-hot fuzz
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,13 @@ bench-interp:
 # machine-readable results/BENCH_batch.json.
 bench-batch:
 	$(GO) run ./cmd/benchall -batch-only -out results
+
+# Regenerate the native-codegen measurement: linked interpreter vs the
+# same program compiled to a plugin kernel, written to
+# results/codegen.{txt,csv} and machine-readable results/BENCH_codegen.json.
+# Skips cleanly on platforms without Go plugin support.
+bench-codegen:
+	$(GO) run ./cmd/benchall -codegen-only -out results
 
 results:
 	$(GO) run ./cmd/benchall -out results

@@ -23,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/codegen"
 	"repro/internal/designs"
 	"repro/internal/experiments"
 	"repro/internal/profiling"
@@ -39,6 +40,7 @@ func main() {
 		svcDur  = flag.Duration("service-duration", 2*time.Second, "length of the repcutd service throughput run (0 disables)")
 		interpO = flag.Bool("interp-only", false, "run only the interp-vs-linked fast path measurement and exit")
 		batchO  = flag.Bool("batch-only", false, "run only the lane-batching sweep and exit")
+		cgO     = flag.Bool("codegen-only", false, "run only the native-codegen backend measurement and exit")
 		valO    = flag.Bool("validate", false, "run only the translation-validation overhead measurement and exit")
 		workers = flag.Int("workers", 0, "worker count for partitioning+compilation (0 = all cores, 1 = serial; results are identical)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -80,6 +82,10 @@ func main() {
 	}
 	if *batchO {
 		batchSweep(s, *outDir, write)
+		return
+	}
+	if *cgO {
+		codegenBench(s, *outDir, write)
 		return
 	}
 	if *valO {
@@ -149,6 +155,7 @@ func main() {
 
 	interpFastpath(s, *outDir, write)
 	batchSweep(s, *outDir, write)
+	codegenBench(s, *outDir, write)
 
 	if *svcDur > 0 {
 		step("repcutd service throughput")
@@ -200,6 +207,38 @@ func batchSweep(s *experiments.Suite, outDir string, write func(string, *report.
 	}
 	if outDir != "" {
 		if err := os.WriteFile(filepath.Join(outDir, "BENCH_batch.json"), data, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// codegenBench measures the native codegen backend against the linked
+// interpreter on this host and writes codegen.{txt,csv} plus the
+// machine-readable BENCH_codegen.json (one record per design × backend ×
+// thread count). Platforms that cannot build or load plugins skip the
+// measurement cleanly instead of failing the run.
+func codegenBench(s *experiments.Suite, outDir string, write func(string, *report.Table)) {
+	step("native codegen (real linked vs compiled-kernel cycles/sec)")
+	store, err := codegen.Shared("")
+	if err != nil {
+		fmt.Printf("skipping native codegen: %v\n", err)
+		return
+	}
+	points, err := s.CodegenSweep(store, []int{1, 2}, 2000)
+	if err != nil {
+		if codegen.Supported() != nil {
+			fmt.Printf("skipping native codegen: %v\n", err)
+			return
+		}
+		fatal(err)
+	}
+	write("codegen", experiments.CodegenTable(points))
+	data, err := experiments.CodegenJSON(points)
+	if err != nil {
+		fatal(err)
+	}
+	if outDir != "" {
+		if err := os.WriteFile(filepath.Join(outDir, "BENCH_codegen.json"), data, 0o644); err != nil {
 			fatal(err)
 		}
 	}

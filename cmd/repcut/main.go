@@ -41,12 +41,18 @@ type jsonOutput struct {
 	Outputs    map[string]uint64 `json:"outputs,omitempty"`
 }
 
-// jsonRun records the measured simulation, when one was run.
+// jsonRun records the measured simulation, when one was run. Backend is
+// the engine the run actually executed on (it can differ from the
+// requested -backend when the native kernel was unavailable); StateHash
+// fingerprints the full architectural state after the last cycle, so two
+// runs of any two backends are directly comparable.
 type jsonRun struct {
 	Cycles        int     `json:"cycles"`
 	ElapsedSec    float64 `json:"elapsed_sec"`
 	KHz           float64 `json:"khz"`
 	InstrsRetired uint64  `json:"instrs_retired"`
+	Backend       string  `json:"backend"`
+	StateHash     string  `json:"state_hash"`
 }
 
 func main() {
@@ -63,6 +69,8 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "emit the report as JSON (same encoding as the repcutd service)")
 		vcdPath    = flag.String("vcd", "", "dump register/output waveforms to this VCD file")
 		workers    = flag.Int("workers", 0, "worker count for partitioning+compilation (0 = all cores, 1 = serial; output is identical)")
+		backendF   = flag.String("backend", "linked", "execution backend: linked (fused interpreter), interp (closure interpreter), native (compiled plugin kernel; falls back to linked when unsupported)")
+		artifacts  = flag.String("artifacts", "", "native artifact store directory (-backend native; empty = per-user default under the temp dir)")
 		verifyFlag = flag.Bool("verify", false, "statically prove the compiled program race-free and partition-closed; fail on any violation")
 		validate   = flag.Bool("validate", false, "translation validation: symbolically prove the optimized program equivalent to its O0 reference; fail on any divergence (implies -verify)")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -90,8 +98,13 @@ func main() {
 			name, st.IRNodes, st.Edges, st.SinkVtx, st.SinkPct, st.RegWrites)
 	}
 
+	backend, err := repcut.ParseBackend(*backendF)
+	if err != nil {
+		fatal(err)
+	}
 	opts := repcut.Options{Threads: *threads, Unweighted: *uw, OptLevel: *opt, Seed: *seed,
-		Workers: *workers, Verify: *verifyFlag, Validate: *validate}
+		Workers: *workers, Verify: *verifyFlag, Validate: *validate,
+		Backend: backend, Artifacts: *artifacts}
 	start := time.Now()
 	compiled, err := d.CompileProgram(opts)
 	if err != nil {
@@ -99,6 +112,9 @@ func main() {
 	}
 	compileTime := time.Since(start)
 	s := compiled.NewSimulator()
+	if backend == repcut.BackendNative && s.Backend != repcut.BackendNative && !*jsonOut {
+		fmt.Printf("native backend unavailable, running %s: %v\n", s.Backend, compiled.NativeErr)
+	}
 
 	out := jsonOutput{
 		DesignReport: service.ReportFor(name, st, compiled),
@@ -154,6 +170,8 @@ func main() {
 			ElapsedSec:    el.Seconds(),
 			KHz:           float64(*cycles) / el.Seconds() / 1000,
 			InstrsRetired: s.InstrsRetired(),
+			Backend:       s.Backend.String(),
+			StateHash:     fmt.Sprintf("%016x", s.StateHash()),
 		}
 		out.Outputs = map[string]uint64{}
 		for _, o := range s.Program().Outputs {
@@ -163,8 +181,9 @@ func main() {
 			}
 		}
 		if !*jsonOut {
-			fmt.Printf("simulated %d cycles in %v (%.1f KHz on this host, %d instrs retired)\n",
-				*cycles, el.Round(time.Millisecond), out.Run.KHz, s.InstrsRetired())
+			fmt.Printf("simulated %d cycles in %v (%.1f KHz on this host, %d instrs retired, %s backend)\n",
+				*cycles, el.Round(time.Millisecond), out.Run.KHz, s.InstrsRetired(), s.Backend)
+			fmt.Printf("state hash: %s\n", out.Run.StateHash)
 			for _, o := range s.Program().Outputs {
 				if !o.Wide {
 					fmt.Printf("  output %s = %#x\n", o.Name, out.Outputs[o.Name])

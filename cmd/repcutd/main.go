@@ -43,6 +43,9 @@ func main() {
 		idle       = flag.Duration("idle-timeout", 2*time.Minute, "reap sessions idle longer than this")
 		workers    = flag.Int("workers", 0, "per-compile worker bound (0 = all cores)")
 		batchLanes = flag.Int("batch-lanes", 16, "lane width of the batched execution tier (1 disables batching)")
+		cgOn       = flag.Bool("codegen", false, "enable the native build-behind tier: compile-cache misses build plugin kernels asynchronously and sessions hot-swap onto them")
+		cgDir      = flag.String("codegen-dir", "", "native artifact store directory (empty = per-user default under the temp dir)")
+		cgBytes    = flag.Int64("codegen-bytes", 0, "native artifact store disk byte budget (0 = 1 GiB)")
 		portFile   = flag.String("portfile", "", "write the bound host:port to this file once listening")
 		logJSON    = flag.Bool("log-json", false, "emit request logs as JSON instead of text")
 		quiet      = flag.Bool("quiet", false, "suppress per-request logs")
@@ -73,6 +76,7 @@ func main() {
 			cyclesPS: *cyclesPS, outFile: *outFile, minHit: *minHit,
 			workers: *workers, batchLanes: *batchLanes,
 			hot: *hot, minOcc: *minOcc,
+			codegen: *cgOn, codegenDir: *cgDir,
 		})
 		if err != nil {
 			fatal(err)
@@ -81,13 +85,16 @@ func main() {
 	}
 
 	cfg := service.Config{
-		CacheBytes:  *cacheBytes,
-		MaxSessions: *maxSess,
-		MaxCompiles: *maxComp,
-		IdleTimeout: *idle,
-		Workers:     *workers,
-		BatchLanes:  *batchLanes,
-		Logger:      logger,
+		CacheBytes:   *cacheBytes,
+		MaxSessions:  *maxSess,
+		MaxCompiles:  *maxComp,
+		IdleTimeout:  *idle,
+		Workers:      *workers,
+		BatchLanes:   *batchLanes,
+		Codegen:      *cgOn,
+		CodegenDir:   *cgDir,
+		CodegenBytes: *cgBytes,
+		Logger:       logger,
 	}
 	if err := serve(cfg, *addr, *portFile, logger); err != nil {
 		fatal(err)
@@ -174,6 +181,8 @@ type lgOpts struct {
 	workers    int
 	batchLanes int
 	hot        bool
+	codegen    bool
+	codegenDir string
 }
 
 // runLoadgen drives the configured workload, prints (and optionally
@@ -205,7 +214,7 @@ func runLoadgen(logger *slog.Logger, o lgOpts) error {
 
 	base := o.addr
 	if base == "" {
-		srv, ts := selfHost(o.workers, o.batchLanes)
+		srv, ts := selfHost(o)
 		defer ts.Close()
 		defer srv.Shutdown(context.Background())
 		base = ts.URL
@@ -238,7 +247,9 @@ func runHotLoadgen(logger *slog.Logger, o lgOpts, cfg service.LoadgenConfig) err
 	cfg.Designs = cfg.Designs[:1] // one hot design, maximal coalescing
 
 	run := func(lanes int) (*service.LoadgenResult, error) {
-		srv, ts := selfHost(o.workers, lanes)
+		ol := o
+		ol.batchLanes = lanes
+		srv, ts := selfHost(ol)
 		defer ts.Close()
 		defer srv.Shutdown(context.Background())
 		return service.RunLoadgen(ts.URL, cfg)
@@ -271,9 +282,11 @@ func runHotLoadgen(logger *slog.Logger, o lgOpts, cfg service.LoadgenConfig) err
 }
 
 // selfHost boots an in-process server for benchmark mode.
-func selfHost(workers, batchLanes int) (*service.Server, *httptest.Server) {
+func selfHost(o lgOpts) (*service.Server, *httptest.Server) {
 	srv := service.New(service.Config{
-		Workers: workers, BatchLanes: batchLanes, Logger: newLogger(false, true),
+		Workers: o.workers, BatchLanes: o.batchLanes,
+		Codegen: o.codegen, CodegenDir: o.codegenDir,
+		Logger: newLogger(false, true),
 	})
 	return srv, httptest.NewServer(srv.Handler())
 }

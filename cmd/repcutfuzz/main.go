@@ -53,6 +53,7 @@ func main() {
 		cycles   = flag.Int("cycles", 20, "cycles to simulate per circuit")
 		seed0    = flag.Int64("seed-base", 0, "offset added to every seed (vary the sweep)")
 		validate = flag.Bool("validate", true, "run the translation validator on every circuit and cross-check its verdict against the oracle")
+		cgen     = flag.Bool("codegen", false, "add the native-codegen engine column (plugin build per circuit; skipped on platforms without plugin support)")
 		verbose  = flag.Bool("v", false, "log every seed, not just failures")
 	)
 	flag.Parse()
@@ -84,6 +85,7 @@ func main() {
 		opt := difftest.Default(seed)
 		opt.Cycles = *cycles
 		opt.Validate = *validate
+		opt.Codegen = *cgen
 		m := difftest.Run(d, opt)
 		if m == nil {
 			if *verbose {

@@ -1,0 +1,126 @@
+package codegen
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"plugin"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Kernel is a loaded native artifact: one eval function per thread, ready
+// for sim.Engine.InstallNative. Kernels are process-pinned — the Go
+// runtime never unloads a plugin — so they live in a package-level
+// registry keyed by artifact key and every Store in the process shares
+// them; the registry also guarantees one dlopen per key, which the plugin
+// runtime requires (reopening a replaced file under the same pluginpath
+// is an error).
+type Kernel struct {
+	Key         string
+	Threads     []sim.NativeThreadFunc
+	Fingerprint uint64
+	// Built reports whether this process built the artifact (false: disk
+	// or registry hit); BuildTime is the compile wall time when Built.
+	Built     bool
+	BuildTime time.Duration
+}
+
+var (
+	kernelMu sync.Mutex
+	kernels  = map[string]*Kernel{}
+)
+
+// loadKernel opens the plugin at path and type-checks its exported
+// surface. wantFP != 0 additionally pins the embedded program fingerprint.
+// The registry makes repeated loads of one key free and safe.
+//
+// The dlopen goes through a private unique copy of the artifact, never
+// the artifact path itself: plugin.Open caches a failed open per realpath
+// forever ("previous failure"), and a load that dies during symbol fill
+// leaves a placeholder that blocks every later open of that path — so a
+// fixed content-addressed path must not be reopened after a failed
+// attempt (e.g. a corrupt artifact that is then rebuilt in place). The
+// copy is unlinked right after the open; a successful dlopen keeps its
+// mapping without the name.
+func loadKernel(key, path string, wantFP uint64) (*Kernel, error) {
+	kernelMu.Lock()
+	defer kernelMu.Unlock()
+	if k, ok := kernels[key]; ok {
+		return k, nil
+	}
+	tmpSo, err := copyToTemp(path, key)
+	if err != nil {
+		return nil, fmt.Errorf("codegen: %w", err)
+	}
+	pl, err := plugin.Open(tmpSo)
+	os.Remove(tmpSo)
+	if err != nil {
+		return nil, fmt.Errorf("codegen: open %s: %w", path, err)
+	}
+	sym, err := pl.Lookup("Threads")
+	if err != nil {
+		return nil, fmt.Errorf("codegen: %s: %w", path, err)
+	}
+	fns, ok := sym.(*[]sim.NativeThreadFunc)
+	if !ok {
+		return nil, fmt.Errorf("codegen: %s: Threads has type %T, ABI mismatch", path, sym)
+	}
+	fpSym, err := pl.Lookup("Fingerprint")
+	if err != nil {
+		return nil, fmt.Errorf("codegen: %s: %w", path, err)
+	}
+	fp, ok := fpSym.(*uint64)
+	if !ok {
+		return nil, fmt.Errorf("codegen: %s: Fingerprint has type %T", path, fpSym)
+	}
+	if wantFP != 0 && *fp != wantFP {
+		return nil, fmt.Errorf("codegen: %s: kernel fingerprint %#x, program has %#x", path, *fp, wantFP)
+	}
+	emSym, err := pl.Lookup("Emitter")
+	if err != nil {
+		return nil, fmt.Errorf("codegen: %s: %w", path, err)
+	}
+	if em, ok := emSym.(*string); !ok || *em != EmitterVersion {
+		return nil, fmt.Errorf("codegen: %s: emitter version mismatch", path)
+	}
+	k := &Kernel{Key: key, Threads: *fns, Fingerprint: *fp}
+	kernels[key] = k
+	return k, nil
+}
+
+// copyToTemp clones the artifact next to itself under a unique dot-prefixed
+// name (same filesystem, so large artifacts stay one cheap write; the
+// store's scan sweeps any copies a crashed process left behind).
+func copyToTemp(path, key string) (string, error) {
+	src, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer src.Close()
+	dst, err := os.CreateTemp(filepath.Dir(path), ".load-"+key+"-*.so")
+	if err != nil {
+		return "", err
+	}
+	if _, err := io.Copy(dst, src); err != nil {
+		dst.Close()
+		os.Remove(dst.Name())
+		return "", err
+	}
+	if err := dst.Close(); err != nil {
+		os.Remove(dst.Name())
+		return "", err
+	}
+	return dst.Name(), nil
+}
+
+// loadedKernels reports how many kernels this process has pinned (metrics
+// gauge).
+func loadedKernels() int {
+	kernelMu.Lock()
+	defer kernelMu.Unlock()
+	return len(kernels)
+}

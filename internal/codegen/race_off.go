@@ -1,0 +1,7 @@
+//go:build !race
+
+package codegen
+
+// raceEnabled mirrors the host binary's race instrumentation; see
+// race_on.go.
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package codegen
+
+// raceEnabled mirrors the host binary's race instrumentation. A plugin
+// must be built with the same race mode as its host or plugin.Open fails
+// with a std-package version mismatch, so the builder passes -race when
+// this is set and the flag is part of the artifact key.
+const raceEnabled = true

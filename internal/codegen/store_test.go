@@ -1,0 +1,296 @@
+package codegen
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// smallProgram compiles a deliberately tiny circuit so store tests pay the
+// minimum per-artifact go-build cost.
+func smallProgram(t *testing.T, seed int64) *sim.Program {
+	t.Helper()
+	return compileK(t, buildDesign(t, seed, 25), 1)
+}
+
+func TestStoreEvictionTinyBudget(t *testing.T) {
+	if err := Supported(); err != nil {
+		t.Skipf("native codegen unsupported here: %v", err)
+	}
+	dir := t.TempDir()
+	s, err := Open(dir, 1) // one byte: everything but the newest must go
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	pa := smallProgram(t, 31)
+	pb := smallProgram(t, 32)
+	keyA, keyB := Key(pa, EmitOptions{}), Key(pb, EmitOptions{})
+
+	infoA, err := s.Ensure(pa, EmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !infoA.Built {
+		t.Fatal("first Ensure did not build")
+	}
+	// The sole artifact is never evicted even over budget.
+	if st := s.Stats(); st.Entries != 1 || st.Evictions != 0 {
+		t.Fatalf("after A: entries %d evictions %d, want 1/0", st.Entries, st.Evictions)
+	}
+
+	infoB, err := s.Ensure(pb, EmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Evictions != 1 || st.Entries != 1 {
+		t.Fatalf("after B: evictions %d entries %d, want 1/1", st.Evictions, st.Entries)
+	}
+	if st.DiskBytes != infoB.Bytes {
+		t.Fatalf("disk accounting %d, want B's %d", st.DiskBytes, infoB.Bytes)
+	}
+	if _, err := os.Stat(filepath.Join(dir, keyA+".so")); !os.IsNotExist(err) {
+		t.Fatalf("evicted artifact %s.so still on disk (err %v)", keyA, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, keyA+".json")); !os.IsNotExist(err) {
+		t.Fatalf("evicted artifact %s.json still on disk (err %v)", keyA, err)
+	}
+	if _, err := os.Stat(infoB.Path); err != nil {
+		t.Fatalf("surviving artifact missing: %v", err)
+	}
+
+	// Re-ensuring the evicted key is a miss: it rebuilds and B goes.
+	infoA2, err := s.Ensure(pa, EmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !infoA2.Built {
+		t.Fatal("evicted artifact came back without a rebuild")
+	}
+	st = s.Stats()
+	if st.Misses != 3 || st.Evictions != 2 {
+		t.Fatalf("misses %d evictions %d, want 3/2", st.Misses, st.Evictions)
+	}
+	if _, err := os.Stat(filepath.Join(dir, keyB+".so")); !os.IsNotExist(err) {
+		t.Fatalf("artifact %s.so should have been evicted (err %v)", keyB, err)
+	}
+}
+
+func TestStoreDiskAccountingAndReopen(t *testing.T) {
+	if err := Supported(); err != nil {
+		t.Skipf("native codegen unsupported here: %v", err)
+	}
+	dir := t.TempDir()
+	s, err := Open(dir, DefaultBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa := smallProgram(t, 41)
+	pb := smallProgram(t, 42)
+	if _, err := s.Ensure(pa, EmitOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Ensure(pb, EmitOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// MemBytes-style accounting: the store's notion of disk usage must
+	// equal what is actually on disk (.so + .json pairs).
+	var onDisk int64
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range ents {
+		fi, err := de.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		onDisk += fi.Size()
+	}
+	st := s.Stats()
+	if st.DiskBytes != onDisk {
+		t.Fatalf("store accounts %d bytes, disk holds %d", st.DiskBytes, onDisk)
+	}
+	if st.Entries != 2 {
+		t.Fatalf("entries %d, want 2", st.Entries)
+	}
+	s.Close()
+
+	// A fresh store over the same dir must index both artifacts and hit.
+	s2, err := Open(dir, DefaultBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	st2 := s2.Stats()
+	if st2.Entries != 2 || st2.DiskBytes != onDisk {
+		t.Fatalf("reopened store: entries %d bytes %d, want 2/%d", st2.Entries, st2.DiskBytes, onDisk)
+	}
+	info, err := s2.Ensure(pa, EmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Built {
+		t.Fatal("reopened store rebuilt an artifact it had on disk")
+	}
+	if st2 = s2.Stats(); st2.Hits != 1 || st2.Misses != 0 {
+		t.Fatalf("reopened store: hits %d misses %d, want 1/0", st2.Hits, st2.Misses)
+	}
+}
+
+func TestStoreCorruptedArtifactRecovery(t *testing.T) {
+	if err := Supported(); err != nil {
+		t.Skipf("native codegen unsupported here: %v", err)
+	}
+	dir := t.TempDir()
+	s, err := Open(dir, DefaultBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	p := smallProgram(t, 51)
+	info, err := s.Ensure(p, EmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip bytes in the middle of the .so: size is unchanged, only the
+	// hash catches it.
+	f, err := os.OpenFile(info.Path, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("corrupted!"), info.Bytes/4); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	info2, err := s.Ensure(p, EmitOptions{})
+	if err != nil {
+		t.Fatalf("Ensure after corruption: %v", err)
+	}
+	if !info2.Built {
+		t.Fatal("corrupted artifact was served instead of rebuilt")
+	}
+	st := s.Stats()
+	if st.Corrupt != 1 {
+		t.Fatalf("corrupt count %d, want 1", st.Corrupt)
+	}
+	if st.Entries != 1 {
+		t.Fatalf("entries %d, want 1", st.Entries)
+	}
+	// Third Ensure is a clean hit over the rebuilt bytes.
+	info3, err := s.Ensure(p, EmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info3.Built {
+		t.Fatal("rebuilt artifact did not hit")
+	}
+}
+
+func TestStoreTruncatedArtifactRecovery(t *testing.T) {
+	if err := Supported(); err != nil {
+		t.Skipf("native codegen unsupported here: %v", err)
+	}
+	dir := t.TempDir()
+	s, err := Open(dir, DefaultBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	p := smallProgram(t, 52)
+	info, err := s.Ensure(p, EmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(info.Path, info.Bytes/2); err != nil {
+		t.Fatal(err)
+	}
+	info2, err := s.Ensure(p, EmitOptions{})
+	if err != nil {
+		t.Fatalf("Ensure after truncation: %v", err)
+	}
+	if !info2.Built {
+		t.Fatal("truncated artifact was served instead of rebuilt")
+	}
+	if st := s.Stats(); st.Corrupt != 1 {
+		t.Fatalf("corrupt count %d, want 1", st.Corrupt)
+	}
+}
+
+func TestStoreSingleflight(t *testing.T) {
+	if err := Supported(); err != nil {
+		t.Skipf("native codegen unsupported here: %v", err)
+	}
+	s, err := Open(t.TempDir(), DefaultBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	p := smallProgram(t, 61)
+
+	const n = 6
+	var wg sync.WaitGroup
+	infos := make([]ArtifactInfo, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			infos[i], errs[i] = s.Ensure(p, EmitOptions{})
+		}(i)
+	}
+	wg.Wait()
+	built := 0
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+		if infos[i].Built {
+			built++
+		}
+		if infos[i].Path != infos[0].Path {
+			t.Fatalf("goroutine %d got path %s, want %s", i, infos[i].Path, infos[0].Path)
+		}
+	}
+	if st := s.Stats(); st.Misses != 1 {
+		t.Fatalf("misses %d, want 1 (singleflight)", st.Misses)
+	}
+	if built != 1 {
+		t.Fatalf("%d callers report Built, want exactly 1", built)
+	}
+}
+
+func TestStoreOrphanedMetaCleanup(t *testing.T) {
+	dir := t.TempDir()
+	// A .json with no .so is a crashed half-install: scan must drop it.
+	orphan := filepath.Join(dir, "deadbeefdeadbeefdeadbeef.json")
+	if err := os.WriteFile(orphan, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(dir, "tmp-deadbeef-123")
+	if err := os.MkdirAll(tmp, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir, DefaultBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if st := s.Stats(); st.Entries != 0 || st.DiskBytes != 0 {
+		t.Fatalf("orphans counted: entries %d bytes %d", st.Entries, st.DiskBytes)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatal("orphaned meta survived scan")
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatal("leftover tmp build dir survived scan")
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/bitvec"
 	"repro/internal/cgraph"
+	"repro/internal/codegen"
 	"repro/internal/core"
 	"repro/internal/costmodel"
 	"repro/internal/genckt"
@@ -73,6 +74,19 @@ type Options struct {
 	// live mutation must surface as a batch-column mismatch (proving the
 	// column can actually fail). Returning false skips the column.
 	MutateBatch func(*sim.Program) bool
+	// Codegen adds the native-codegen engine column: the linked O2 program
+	// emitted as Go source, built out of process as a plugin through the
+	// shared artifact store, and installed on a fresh engine that joins
+	// the shared-input matrix. Skipped silently when the platform cannot
+	// build or load plugins. Not part of Default — plugin builds are too
+	// slow for the fuzz loop (warm artifacts make corpus reruns cheap).
+	Codegen bool
+	// CodegenBug plants a deliberate emitter defect into the codegen
+	// column's kernel (mutation testing: the matrix must catch it; the
+	// solo engines keep the clean program). The bug is part of the
+	// artifact key, so buggy and clean kernels never collide in the
+	// store. Implies the codegen column.
+	CodegenBug codegen.Bug
 }
 
 // Default returns the full-matrix options used by the corpus test and CLI.
@@ -280,6 +294,20 @@ func Run(d *genckt.Design, opt Options) *Mismatch {
 		}
 	}
 
+	// Native-codegen engine: the linked O2 program compiled out of process
+	// to a plugin kernel and installed on a fresh engine. Joins the shared
+	// matrix like any other engine, so a miscompiled kernel (or a planted
+	// CodegenBug) surfaces as an ordinary state mismatch.
+	if opt.Codegen || opt.CodegenBug != codegen.BugNone {
+		e, name, m := codegenEngine(p2, opt)
+		if m != nil {
+			return m
+		}
+		if e != nil {
+			engines = append(engines, namedEngine{name, serialAdapter{e}})
+		}
+	}
+
 	// Drive all engines with identical stimulus and compare full state
 	// after every cycle.
 	rng := rand.New(rand.NewSource(opt.Seed))
@@ -348,6 +376,40 @@ func validatorCrossCheck(cert *tvalid.Result, m *Mismatch) *Mismatch {
 			Got: "equivalence certificate", Want: "refutation: " + m.Error()}
 	}
 	return m
+}
+
+// codegenEngine builds the native-codegen column's engine. A nil engine
+// with a nil mismatch means the column is inapplicable here: the platform
+// cannot build or load plugins, or the requested planted bug has no site
+// on this circuit (both are skips, not failures — mutation hunts scan
+// many seeds). Kernels come from the shared per-user artifact store, so
+// corpus reruns hit warm artifacts instead of rebuilding.
+func codegenEngine(p2 *sim.Program, opt Options) (*sim.Engine, string, *Mismatch) {
+	name := "codegen"
+	if opt.CodegenBug != codegen.BugNone {
+		name = "codegen-mutant"
+	}
+	if err := codegen.Supported(); err != nil {
+		return nil, name, nil
+	}
+	if opt.CodegenBug != codegen.BugNone {
+		if _, err := codegen.Emit(p2.Linked(), codegen.EmitOptions{Bug: opt.CodegenBug}); err != nil {
+			return nil, name, nil // no plantable site on this circuit
+		}
+	}
+	store, err := codegen.Shared("")
+	if err != nil {
+		return nil, name, &Mismatch{Engine: name, Cycle: -1, Kind: "compile", Got: err.Error()}
+	}
+	k, err := store.Kernel(p2, codegen.EmitOptions{Bug: opt.CodegenBug})
+	if err != nil {
+		return nil, name, &Mismatch{Engine: name, Cycle: -1, Kind: "compile", Got: err.Error()}
+	}
+	e := sim.NewEngine(p2)
+	if err := e.InstallNative(k.Threads); err != nil {
+		return nil, name, &Mismatch{Engine: name, Cycle: -1, Kind: "compile", Got: err.Error()}
+	}
+	return e, name, nil
 }
 
 // runBatchColumn cross-checks the lane-batched executor: an L-lane

@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	repcut "repro"
 	"repro/internal/cgraph"
+	"repro/internal/codegen"
 	"repro/internal/designs"
 	"repro/internal/firrtl"
 	"repro/internal/par"
@@ -36,7 +38,17 @@ type Entry struct {
 	CompileTime  time.Duration // the miss's wall-clock compile latency
 	Validated    bool          // the compile carried translation validation
 	ValidateTime time.Duration // wall time the validation pass took
+
+	// native is published by the codegen tier's asynchronous build-behind
+	// once the entry's native kernel is built (or found warm in the
+	// artifact store); nil until then. Sessions poll it via Native and
+	// hot-swap their private engines onto it.
+	native atomic.Pointer[codegen.Kernel]
 }
+
+// Native returns the entry's native kernel, or nil while the build-behind
+// is still running (or the codegen tier is disabled).
+func (e *Entry) Native() *codegen.Kernel { return e.native.Load() }
 
 // Report renders the entry as the shared CLI/server report shape.
 func (e *Entry) Report() DesignReport {
@@ -61,6 +73,7 @@ type Cache struct {
 	workers int
 	sem     *par.Sem
 	m       *Metrics
+	cg      *codegenTier // nil unless the native build-behind tier is on
 
 	mu      sync.Mutex
 	bytes   int64
@@ -167,6 +180,11 @@ func (c *Cache) GetOrCompile(req CompileRequest) (*Entry, bool, error) {
 		c.byKey[key] = c.lru.PushFront(e)
 		c.bytes += e.Bytes
 		c.evictLocked()
+		// Kick the asynchronous native build for the new resident; the
+		// kernel hot-swaps into live sessions when it lands.
+		if c.cg != nil {
+			c.cg.buildBehind(e)
+		}
 	}
 	f.e, f.err = e, err
 	close(f.done)

@@ -1,0 +1,79 @@
+package service
+
+import (
+	"path/filepath"
+	"sync"
+
+	"repro/internal/codegen"
+)
+
+// codegenTier is the server's native-codegen build-behind layer: every
+// compile-cache miss kicks an asynchronous plugin build against the
+// content-addressed artifact store, sessions keep running on the linked
+// interpreter in the meantime, and the session manager hot-swaps each
+// private engine onto the native kernel the next time it is touched after
+// the kernel lands. Sessions never wait on a build; a warm artifact store
+// makes the swap near-instant on the first touch.
+type codegenTier struct {
+	store *codegen.Store
+	m     *Metrics
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// newCodegenTier opens (or creates) the artifact store and verifies the
+// platform can actually build and load plugins. dir == "" uses a shared
+// per-user directory so repeated server runs reuse warm artifacts.
+func newCodegenTier(dir string, budget int64, m *Metrics) (*codegenTier, error) {
+	if err := codegen.Supported(); err != nil {
+		return nil, err
+	}
+	if dir == "" {
+		dir = filepath.Join(codegen.DefaultBaseDir(), "service")
+	}
+	st, err := codegen.Open(dir, budget)
+	if err != nil {
+		return nil, err
+	}
+	return &codegenTier{store: st, m: m}, nil
+}
+
+// buildBehind starts the asynchronous native build for a freshly compiled
+// entry. The entry publishes the kernel through its atomic pointer when
+// the build (or artifact-store hit) completes; nothing blocks on it.
+func (t *codegenTier) buildBehind(e *Entry) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.wg.Add(1)
+	t.mu.Unlock()
+	go func() {
+		defer t.wg.Done()
+		k, err := t.store.Kernel(e.Compiled.Program, codegen.EmitOptions{})
+		if err != nil {
+			t.m.codegenBuildErrors.Add(1)
+			return
+		}
+		if k.Built {
+			t.m.codegenMisses.Add(1)
+			t.m.codegenBuildLat.Observe(k.BuildTime)
+		} else {
+			t.m.codegenHits.Add(1)
+		}
+		e.native.Store(k)
+	}()
+}
+
+// close waits out in-flight builds and releases the store. Called during
+// Shutdown after the session drain, so no new builds can start.
+func (t *codegenTier) close() {
+	t.mu.Lock()
+	t.closed = true
+	t.mu.Unlock()
+	t.wg.Wait()
+	t.store.Close()
+}

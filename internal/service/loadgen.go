@@ -119,6 +119,14 @@ func (r *LoadgenResult) Summary() string {
 		} else {
 			fmt.Fprintf(&sb, "batch: disabled   sessions solo: %d\n", b.SessionsSolo)
 		}
+		if cg := m.Codegen; cg.Enabled {
+			fmt.Fprintf(&sb, "codegen: artifacts %d hit / %d built (%d errors)   build p50 %.3gms p99 %.3gms   sessions hot-swapped: %d   store: %d entries, %d bytes\n",
+				cg.ArtifactHits, cg.ArtifactMisses, cg.BuildErrors,
+				cg.BuildLatency.P50Ms, cg.BuildLatency.P99Ms,
+				cg.SessionsHotSwapped, cg.StoreEntries, cg.StoreBytes)
+		} else if cg.Reason != "" {
+			fmt.Fprintf(&sb, "codegen: disabled (%s)\n", cg.Reason)
+		}
 	}
 	return sb.String()
 }

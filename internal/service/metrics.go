@@ -125,9 +125,15 @@ type Metrics struct {
 	batchRunLanes   atomic.Int64 // sum of lanes carried per round
 	batchedCycles   atomic.Int64 // lane-cycles executed via batch groups
 
-	compileLat  Hist
-	validateLat Hist
-	stepLat     Hist
+	codegenHits        atomic.Int64 // artifact warm in the store (no build)
+	codegenMisses      atomic.Int64 // artifact built by this server
+	codegenBuildErrors atomic.Int64 // emission/build/load failures
+	codegenHotSwapped  atomic.Int64 // sessions swapped onto a native kernel
+
+	compileLat      Hist
+	validateLat     Hist
+	stepLat         Hist
+	codegenBuildLat Hist
 }
 
 // NewMetrics creates a metrics sink with the uptime clock started now.
@@ -192,6 +198,28 @@ type BatchMetrics struct {
 	BatchedCPS      float64 `json:"batched_cycles_per_sec"`
 }
 
+// CodegenMetrics is the native-codegen section of /metrics. ArtifactHits
+// count build-behind requests satisfied by a warm artifact store;
+// ArtifactMisses count plugin builds this server ran (BuildLatency is
+// their wall time). SessionsHotSwapped counts private engines migrated
+// from the linked interpreter onto a native kernel mid-session. The
+// Store* gauges mirror the on-disk artifact store.
+type CodegenMetrics struct {
+	Enabled            bool         `json:"enabled"`
+	Reason             string       `json:"reason,omitempty"` // why disabled, when requested but off
+	ArtifactHits       int64        `json:"artifact_hits"`
+	ArtifactMisses     int64        `json:"artifact_misses"`
+	BuildErrors        int64        `json:"build_errors"`
+	SessionsHotSwapped int64        `json:"sessions_hot_swapped"`
+	BuildLatency       HistSnapshot `json:"build_latency"`
+	StoreEntries       int          `json:"store_entries"`
+	StoreBytes         int64        `json:"store_bytes"`
+	StoreBudget        int64        `json:"store_budget"`
+	StoreEvictions     int64        `json:"store_evictions"`
+	StoreCorrupt       int64        `json:"store_corrupt"`
+	KernelsLoaded      int          `json:"kernels_loaded"`
+}
+
 // MetricsSnapshot is the full /metrics payload.
 type MetricsSnapshot struct {
 	UptimeSec float64        `json:"uptime_sec"`
@@ -200,6 +228,7 @@ type MetricsSnapshot struct {
 	Compile   CompileMetrics `json:"compile"`
 	Sim       SimMetrics     `json:"sim"`
 	Batch     BatchMetrics   `json:"batch"`
+	Codegen   CodegenMetrics `json:"codegen"`
 }
 
 // snapshot folds the counters into a wire snapshot; gauges (cache
@@ -237,6 +266,13 @@ func (m *Metrics) snapshot() MetricsSnapshot {
 			Steps: m.stepsTotal.Load(), StepLatency: m.stepLat.Snapshot(),
 		},
 		Batch: m.batchSnapshot(up),
+		Codegen: CodegenMetrics{
+			ArtifactHits:       m.codegenHits.Load(),
+			ArtifactMisses:     m.codegenMisses.Load(),
+			BuildErrors:        m.codegenBuildErrors.Load(),
+			SessionsHotSwapped: m.codegenHotSwapped.Load(),
+			BuildLatency:       m.codegenBuildLat.Snapshot(),
+		},
 	}
 }
 

@@ -37,6 +37,18 @@ type Config struct {
 	// simulating the same program share one sim.BatchEngine of this many
 	// lanes (default 16; negative or 1 disables batching).
 	BatchLanes int
+	// Codegen enables the native build-behind tier: every compile-cache
+	// miss asynchronously builds (or fetches from the artifact store) a
+	// native kernel, and private-engine sessions hot-swap onto it on their
+	// next operation. Silently degrades to interpreter-only when the
+	// platform cannot build or load plugins (see /metrics codegen.reason).
+	Codegen bool
+	// CodegenDir is the native artifact store directory (default: a
+	// per-user directory under the system temp dir, shared across runs).
+	CodegenDir string
+	// CodegenBytes is the artifact store's disk byte budget
+	// (default 1 GiB).
+	CodegenBytes int64
 	// Logger receives structured request logs (default slog.Default()).
 	Logger *slog.Logger
 }
@@ -84,6 +96,9 @@ type Server struct {
 	log      *slog.Logger
 	mux      *http.ServeMux
 
+	cg    *codegenTier // nil unless Config.Codegen is on and supported
+	cgErr error        // why the tier is off when Config.Codegen was set
+
 	reaperStop   chan struct{}
 	reaperDone   chan struct{}
 	shutdownOnce sync.Once
@@ -103,6 +118,15 @@ func New(cfg Config) *Server {
 		mux:        http.NewServeMux(),
 		reaperStop: make(chan struct{}),
 		reaperDone: make(chan struct{}),
+	}
+	if cfg.Codegen {
+		if tier, err := newCodegenTier(cfg.CodegenDir, cfg.CodegenBytes, m); err != nil {
+			s.cgErr = err
+			s.log.Warn("native codegen unavailable, running interpreter-only", "err", err)
+		} else {
+			s.cg = tier
+			s.cache.cg = tier
+		}
 	}
 	s.routes()
 	go s.reaper()
@@ -128,6 +152,18 @@ func (s *Server) Metrics() MetricsSnapshot {
 	if snap.Batch.LaneWidth > 1 && snap.Batch.Runs > 0 {
 		snap.Batch.OccupancyRatio = snap.Batch.MeanLanesPerRun / float64(snap.Batch.LaneWidth)
 	}
+	if s.cg != nil {
+		snap.Codegen.Enabled = true
+		st := s.cg.store.Stats()
+		snap.Codegen.StoreEntries = st.Entries
+		snap.Codegen.StoreBytes = st.DiskBytes
+		snap.Codegen.StoreBudget = st.DiskBudget
+		snap.Codegen.StoreEvictions = st.Evictions
+		snap.Codegen.StoreCorrupt = st.Corrupt
+		snap.Codegen.KernelsLoaded = st.Loaded
+	} else if s.cgErr != nil {
+		snap.Codegen.Reason = s.cgErr.Error()
+	}
 	return snap
 }
 
@@ -141,6 +177,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		close(s.reaperStop)
 		<-s.reaperDone
 		s.shutdownErr = s.sessions.Drain(ctx)
+		if s.cg != nil {
+			s.cg.close()
+		}
 	})
 	return s.shutdownErr
 }

@@ -44,6 +44,7 @@ type Session struct {
 	cycle  uint64      // cycle count after the last operation
 	report *repcut.PartitionReport
 	com    *repcut.Compiled
+	entry  *Entry // cache entry the session was created from (kernel source)
 
 	mu       sync.Mutex
 	lastUsed atomic.Int64 // unix nanos
@@ -170,6 +171,29 @@ func (s *Session) spill(sm *SessionManager) error {
 	return nil
 }
 
+// maybeHotSwap installs the entry's native kernel on the session's
+// private engine once the codegen tier's build-behind has delivered it.
+// Called with the session mutex held on every operation; until the kernel
+// lands this is a nil pointer load. Batch lanes never swap (the batch
+// engine has no native path) — a batched session picks the kernel up if
+// it later spills to a private engine. The swap is state-preserving: the
+// kernel indexes the same unified state slice the linked interpreter
+// does, so it is invisible mid-simulation.
+func (s *Session) maybeHotSwap(m *Metrics) {
+	sm := s.Sim
+	if s.group != nil || sm == nil || s.entry == nil || sm.Backend != repcut.BackendLinked {
+		return
+	}
+	k := s.entry.Native()
+	if k == nil || sm.Engine.NativeInstalled() {
+		return
+	}
+	if err := sm.Engine.InstallNative(k.Threads); err == nil {
+		sm.Backend = repcut.BackendNative
+		m.codegenHotSwapped.Add(1)
+	}
+}
+
 // release frees the session's backend resources (its batch lane, if any).
 // Called with s.mu held, exactly once, by SessionManager.finish.
 func (s *Session) release() {
@@ -249,6 +273,7 @@ func (sm *SessionManager) Create(e *Entry, solo bool) (*Session, error) {
 		Key:    e.Key,
 		report: e.Compiled.Report,
 		com:    e.Compiled,
+		entry:  e,
 	}
 	if !solo {
 		if g, lane, ok := sm.batch.alloc(e); ok {
@@ -300,6 +325,7 @@ func (sm *SessionManager) Do(id string, fn func(*Session) error) error {
 		return ErrSessionClosed
 	}
 	s.touch(time.Now())
+	s.maybeHotSwap(sm.m)
 	err := fn(s)
 	s.touch(time.Now())
 	return err

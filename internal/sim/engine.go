@@ -29,6 +29,11 @@ type Engine struct {
 	lp    *LinkedProgram
 	state []uint64
 
+	// native, when non-nil, replaces the eval phase of each thread with a
+	// compiled kernel over the same unified state slice (native.go). Set
+	// via InstallNative; only valid on linked engines.
+	native []nativeThread
+
 	cycles        uint64
 	instrsRetired uint64
 }
@@ -72,6 +77,11 @@ func newEngineMode(p *Program, lp *LinkedProgram) *Engine {
 // evalThread runs one eval phase of thread t through whichever execution
 // form the engine was built with.
 func (e *Engine) evalThread(t int) {
+	if e.native != nil {
+		nt := &e.native[t]
+		nt.fn(e.state, e.gs.mems, nt.memwr, nt.wide)
+		return
+	}
 	if e.lp != nil {
 		evalLinked(e.lp.Threads[t].Code, e.state, e.prog, e.lp, e.gs, e.tcs[t])
 	} else {

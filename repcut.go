@@ -25,6 +25,7 @@ import (
 	"os"
 
 	"repro/internal/cgraph"
+	"repro/internal/codegen"
 	"repro/internal/core"
 	"repro/internal/costmodel"
 	"repro/internal/firrtl"
@@ -82,6 +83,51 @@ func Elaborate(c *firrtl.Circuit) (*Design, error) {
 // Stats returns the design's Table 1 statistics.
 func (d *Design) Stats() cgraph.Stats { return d.Graph.Stats() }
 
+// Backend selects the execution engine simulators created from a Compiled
+// will run on. All backends execute the same compiled Program over the
+// same state layout, so they are freely interchangeable (and hot-swappable
+// between Run calls).
+type Backend int
+
+const (
+	// BackendLinked is the default: the linked/fused instruction-stream
+	// interpreter (the repo's fast path).
+	BackendLinked Backend = iota
+	// BackendInterp is the closure-walking interpreter — the reference
+	// semantics, mainly useful for debugging and differential runs.
+	BackendInterp
+	// BackendNative emits each thread's linked stream as Go source,
+	// compiles it out of process into a plugin (internal/codegen), and
+	// runs the loaded kernel. When the platform cannot build or load
+	// plugins — or the build fails — compilation still succeeds and
+	// simulators fall back to BackendLinked; Compiled.NativeErr says why.
+	BackendNative
+)
+
+// String names the backend as the CLI flags spell it.
+func (b Backend) String() string {
+	switch b {
+	case BackendInterp:
+		return "interp"
+	case BackendNative:
+		return "native"
+	}
+	return "linked"
+}
+
+// ParseBackend converts a CLI flag value to a Backend.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "", "linked":
+		return BackendLinked, nil
+	case "interp":
+		return BackendInterp, nil
+	case "native":
+		return BackendNative, nil
+	}
+	return 0, fmt.Errorf("repcut: unknown backend %q (want linked, interp, or native)", s)
+}
+
 // Options configure parallel compilation.
 type Options struct {
 	// Threads is the partition count (required, >= 1).
@@ -110,6 +156,14 @@ type Options struct {
 	// reference recompiled from the same partition (internal/verify/tvalid).
 	// Compilation fails on any divergence. Implies the Verify scan.
 	Validate bool
+	// Backend selects the execution engine for simulators created from
+	// the result (default BackendLinked). BackendNative builds (or fetches
+	// from the artifact store) a compiled kernel during CompileProgram.
+	Backend Backend
+	// Artifacts names the native artifact store directory (BackendNative
+	// only). Empty uses the per-user default under the system temp dir, so
+	// repeated runs share warm artifacts.
+	Artifacts string
 }
 
 func (o *Options) defaults() {
@@ -165,6 +219,10 @@ type Simulator struct {
 	// Verification is the static soundness report (nil unless
 	// Options.Verify was set).
 	Verification *verify.Report
+	// Backend is the engine this simulator actually runs on — it can
+	// differ from the requested Options.Backend when the native kernel
+	// was unavailable and the linked interpreter stood in.
+	Backend Backend
 }
 
 // CompileSerial builds the single-threaded (ESSENT-style) simulator.
@@ -185,13 +243,37 @@ type Compiled struct {
 	Program      *sim.Program
 	Report       *PartitionReport
 	Verification *verify.Report
+	// Backend is the requested execution backend.
+	Backend Backend
+	// Native is the loaded native kernel (Backend == BackendNative and
+	// the artifact built and loaded). Kernels are process-pinned and
+	// shared by every simulator over this Compiled.
+	Native *codegen.Kernel
+	// NativeErr records why the native backend is unavailable when
+	// Backend == BackendNative but Native is nil (plugin-unsupported
+	// platform, build failure); simulators fall back to BackendLinked.
+	NativeErr error
 }
 
 // NewSimulator creates an independent simulator over a compiled program.
-// Engines share the (read-only) program but nothing else, so any number of
-// concurrent sessions can run off one Compiled.
+// Engines share the (read-only) program and any loaded native kernel but
+// nothing else, so any number of concurrent sessions can run off one
+// Compiled.
 func (c *Compiled) NewSimulator() *Simulator {
-	return &Simulator{Engine: sim.NewEngine(c.Program), Report: c.Report, Verification: c.Verification}
+	s := &Simulator{Report: c.Report, Verification: c.Verification, Backend: BackendLinked}
+	switch {
+	case c.Backend == BackendInterp:
+		s.Engine = sim.NewInterpEngine(c.Program)
+		s.Backend = BackendInterp
+	case c.Backend == BackendNative && c.Native != nil:
+		s.Engine = sim.NewEngine(c.Program)
+		if err := s.Engine.InstallNative(c.Native.Threads); err == nil {
+			s.Backend = BackendNative
+		}
+	default:
+		s.Engine = sim.NewEngine(c.Program)
+	}
+	return s
 }
 
 // CompileParallel partitions the design and builds the RepCut parallel
@@ -241,13 +323,26 @@ func (d *Design) CompileProgram(opt Options) (*Compiled, error) {
 	// means every NewSimulator reuses it, and Program.MemBytes (the cache's
 	// LRU charge) is stable and includes the linked bytes.
 	p.Linked()
-	c := &Compiled{Program: p, Report: rep}
+	c := &Compiled{Program: p, Report: rep, Backend: opt.Backend}
 	if opt.Verify || opt.Validate {
 		c.Verification = verify.Program(p, verify.Options{
 			Graph: d.Graph, Parts: specs, Linked: true, Validate: opt.Validate,
 		})
 		if err := c.Verification.Err(); err != nil {
 			return nil, err
+		}
+	}
+	// Native backend: build (or fetch) the compiled kernel now, so every
+	// simulator over this Compiled shares it. Any failure — unsupported
+	// platform, artifact store trouble, build error — degrades to the
+	// linked interpreter instead of failing compilation.
+	if opt.Backend == BackendNative {
+		if store, err := codegen.Shared(opt.Artifacts); err != nil {
+			c.NativeErr = err
+		} else if k, err := store.Kernel(p, codegen.EmitOptions{}); err != nil {
+			c.NativeErr = err
+		} else {
+			c.Native = k
 		}
 	}
 	return c, nil
