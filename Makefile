@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint check bench bench-interp bench-batch bench-codegen results serve loadgen loadgen-hot fuzz
+.PHONY: build test lint check bench bench-interp bench-batch bench-codegen bench-repart results serve loadgen loadgen-hot fuzz
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,15 @@ bench-batch:
 # Skips cleanly on platforms without Go plugin support.
 bench-codegen:
 	$(GO) run ./cmd/benchall -codegen-only -out results
+
+# Regenerate the repartitioning measurement: unrefined recursive bisection
+# vs k-way refined + dereplicated partitions (replication factor, cut
+# cost, real cycles/sec), written to results/repart.{txt,csv} and
+# machine-readable results/BENCH_repart.json. The sweep fails if
+# refinement increases the replication factor or the two programs' state
+# hashes diverge.
+bench-repart:
+	$(GO) run ./cmd/benchall -repart-only -out results
 
 results:
 	$(GO) run ./cmd/benchall -out results

@@ -41,6 +41,7 @@ func main() {
 		interpO = flag.Bool("interp-only", false, "run only the interp-vs-linked fast path measurement and exit")
 		batchO  = flag.Bool("batch-only", false, "run only the lane-batching sweep and exit")
 		cgO     = flag.Bool("codegen-only", false, "run only the native-codegen backend measurement and exit")
+		repartO = flag.Bool("repart-only", false, "run only the repartitioning (refined+derep vs unrefined) measurement and exit")
 		valO    = flag.Bool("validate", false, "run only the translation-validation overhead measurement and exit")
 		workers = flag.Int("workers", 0, "worker count for partitioning+compilation (0 = all cores, 1 = serial; results are identical)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -86,6 +87,10 @@ func main() {
 	}
 	if *cgO {
 		codegenBench(s, *outDir, write)
+		return
+	}
+	if *repartO {
+		repartBench(s, *outDir, write)
 		return
 	}
 	if *valO {
@@ -156,6 +161,7 @@ func main() {
 	interpFastpath(s, *outDir, write)
 	batchSweep(s, *outDir, write)
 	codegenBench(s, *outDir, write)
+	repartBench(s, *outDir, write)
 
 	if *svcDur > 0 {
 		step("repcutd service throughput")
@@ -207,6 +213,30 @@ func batchSweep(s *experiments.Suite, outDir string, write func(string, *report.
 	}
 	if outDir != "" {
 		if err := os.WriteFile(filepath.Join(outDir, "BENCH_batch.json"), data, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// repartBench measures the replication-aware repartitioning pipeline
+// (k-way refinement + dereplication) against the raw recursive-bisection
+// partition and writes repart.{txt,csv} plus the machine-readable
+// BENCH_repart.json. The sweep itself gates on replication-factor
+// non-increase and state-hash agreement, so a regressed repartitioner
+// fails the run instead of producing a quietly wrong table.
+func repartBench(s *experiments.Suite, outDir string, write func(string, *report.Table)) {
+	step("repartitioning (refined+derep vs unrefined, real cycles/sec)")
+	points, err := s.RepartSweep([]int{8, 16, 24}, 1000)
+	if err != nil {
+		fatal(err)
+	}
+	write("repart", experiments.RepartTable(points))
+	data, err := experiments.RepartJSON(points)
+	if err != nil {
+		fatal(err)
+	}
+	if outDir != "" {
+		if err := os.WriteFile(filepath.Join(outDir, "BENCH_repart.json"), data, 0o644); err != nil {
 			fatal(err)
 		}
 	}

@@ -104,6 +104,25 @@ type RegInfo struct {
 	Write VID
 }
 
+// DerepGroup describes one dereplicated register group produced by the
+// partitioner's dereplication post-pass. The registers (indices into
+// Graph.Regs, ascending) all take their next value from the same driver
+// vertex U and share one initial value, so their write sinks are demoted:
+// no thread executes them, and instead the owning partition commits U's
+// value once per cycle into a single shared slot that every register's
+// read vertex aliases. At the evaluation phase of cycle c the slot holds
+// U@(c−1), which by the register transfer r@c = U@(c−1) is exactly the
+// registers' current value — readers on other threads see only the
+// previous cycle's committed value, never a same-cycle one.
+type DerepGroup struct {
+	// U is the common next-value driver vertex committed by the owner.
+	U VID
+	// Owner is the partition that computes U and commits the shared slot.
+	Owner int32
+	// Regs are the demoted registers (indices into Graph.Regs, ascending).
+	Regs []int32
+}
+
 // MemInfo describes one memory.
 type MemInfo struct {
 	Name   string

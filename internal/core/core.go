@@ -43,11 +43,44 @@ type Options struct {
 	// Hypergraph overrides advanced partitioner knobs; zero values use
 	// defaults.
 	Hypergraph hypergraph.Options
+	// NoRefine disables the direct k-way FM cleanup that runs over the flat
+	// assignment after recursive bisection (hypergraph.KWayRefine). The
+	// unrefined partitioner is kept addressable so refined and unrefined
+	// results can be compared like-for-like.
+	NoRefine bool
+	// RefineBug plants the k-way gain-sign defect (tests and difftest
+	// liveness checks only — never set it in production).
+	RefineBug bool
+	// Derep enables the dereplication post-pass: register groups whose
+	// common next-value driver is replicated across partitions are demoted
+	// to a single committed slot read cross-thread (see derep.go). Only
+	// two-phase backends may compile the result — Shared-mode (Verilator
+	// style) compilation rejects dereplicated partitions — so the pass is
+	// opt-in here and enabled by the top-level repcut API.
+	Derep bool
+	// Profile, when non-nil, scales the hypergraph vertex weights by the
+	// measured per-partition cost of a previous run of the same design and
+	// seed (profile-guided rebalance). Weights feeding the partitioner
+	// change; the realized partition semantics do not.
+	Profile *ProfileFeedback
 	// Verify re-checks the realized partitioning (self-containment, unique
 	// sink ownership, coverage, topological order) before returning it,
 	// turning a latent partitioner bug into a hard error instead of a
 	// miscompiled simulator.
 	Verify bool
+}
+
+// ProfileFeedback carries measured per-partition cost from a previous
+// partitioning of the same graph back into the partitioner. PartOfSink is
+// the previous Result.PartOfSink (cone IDs are deterministic per graph, so
+// they line up); Scales[p] is the measured cost of partition p relative to
+// the cost model's prediction, normalized so the mean is 1 (see
+// costmodel.ProfileScales). A sink cluster whose previous partition ran
+// slow gets proportionally heavier, so the rebalanced partition shifts
+// work away from measured-hot threads.
+type ProfileFeedback struct {
+	PartOfSink []int32
+	Scales     []float64
 }
 
 // Part is one independent partition.
@@ -89,6 +122,24 @@ type Result struct {
 	// ReplicatedVertices counts vertices present in more than one
 	// partition.
 	ReplicatedVertices int
+
+	// Dereps lists the dereplication groups applied by the post-pass
+	// (empty unless Options.Derep found profitable groups). Groups are
+	// sorted by driver vertex; DerepRegs counts the demoted registers.
+	Dereps    []cgraph.DerepGroup
+	DerepRegs int
+}
+
+// DerepsOf returns the dereplication groups owned by partition p, in
+// deterministic (driver-vertex) order — the form sim.PartSpec consumes.
+func (r *Result) DerepsOf(p int) []cgraph.DerepGroup {
+	var out []cgraph.DerepGroup
+	for _, d := range r.Dereps {
+		if int(d.Owner) == p {
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 // Partition runs the full replication-aided partitioning pipeline on g.
@@ -107,12 +158,18 @@ func Partition(g *cgraph.Graph, opt Options) (*Result, error) {
 
 	// Cluster weights η (predicted simulation cost). Clusters are
 	// independent; the total is reduced serially afterwards.
+	vcost := make([]int64, g.NumVertices())
+	pool.Chunks(g.NumVertices(), func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			vcost[v] = opt.Model.VertexCost(&g.Vs[v])
+		}
+	})
 	eta := make([]int64, len(an.Clusters))
 	pool.Chunks(len(an.Clusters), func(lo, hi int) {
 		for ci := lo; ci < hi; ci++ {
 			var w int64
 			for _, v := range an.Clusters[ci].Members {
-				w += opt.Model.VertexCost(&g.Vs[v])
+				w += vcost[v]
 			}
 			eta[ci] = w
 		}
@@ -146,6 +203,17 @@ func Partition(g *cgraph.Graph, opt Options) (*Result, error) {
 		}
 		hedges = append(hedges, hedge{cluster: int32(ci), weight: eta[ci]})
 	}
+	// Profile-guided rebalance: scale each sink cluster's weight by the
+	// measured relative cost of the partition that ran it last time. The
+	// scales only reshape the proxy problem; realization below is untouched,
+	// so the rebalanced partition is semantically interchangeable.
+	if pf := opt.Profile; pf != nil && len(pf.PartOfSink) == nCones && len(pf.Scales) > 0 {
+		for cid := 0; cid < nCones; cid++ {
+			if p := pf.PartOfSink[cid]; int(p) < len(pf.Scales) && pf.Scales[p] > 0 {
+				vWeightF[cid] *= pf.Scales[p]
+			}
+		}
+	}
 	vWeights := make([]int64, nCones)
 	for i, w := range vWeightF {
 		vWeights[i] = int64(w + 0.5)
@@ -172,6 +240,8 @@ func Partition(g *cgraph.Graph, opt Options) (*Result, error) {
 	if hopt.MaxFMPasses == 0 {
 		hopt.MaxFMPasses = 6
 	}
+	hopt.SkipKWay = hopt.SkipKWay || opt.NoRefine
+	hopt.KWayBug = hopt.KWayBug || opt.RefineBug
 	hr, err := hypergraph.Partition(hg, hopt)
 	if err != nil {
 		return nil, err
@@ -180,6 +250,9 @@ func Partition(g *cgraph.Graph, opt Options) (*Result, error) {
 	res, err := realize(g, an, eta, totalWeight, hr, opt.K, pool)
 	if err != nil {
 		return nil, err
+	}
+	if opt.Derep {
+		dereplicate(g, an, eta, vcost, res, pool)
 	}
 	if opt.Verify {
 		if err := Verify(g, res); err != nil {
@@ -305,6 +378,28 @@ func Verify(g *cgraph.Graph, res *Result) error {
 			}
 		}
 	}
+	// Demoted register writes are executed by no partition: their value is
+	// the committed slot of the group's driver vertex instead.
+	demoted := map[cgraph.VID]bool{}
+	for _, d := range res.Dereps {
+		if int(d.Owner) < 0 || int(d.Owner) >= len(res.Parts) {
+			return fmt.Errorf("derep group of vertex %d has invalid owner %d", d.U, d.Owner)
+		}
+		for _, ri := range d.Regs {
+			if int(ri) >= len(g.Regs) {
+				return fmt.Errorf("derep group of vertex %d references register %d out of range", d.U, ri)
+			}
+			w := g.Regs[ri].Write
+			if demoted[w] {
+				return fmt.Errorf("register %s demoted twice", g.Regs[ri].Name)
+			}
+			demoted[w] = true
+			if drv := g.Vs[w].Args[0]; drv.V != d.U {
+				return fmt.Errorf("register %s demoted to vertex %s, which is not its next-value driver",
+					g.Regs[ri].Name, g.Vs[d.U].Name)
+			}
+		}
+	}
 	sinkCount := map[cgraph.VID]int{}
 	for p := range res.Parts {
 		for _, s := range res.Parts[p].Sinks {
@@ -312,6 +407,12 @@ func Verify(g *cgraph.Graph, res *Result) error {
 		}
 	}
 	for _, s := range g.Sinks() {
+		if demoted[s] {
+			if sinkCount[s] != 0 {
+				return fmt.Errorf("demoted sink %s still owned by %d partitions", g.Vs[s].Name, sinkCount[s])
+			}
+			continue
+		}
 		if sinkCount[s] != 1 {
 			return fmt.Errorf("sink %s owned by %d partitions", g.Vs[s].Name, sinkCount[s])
 		}
@@ -322,8 +423,33 @@ func Verify(g *cgraph.Graph, res *Result) error {
 			covered[v] = true
 		}
 	}
+	// Coverage is owed only to live vertices: those reaching a surviving
+	// (non-demoted) sink. Logic feeding exclusively demoted register writes
+	// is dead — nobody consumes its value once the write is demoted — and
+	// must be dropped, not replicated.
+	live := make([]bool, g.NumVertices())
+	var stack []cgraph.VID
+	for _, s := range g.Sinks() {
+		if !demoted[s] {
+			live[s] = true
+			stack = append(stack, s)
+		}
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, pr := range g.Preds[v] {
+			if !live[pr] {
+				live[pr] = true
+				stack = append(stack, pr)
+			}
+		}
+	}
 	for v := range g.Vs {
-		if !g.Vs[v].Kind.IsSource() && !covered[v] {
+		switch {
+		case demoted[cgraph.VID(v)] && covered[v]:
+			return fmt.Errorf("demoted register write %s still executed by a partition", g.Vs[v].Name)
+		case !g.Vs[v].Kind.IsSource() && live[cgraph.VID(v)] && !covered[v]:
 			return fmt.Errorf("vertex %s not covered by any partition", g.Vs[v].Name)
 		}
 	}

@@ -81,6 +81,16 @@ type Options struct {
 	// build or load plugins. Not part of Default — plugin builds are too
 	// slow for the fuzz loop (warm artifacts make corpus reruns cheap).
 	Codegen bool
+	// Repart adds the repartitioned-parallel columns: the replication-aware
+	// refined + dereplicated partition at each count in Parts, state-compared
+	// against the whole matrix, plus a quality gate — when the unrefined
+	// partition already fits the balance bound, refinement and dereplication
+	// must not increase the replication cost.
+	Repart bool
+	// RepartBug plants the k-way gain-sign defect into the Repart columns'
+	// refinement stage (mutation testing: the quality gate must catch the
+	// worsened partition, proving the column live). Implies Repart.
+	RepartBug bool
 	// CodegenBug plants a deliberate emitter defect into the codegen
 	// column's kernel (mutation testing: the matrix must catch it; the
 	// solo engines keep the clean program). The bug is part of the
@@ -91,7 +101,7 @@ type Options struct {
 
 // Default returns the full-matrix options used by the corpus test and CLI.
 func Default(seed int64) Options {
-	return Options{Seed: seed, Cycles: 20, Tasks: true, Service: true, Verify: true, Validate: true, Batch: true}
+	return Options{Seed: seed, Cycles: 20, Tasks: true, Service: true, Verify: true, Validate: true, Batch: true, Repart: true}
 }
 
 func (o *Options) fill() {
@@ -246,6 +256,67 @@ func Run(d *genckt.Design, opt Options) *Mismatch {
 			}
 		}
 		addProgram(fmt.Sprintf("par-k%d", k), pk, false)
+	}
+
+	// Repartitioned parallel engines: replication-aware k-way refinement
+	// plus the dereplication post-pass, at the same counts, against the
+	// plain columns above. The quality gate compares against an unrefined
+	// cut of the same hypergraph; it only binds when the unrefined
+	// assignment already fits the balance bound (otherwise refinement is
+	// allowed to trade cut for balance repair).
+	if opt.Repart || opt.RepartBug {
+		const eps = 0.1
+		for _, k := range opt.Parts {
+			if len(g.Sinks()) < k {
+				continue
+			}
+			seed := opt.Seed + int64(k)
+			name := fmt.Sprintf("repart-k%d", k)
+			unref, err := core.Partition(g, core.Options{
+				K: k, Seed: seed, Model: costmodel.Default(), Epsilon: eps, NoRefine: true})
+			if err != nil {
+				continue
+			}
+			refined, err := core.Partition(g, core.Options{
+				K: k, Seed: seed, Model: costmodel.Default(), Epsilon: eps,
+				Derep: true, RefineBug: opt.RepartBug})
+			if err != nil {
+				return &Mismatch{Engine: name, Cycle: -1, Kind: "compile", Got: err.Error()}
+			}
+			if unref.ImbalanceExcl <= eps && refined.ReplicationCost > unref.ReplicationCost+1e-9 {
+				return &Mismatch{Engine: name, Cycle: -1, Kind: "quality",
+					Got:  fmt.Sprintf("replication cost %.6f after refinement+derep", refined.ReplicationCost),
+					Want: fmt.Sprintf("<= unrefined %.6f", unref.ReplicationCost)}
+			}
+			// Under RepartBug the column regrades against a clean repartition
+			// of the same graph — a planted refinement defect must not slip
+			// past just because even a damaged cut beats raw bisection.
+			if opt.RepartBug {
+				clean, err := core.Partition(g, core.Options{
+					K: k, Seed: seed, Model: costmodel.Default(), Epsilon: eps, Derep: true})
+				if err == nil && refined.ReplicationCost > clean.ReplicationCost+1e-9 {
+					return &Mismatch{Engine: name, Cycle: -1, Kind: "quality",
+						Got:  fmt.Sprintf("replication cost %.6f with planted defect", refined.ReplicationCost),
+						Want: fmt.Sprintf("<= clean %.6f", clean.ReplicationCost)}
+				}
+			}
+			specs := make([]sim.PartSpec, len(refined.Parts))
+			for i := range refined.Parts {
+				specs[i] = sim.PartSpec{Vertices: refined.Parts[i].Vertices,
+					Sinks: refined.Parts[i].Sinks, Dereps: refined.DerepsOf(i)}
+			}
+			pk, err := sim.Compile(g, specs, sim.Config{OptLevel: 2})
+			if err != nil {
+				return &Mismatch{Engine: name, Cycle: -1, Kind: "compile", Got: err.Error()}
+			}
+			if opt.Verify {
+				rep := verify.Program(pk, verify.Options{Graph: g, Parts: specs, Linked: true})
+				if err := rep.Err(); err != nil {
+					return &Mismatch{Engine: name, Cycle: -1, Kind: "verify", Got: err.Error()}
+				}
+			}
+			addProgram(name, pk, false)
+		}
 	}
 
 	// Verilator-style task engine.

@@ -1,0 +1,144 @@
+package experiments
+
+// This file measures what the replication-aware repartitioning pipeline —
+// direct k-way refinement plus the dereplication post-pass — buys over the
+// raw recursive-bisection partition: realized replication factor, cut
+// cost, demoted register counts, and the real measured parallel
+// cycles/sec of both compiled programs on this host. The sweep doubles as
+// a correctness gate: the two programs must agree on the architectural
+// state hash after the measurement run, and a refined partition that
+// replicates MORE than the unrefined one fails the sweep outright (the CI
+// repart-smoke job runs exactly this).
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/designs"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+// RepartPoint is one design × thread-count comparison of the unrefined
+// partition (recursive bisection only) against the refined + dereplicated
+// one. Replication factors are Formula 3's 1 + cost, as plotted in
+// Figure 6.
+type RepartPoint struct {
+	Design      string  `json:"design"`
+	Threads     int     `json:"threads"`
+	BaseRepl    float64 `json:"replication_factor_unrefined"`
+	Repl        float64 `json:"replication_factor_refined"`
+	BaseCut     int64   `json:"cut_cost_unrefined"`
+	Cut         int64   `json:"cut_cost_refined"`
+	DerepGroups int     `json:"derep_groups"`
+	DerepRegs   int     `json:"derep_regs"`
+	BaseCPS     float64 `json:"cycles_per_sec_unrefined"`
+	CPS         float64 `json:"cycles_per_sec_refined"`
+	Speedup     float64 `json:"speedup"`
+}
+
+// RepartSweep compares unrefined vs refined+dereplicated partitions for
+// every suite design at each thread count in ks. Both programs run the
+// identical seeded measurement on real engines; the sweep fails if their
+// state hashes diverge or if refinement increased the replication factor.
+func (s *Suite) RepartSweep(ks []int, cycles int) ([]RepartPoint, error) {
+	var out []RepartPoint
+	for _, cfg := range s.Designs {
+		for _, k := range ks {
+			p, err := s.repartPoint(cfg, k, cycles)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+func (s *Suite) repartPoint(cfg designs.Config, k, cycles int) (RepartPoint, error) {
+	g := s.Graph(cfg)
+	base, err := core.Partition(g, core.Options{
+		K: k, Seed: s.Seed, Model: costmodel.Default(), Workers: s.Workers, NoRefine: true})
+	if err != nil {
+		return RepartPoint{}, fmt.Errorf("%s k=%d unrefined: %w", cfg.Name(), k, err)
+	}
+	refined, err := core.Partition(g, core.Options{
+		K: k, Seed: s.Seed, Model: costmodel.Default(), Workers: s.Workers, Derep: true})
+	if err != nil {
+		return RepartPoint{}, fmt.Errorf("%s k=%d refined: %w", cfg.Name(), k, err)
+	}
+	if refined.ReplicationCost > base.ReplicationCost+1e-9 {
+		return RepartPoint{}, fmt.Errorf("%s k=%d: refinement increased the replication factor (%.4f > %.4f)",
+			cfg.Name(), k, 1+refined.ReplicationCost, 1+base.ReplicationCost)
+	}
+	specs := func(r *core.Result) []sim.PartSpec {
+		ps := make([]sim.PartSpec, len(r.Parts))
+		for i := range r.Parts {
+			ps[i] = sim.PartSpec{Vertices: r.Parts[i].Vertices, Sinks: r.Parts[i].Sinks, Dereps: r.DerepsOf(i)}
+		}
+		return ps
+	}
+	pb, err := sim.Compile(g, specs(base), sim.Config{OptLevel: 2, Workers: s.Workers})
+	if err != nil {
+		return RepartPoint{}, fmt.Errorf("%s k=%d compile unrefined: %w", cfg.Name(), k, err)
+	}
+	pr, err := sim.Compile(g, specs(refined), sim.Config{OptLevel: 2, Workers: s.Workers})
+	if err != nil {
+		return RepartPoint{}, fmt.Errorf("%s k=%d compile refined: %w", cfg.Name(), k, err)
+	}
+	be, re := sim.NewEngine(pb), sim.NewEngine(pr)
+	baseCPS := measureCPS(be, cycles)
+	cps := measureCPS(re, cycles)
+	if bh, rh := be.StateHash(), re.StateHash(); bh != rh {
+		return RepartPoint{}, fmt.Errorf("%s k=%d: state hash diverged after %d cycles: unrefined %#x refined %#x",
+			cfg.Name(), k, cycles, bh, rh)
+	}
+	return RepartPoint{
+		Design: cfg.Name(), Threads: k,
+		BaseRepl: 1 + base.ReplicationCost, Repl: 1 + refined.ReplicationCost,
+		BaseCut: base.CutCost, Cut: refined.CutCost,
+		DerepGroups: len(refined.Dereps), DerepRegs: refined.DerepRegs,
+		BaseCPS: baseCPS, CPS: cps, Speedup: cps / baseCPS,
+	}, nil
+}
+
+// RepartTable renders the comparison for repart.{txt,csv}.
+func RepartTable(points []RepartPoint) *report.Table {
+	t := report.NewTable("Replication-aware repartitioning: unrefined vs k-way refined + dereplicated",
+		"Design", "Threads", "Repl (unref)", "Repl (ref)", "Cut (unref)", "Cut (ref)",
+		"Derep grp/reg", "c/s (unref)", "c/s (ref)", "Speedup")
+	for _, p := range points {
+		t.Row(p.Design, p.Threads,
+			report.F3(p.BaseRepl), report.F3(p.Repl),
+			p.BaseCut, p.Cut,
+			fmt.Sprintf("%d/%d", p.DerepGroups, p.DerepRegs),
+			report.F1(p.BaseCPS), report.F1(p.CPS),
+			report.F2(p.Speedup)+"x")
+	}
+	return t
+}
+
+// RepartJSON renders the measurements as the machine-readable
+// BENCH_repart.json: one record per design × pipeline × thread count.
+func RepartJSON(points []RepartPoint) ([]byte, error) {
+	type rec struct {
+		Design            string  `json:"design"`
+		Threads           int     `json:"threads"`
+		Pipeline          string  `json:"pipeline"`
+		ReplicationFactor float64 `json:"replication_factor"`
+		CutCost           int64   `json:"cut_cost"`
+		DerepGroups       int     `json:"derep_groups,omitempty"`
+		DerepRegs         int     `json:"derep_regs,omitempty"`
+		CyclesPerSec      float64 `json:"cycles_per_sec"`
+		Speedup           float64 `json:"speedup,omitempty"`
+	}
+	var recs []rec
+	for _, p := range points {
+		recs = append(recs,
+			rec{p.Design, p.Threads, "unrefined", p.BaseRepl, p.BaseCut, 0, 0, p.BaseCPS, 0},
+			rec{p.Design, p.Threads, "refined+derep", p.Repl, p.Cut, p.DerepGroups, p.DerepRegs, p.CPS, p.Speedup})
+	}
+	return json.MarshalIndent(recs, "", "  ")
+}

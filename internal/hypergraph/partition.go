@@ -31,6 +31,15 @@ type Options struct {
 	// a bisection may run concurrently (default 3, i.e. up to 8 in-flight
 	// branches). Deeper branches run inline on their parent's goroutine.
 	ParallelDepth int
+	// SkipKWay disables the direct k-way FM pass that normally replaces
+	// pure pairwise bisection cleanup (kway.go). Used for unrefined
+	// baselines and A/B measurement.
+	SkipKWay bool
+	// KWayPasses bounds the k-way refinement passes (default 8).
+	KWayPasses int
+	// KWayBug plants the gain-sign defect into the k-way pass (see
+	// KWayOptions.BugGainSign). Tests only.
+	KWayBug bool
 }
 
 func (o *Options) defaults() {
@@ -76,6 +85,17 @@ func Partition(h *H, opt Options) (*Result, error) {
 		}
 		p := &partitioner{opt: opt, epsB: epsB, pool: par.NewPool(opt.Workers)}
 		p.recurse(h, verts, opt.K, 0, part, opt.Seed, 0)
+		if !opt.SkipKWay {
+			// Direct k-way cleanup over the composed assignment: recursive
+			// bisection never reconsiders a vertex against parts outside
+			// its branch; this pass does, charging moves by the
+			// connectivity metric (= replication cost).
+			KWayRefine(h, opt.K, part, KWayOptions{
+				Epsilon:     opt.Epsilon,
+				MaxPasses:   opt.KWayPasses,
+				BugGainSign: opt.KWayBug,
+			})
+		}
 	}
 	return Evaluate(h, opt.K, part), nil
 }
@@ -462,13 +482,23 @@ type fmItem struct {
 	v    int32
 }
 
+// fmHeap orders moves by gain descending with an explicit vertex-id
+// ascending tie-break: without it equal-gain pops fall back to heap
+// internals — still deterministic, but fragile under any reordering of
+// pushes. The total order makes the move sequence (and the partition)
+// depend only on the graph and seed.
 type fmHeap []fmItem
 
-func (h fmHeap) Len() int           { return len(h) }
-func (h fmHeap) Less(i, j int) bool { return h[i].gain > h[j].gain }
-func (h fmHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *fmHeap) Push(x any)        { *h = append(*h, x.(fmItem)) }
-func (h *fmHeap) Pop() any          { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+func (h fmHeap) Len() int { return len(h) }
+func (h fmHeap) Less(i, j int) bool {
+	if h[i].gain != h[j].gain {
+		return h[i].gain > h[j].gain
+	}
+	return h[i].v < h[j].v
+}
+func (h fmHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *fmHeap) Push(x any)   { *h = append(*h, x.(fmItem)) }
+func (h *fmHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
 
 // fmMove records one applied FM move for rollback.
 type fmMove struct {
@@ -628,13 +658,16 @@ func (p *partitioner) repairBalance(h *H, part []int32, max0, max1 int64, sc *sc
 		if over < 0 {
 			return
 		}
+		// Equal-gain candidates resolve to the lowest vertex id: the scan
+		// ascends and replaces only on a strict improvement, so the
+		// tie-break is explicit rather than an artifact of scan order.
 		best := int32(-1)
 		var bestGain int64 = math.MinInt64
 		for v := int32(0); v < int32(n); v++ {
 			if part[v] != over || h.VWeight[v] == 0 {
 				continue
 			}
-			if g := gainOf(v); g > bestGain {
+			if g := gainOf(v); g > bestGain || (g == bestGain && best >= 0 && v < best) {
 				best, bestGain = v, g
 			}
 		}

@@ -54,6 +54,10 @@ type DesignLoad struct {
 	Design   string
 	Sessions int64
 	Cycles   int64
+	// Partition is the design's partition summary from its first
+	// successful compile (nil for serial designs): replication cost, cut
+	// size, imbalance, and dereplication counts.
+	Partition *PartitionSummary
 }
 
 // LoadgenResult summarizes a load run.
@@ -103,6 +107,12 @@ func (r *LoadgenResult) Summary() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "elapsed: %.2fs   sessions: %d (%.1f/s)   cycles: %d (%.0f/s)   overloads: %d   errors: %d\n",
 		r.Elapsed.Seconds(), r.Sessions, r.SessionsPerSec(), r.Cycles, r.CyclesPerSec(), r.Overloads, r.Errors)
+	for _, d := range r.PerDesign {
+		if p := d.Partition; p != nil {
+			fmt.Fprintf(&sb, "partition %s: repl %s   cut %d   imbalance %.3f   derep %d groups / %d regs\n",
+				d.Design, report.Pct(p.ReplicationCost), p.CutCost, p.ImbalanceIncl, p.DerepGroups, p.DerepRegs)
+		}
+	}
 	if m := r.Metrics; m != nil {
 		fmt.Fprintf(&sb, "cache: hit rate %s (%d hits / %d misses, %d evictions, %d entries, %d bytes resident)\n",
 			report.Pct(m.Cache.HitRate), m.Cache.Hits, m.Cache.Misses,
@@ -152,7 +162,10 @@ func RunLoadgen(baseURL string, cfg LoadgenConfig) (*LoadgenResult, error) {
 		errorsN   atomic.Int64
 		overloads atomic.Int64
 	)
-	perDesign := make([]struct{ sessions, cycles atomic.Int64 }, len(cfg.Designs))
+	perDesign := make([]struct {
+		sessions, cycles atomic.Int64
+		part             atomic.Pointer[PartitionSummary]
+	}, len(cfg.Designs))
 
 	start := time.Now()
 	deadline := start.Add(cfg.Duration)
@@ -168,6 +181,10 @@ func RunLoadgen(baseURL string, cfg LoadgenConfig) (*LoadgenResult, error) {
 					cycles.Add(c)
 					steps.Add(1)
 					perDesign[di].cycles.Add(c)
+				}, func(cr *CompileResponse) {
+					if cr.Partition != nil {
+						perDesign[di].part.CompareAndSwap(nil, cr.Partition)
+					}
 				}); err != nil {
 					if st := StatusOf(err); st == 429 || st == 503 {
 						overloads.Add(1)
@@ -199,9 +216,10 @@ func RunLoadgen(baseURL string, cfg LoadgenConfig) (*LoadgenResult, error) {
 			name = "source"
 		}
 		res.PerDesign = append(res.PerDesign, DesignLoad{
-			Design:   fmt.Sprintf("%s@%dt", name, d.normalize().Threads),
-			Sessions: perDesign[i].sessions.Load(),
-			Cycles:   perDesign[i].cycles.Load(),
+			Design:    fmt.Sprintf("%s@%dt", name, d.normalize().Threads),
+			Sessions:  perDesign[i].sessions.Load(),
+			Cycles:    perDesign[i].cycles.Load(),
+			Partition: perDesign[i].part.Load(),
 		})
 	}
 	if m, err := client.Metrics(); err == nil {
@@ -211,11 +229,12 @@ func RunLoadgen(baseURL string, cfg LoadgenConfig) (*LoadgenResult, error) {
 }
 
 // oneSession runs one compile→simulate→close workload unit.
-func oneSession(client *Client, cfg LoadgenConfig, rng *rand.Rand, d CompileRequest, onRun func(int64)) error {
+func oneSession(client *Client, cfg LoadgenConfig, rng *rand.Rand, d CompileRequest, onRun func(int64), onCompile func(*CompileResponse)) error {
 	cr, err := client.Compile(d)
 	if err != nil {
 		return err
 	}
+	onCompile(cr)
 	sess, err := client.NewSession(cr.Key)
 	if err != nil {
 		return err

@@ -115,6 +115,14 @@ type PartitionSummary struct {
 	ImbalanceIncl      float64 `json:"imbalance_incl"`
 	ReplicatedVertices int     `json:"replicated_vertices"`
 	PartWeights        []int64 `json:"part_weights,omitempty"`
+	// CutCost is the partitioner's proxy objective Σ(λ−1)·ω (Formula 2).
+	CutCost int64 `json:"cut_cost"`
+	// DerepGroups/DerepRegs count applied dereplication groups and the
+	// registers they demoted to the shared-read tier.
+	DerepGroups int  `json:"derep_groups"`
+	DerepRegs   int  `json:"derep_regs"`
+	Refined     bool `json:"refined"`
+	Profiled    bool `json:"profiled,omitempty"`
 }
 
 // PartitionJSON converts a partition report to its wire form (nil for
@@ -127,6 +135,8 @@ func PartitionJSON(r *repcut.PartitionReport) *PartitionSummary {
 		Threads: r.Threads, ReplicationCost: r.ReplicationCost,
 		ImbalanceExcl: r.ImbalanceExcl, ImbalanceIncl: r.ImbalanceIncl,
 		ReplicatedVertices: r.ReplicatedVertices, PartWeights: r.PartWeights,
+		CutCost: r.CutCost, DerepGroups: r.DerepGroups, DerepRegs: r.DerepRegs,
+		Refined: r.Refined, Profiled: r.Profiled,
 	}
 }
 

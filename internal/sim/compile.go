@@ -17,6 +17,13 @@ import (
 type PartSpec struct {
 	Vertices []cgraph.VID
 	Sinks    []cgraph.VID
+	// Dereps lists the dereplicated register groups this thread owns
+	// (core.Result.DerepsOf): for each group the thread commits the driver
+	// vertex U into one extra shadow word per cycle, and every demoted
+	// register's read vertex aliases that committed slot. The demoted write
+	// sinks appear in no thread's Vertices or Sinks. Requires the two-phase
+	// protocol; Shared-mode compilation rejects dereplicated partitions.
+	Dereps []cgraph.DerepGroup
 }
 
 // Config controls compilation.
@@ -193,6 +200,15 @@ type sinkSlot struct {
 	wide bool
 }
 
+// derepCommit is one dereplication commit a thread owes per cycle: store
+// vertex u's value into shadow word idx (appended after the thread's sink
+// code by compileAll).
+type derepCommit struct {
+	u     cgraph.VID
+	idx   uint32
+	width int
+}
+
 type compiler struct {
 	g     *cgraph.Graph
 	prog  *Program
@@ -207,6 +223,10 @@ type compiler struct {
 
 	immIndex     map[uint64]uint32
 	wideImmIndex map[string]uint32
+
+	// derepCommits[t] are the dereplication commits thread t appends after
+	// its vertex code: copy the group driver's value into shadow word idx.
+	derepCommits map[int][]derepCommit
 
 	// Shared mode: per-vertex global slots for combinational results and
 	// running allocation counters.
@@ -230,6 +250,30 @@ func (c *compiler) layout(parts []PartSpec) error {
 	c.immIndex = map[uint64]uint32{}
 	c.wideImmIndex = map[string]uint32{}
 
+	// Dereplicated registers: their write sinks are demoted (owned and
+	// executed by no thread); the owning thread commits the group driver
+	// into one shared slot instead. The aliasing below depends on the
+	// two-phase eval/commit protocol, which Shared mode does not run.
+	c.derepCommits = map[int][]derepCommit{}
+	demoted := map[cgraph.VID]int{}
+	for t := range parts {
+		for _, d := range parts[t].Dereps {
+			if c.cfg.Shared {
+				return fmt.Errorf("sim: shared-slot compilation cannot express dereplicated register groups")
+			}
+			for _, ri := range d.Regs {
+				if int(ri) < 0 || int(ri) >= len(g.Regs) {
+					return fmt.Errorf("sim: derep group references register %d out of range", ri)
+				}
+				w := g.Regs[ri].Write
+				if prev, dup := demoted[w]; dup {
+					return fmt.Errorf("sim: register %s demoted by threads %d and %d", g.Regs[ri].Name, prev, t)
+				}
+				demoted[w] = t
+			}
+		}
+	}
+
 	// Owner thread per sink.
 	owner := map[cgraph.VID]int{}
 	for t := range parts {
@@ -237,11 +281,17 @@ func (c *compiler) layout(parts []PartSpec) error {
 			if prev, dup := owner[s]; dup {
 				return fmt.Errorf("sim: sink %s owned by threads %d and %d", g.Vs[s].Name, prev, t)
 			}
+			if _, dem := demoted[s]; dem {
+				return fmt.Errorf("sim: demoted sink %s still owned by thread %d", g.Vs[s].Name, t)
+			}
 			owner[s] = t
 		}
 	}
 	for _, s := range g.Sinks() {
 		if _, ok := owner[s]; !ok {
+			if _, dem := demoted[s]; dem {
+				continue // published via the group driver's committed slot
+			}
 			return fmt.Errorf("sim: sink %s not owned by any thread", g.Vs[s].Name)
 		}
 	}
@@ -356,8 +406,36 @@ func (c *compiler) layout(parts []PartSpec) error {
 				p.Outputs = append(p.Outputs, PortSlot{Name: v.Name, Width: v.Type.Width, Slot: slot})
 			}
 		}
-		th.ShadowWords = len(narrow)
-		word = padTo(word+uint32(len(narrow)), SegmentWords)
+		// Dereplication slots extend the segment: one committed word per
+		// group, shared by every demoted register's read vertex. The slot
+		// lives in this thread's commit segment and is written only by the
+		// thread's shadow memcpy, so during eval every reader (any thread)
+		// sees the previous cycle's driver value — exactly the demoted
+		// registers' current value.
+		for di, d := range parts[t].Dereps {
+			ux := &g.Vs[d.U]
+			if isWideType(ux.Type) {
+				return fmt.Errorf("sim: derep driver %s is wide (%d bits)", ux.Name, ux.Type.Width)
+			}
+			idx := uint32(len(narrow) + di)
+			slot := word + idx
+			c.derepCommits[t] = append(c.derepCommits[t], derepCommit{u: d.U, idx: idx, width: ux.Type.Width})
+			for _, ri := range d.Regs {
+				r := &g.Regs[ri]
+				if g.Vs[r.Write].Type.Width != ux.Type.Width {
+					return fmt.Errorf("sim: demoted register %s width %d != driver %s width %d",
+						r.Name, g.Vs[r.Write].Type.Width, ux.Name, ux.Type.Width)
+				}
+				c.globalOf[r.Read] = MakeRef(RefGlobal, slot)
+				p.regByName[r.Name] = len(p.Regs)
+				p.Regs = append(p.Regs, RegSlot{
+					Name: r.Name, Width: g.Vs[r.Write].Type.Width,
+					Slot: slot, Init: r.Init,
+				})
+			}
+		}
+		th.ShadowWords = len(narrow) + len(parts[t].Dereps)
+		word = padTo(word+uint32(th.ShadowWords), SegmentWords)
 
 		// Wide sinks: one wide-global slot each; shadow copies by index.
 		for i, s := range wideSinks {
@@ -519,6 +597,17 @@ func (tc *threadCompiler) compileAll(part PartSpec) error {
 		if err := tc.compileVertex(v); err != nil {
 			return fmt.Errorf("sim: thread %d vertex %s: %w", tc.t, tc.c.g.Vs[v].Name, err)
 		}
+	}
+	// Dereplication commits: after all owned logic, copy each group
+	// driver's value into its shadow word. Widths are equal by
+	// construction, so no sign extension is needed — the committed bits
+	// are exactly what the demoted register writes would have stored.
+	for _, dc := range tc.c.derepCommits[tc.t] {
+		ref, err := tc.narrowRef(cgraph.Operand{V: dc.u})
+		if err != nil {
+			return fmt.Errorf("sim: thread %d derep driver %s: %w", tc.t, tc.c.g.Vs[dc.u].Name, err)
+		}
+		tc.emit(Instr{Op: OpCopy, Dst: MakeRef(RefShadow, dc.idx), A: ref, Mask: maskOf(dc.width)})
 	}
 	if tc.c.cfg.Shared {
 		tc.th.Marks = append(tc.th.Marks, len(tc.th.Code))

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/bitvec"
 )
@@ -80,11 +81,14 @@ func (e *Engine) NativeInstalled() bool { return e.native != nil }
 // simulated the same design over the same input sequence must agree; the
 // codegen CI smoke and the cross-engine tests compare backends this way.
 // Inputs are excluded (they are the test harness's, not the design's) and
-// so is scratch state, so the hash is layout- and backend-independent.
+// so is scratch state. Registers and outputs fold in architectural
+// (name-sorted) order, never layout order, so the hash is identical across
+// backends AND across partitionings of the same design — refined and
+// unrefined compiles of one circuit must produce the same hash.
 func (e *Engine) StateHash() uint64 {
 	h := fnv{1469598103934665603}
 	p := e.prog
-	for i := range p.Regs {
+	for _, i := range p.regHashOrder() {
 		r := &p.Regs[i]
 		if r.Wide {
 			h.vec(e.gs.wide[r.Slot])
@@ -92,7 +96,8 @@ func (e *Engine) StateHash() uint64 {
 			h.u64(e.gs.words[r.Slot])
 		}
 	}
-	for _, o := range p.Outputs {
+	for _, i := range p.outputHashOrder() {
+		o := &p.Outputs[i]
 		if o.Wide {
 			h.vec(e.gs.wide[o.Slot])
 		} else {
@@ -111,6 +116,28 @@ func (e *Engine) StateHash() uint64 {
 		}
 	}
 	return h.h
+}
+
+// regHashOrder returns register indices sorted by name: the canonical
+// iteration order for StateHash, independent of how the partitioner laid
+// the registers out in the global array.
+func (p *Program) regHashOrder() []int {
+	idx := make([]int, len(p.Regs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return p.Regs[idx[a]].Name < p.Regs[idx[b]].Name })
+	return idx
+}
+
+// outputHashOrder returns output indices sorted by name (see regHashOrder).
+func (p *Program) outputHashOrder() []int {
+	idx := make([]int, len(p.Outputs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return p.Outputs[idx[a]].Name < p.Outputs[idx[b]].Name })
+	return idx
 }
 
 // vec folds one wide value (width plus payload words) into the hash.

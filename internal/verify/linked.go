@@ -107,7 +107,7 @@ func (v *verifier) scanLinkedThread(lp *sim.LinkedProgram, t int) {
 					continue
 				}
 				switch v.wordClass[loc.Idx] {
-				case clInput, clReg:
+				case clInput, clReg, clDerep:
 				case clOutput:
 					v.diag(CheckClosure, Error, t, pc, v.linkedDesc(lp, idx),
 						"linked eval-phase read of an output slot: outputs are commit-only")

@@ -71,6 +71,7 @@ const (
 	CheckSchedule    Check = "schedule"
 	CheckTranslation Check = "translation"
 	CheckBatch       Check = "batch-layout"
+	CheckBalance     Check = "balance"
 )
 
 // Diag is one finding, with full provenance: which thread's code, which
@@ -130,6 +131,11 @@ type Options struct {
 	// recycling (ResetLane) can re-seed every constant and register.
 	// Implies the linked-stream scan.
 	BatchLanes int
+	// MaxThreadCost, when positive, additionally enforces the partition's
+	// balance contract: every thread's predicted eval cost
+	// (ThreadCode.CostUnits) must stay at or below this bound. Callers
+	// derive it from the partitioner's ε, e.g. (1+ε)·(total/k).
+	MaxThreadCost int64
 }
 
 // Report is the outcome of verifying one program.
@@ -205,6 +211,7 @@ const (
 	clInput                   // top-level input port
 	clReg                     // register (read source and committed write)
 	clOutput                  // top-level output port (committed write only)
+	clDerep                   // shared-read slot of a dereplicated register group
 )
 
 func (c slotClass) String() string {
@@ -215,6 +222,8 @@ func (c slotClass) String() string {
 		return "reg"
 	case clOutput:
 		return "output"
+	case clDerep:
+		return "derep"
 	}
 	return "pad"
 }
@@ -273,6 +282,14 @@ func Program(p *sim.Program, opts Options) *Report {
 	}
 	v.checkMems()
 	v.crossCheck()
+	if opts.MaxThreadCost > 0 {
+		for t := range p.Threads {
+			if c := p.Threads[t].CostUnits; c > opts.MaxThreadCost {
+				v.diag(CheckBalance, Error, t, -1, "",
+					fmt.Sprintf("thread's predicted eval cost %d units exceeds the balance bound %d: the partition violates its ε contract", c, opts.MaxThreadCost))
+			}
+		}
+	}
 	if opts.Validate {
 		v.validate()
 	}
@@ -361,6 +378,33 @@ func (v *verifier) layout() {
 	}
 	for _, out := range p.Outputs {
 		classify(out.Name, out.Wide, out.Slot, clOutput)
+	}
+
+	// Dereplicated register groups form the shared-read tier: each group's
+	// registers alias one narrow slot in the owning thread's commit
+	// segment, republished (with the group driver's value) once per cycle.
+	// Reclassify those slots so the scans name the tier explicitly; their
+	// read contract is the register one (stable for the whole eval phase),
+	// proven by the same segment-disjointness and eval-write checks.
+	if g := v.opts.Graph; g != nil {
+		regSlot := map[string]uint32{}
+		for i := range p.Regs {
+			if !p.Regs[i].Wide {
+				regSlot[p.Regs[i].Name] = p.Regs[i].Slot
+			}
+		}
+		for _, ps := range v.opts.Parts {
+			for _, d := range ps.Dereps {
+				for _, ri := range d.Regs {
+					if int(ri) >= len(g.Regs) {
+						continue // checkDereps reports the range error
+					}
+					if slot, ok := regSlot[g.Regs[ri].Name]; ok && int(slot) < len(v.wordClass) {
+						v.wordClass[slot] = clDerep
+					}
+				}
+			}
+		}
 	}
 
 	// Per-thread commit segments (narrow) and wide commit slots.
@@ -490,10 +534,12 @@ func (v *verifier) scanThread(t int) {
 					continue
 				}
 				switch v.wordClass[u.Idx] {
-				case clInput, clReg:
+				case clInput, clReg, clDerep:
 					// Stable for the whole evaluation phase: inputs are
 					// poked outside Run, registers flip only after the
-					// evaluation barrier.
+					// evaluation barrier, and a derep slot is written
+					// only by its owner's commit — so an eval-phase read
+					// always observes the previous cycle's value.
 				case clOutput:
 					v.diag(CheckClosure, Error, t, pc, v.wordDesc(u.Idx),
 						"eval-phase read of an output slot: outputs are commit-only, not sources — a mid-cycle value crossed threads")
@@ -715,6 +761,19 @@ func (v *verifier) crossCheck() {
 			fmt.Sprintf("partition count %d does not match thread count %d", len(parts), len(p.Threads)))
 		return
 	}
+	// Demoted register writes do not execute anywhere: the owner's derep
+	// commit republishes the driver's value instead, so their sinks are
+	// legitimately owned by no partition.
+	demoted := map[cgraph.VID]bool{}
+	for _, ps := range parts {
+		for _, d := range ps.Dereps {
+			for _, ri := range d.Regs {
+				if int(ri) < len(g.Regs) {
+					demoted[g.Regs[ri].Write] = true
+				}
+			}
+		}
+	}
 	sinkOwner := map[cgraph.VID]int{}
 	for t := range parts {
 		in := make(map[cgraph.VID]int, len(parts[t].Vertices))
@@ -750,6 +809,10 @@ func (v *verifier) crossCheck() {
 					fmt.Sprintf("sink also owned by thread %d: double commit", prev))
 			}
 			sinkOwner[s] = t
+			if demoted[s] {
+				v.diag(CheckRace, Error, t, -1, g.Vs[s].Name,
+					"dereplicated register write still owned as a sink: it would commit alongside the owner's shared-read slot")
+			}
 			if g.Vs[s].Kind == cgraph.KindMemWrite {
 				continue // buffered, no shadow slot
 			}
@@ -760,9 +823,10 @@ func (v *verifier) crossCheck() {
 			}
 		}
 		th := &p.Threads[t]
-		if narrow != th.ShadowWords {
+		if narrow+len(parts[t].Dereps) != th.ShadowWords {
 			v.diag(CheckSchedule, Error, t, -1, "",
-				fmt.Sprintf("partition owns %d narrow sinks but the thread's shadow has %d words", narrow, th.ShadowWords))
+				fmt.Sprintf("partition owns %d narrow sinks and %d derep slots but the thread's shadow has %d words",
+					narrow, len(parts[t].Dereps), th.ShadowWords))
 		}
 		if wide != len(th.WideShadowSlots) {
 			v.diag(CheckSchedule, Error, t, -1, "",
@@ -770,9 +834,127 @@ func (v *verifier) crossCheck() {
 		}
 	}
 	for _, s := range g.Sinks() {
-		if _, ok := sinkOwner[s]; !ok {
+		if _, ok := sinkOwner[s]; !ok && !demoted[s] {
 			v.diag(CheckClosure, Error, -1, -1, g.Vs[s].Name,
 				"sink owned by no partition: its state is never updated")
+		}
+	}
+	v.checkDereps(g, parts)
+}
+
+// checkDereps proves the shared-read tier sound: for every dereplicated
+// register group, the committed slot holds exactly the register's
+// previous-cycle value. That requires (1) the group driver to be a
+// non-source vertex the owner computes, (2) every grouped register's
+// next-value driver to BE that vertex — otherwise a reader through the
+// shared slot would observe a same-cycle (or wrong) value, (3) equal widths
+// (no sign-extension is applied at the derep commit), (4) equal reset
+// values (the grouped registers alias one initialized word), and (5) the
+// shared slot to live in the owner's commit segment, published by the owner
+// alone. Together with scanThread's phase discipline (no eval-phase global
+// writes, exactly-once shadow production) this proves eval-phase reads of
+// the slot race-free under the two-phase protocol.
+func (v *verifier) checkDereps(g *cgraph.Graph, parts []sim.PartSpec) {
+	p := v.p
+	regSlot := map[string]uint32{}
+	regWide := map[string]bool{}
+	for i := range p.Regs {
+		regSlot[p.Regs[i].Name] = p.Regs[i].Slot
+		regWide[p.Regs[i].Name] = p.Regs[i].Wide
+	}
+	seen := map[int32]int{} // graph reg index -> thread whose group demoted it
+	for t := range parts {
+		if len(parts[t].Dereps) == 0 {
+			continue
+		}
+		th := &p.Threads[t]
+		in := make(map[cgraph.VID]bool, len(parts[t].Vertices))
+		for _, vid := range parts[t].Vertices {
+			in[vid] = true
+		}
+		for _, d := range parts[t].Dereps {
+			if int(d.Owner) != t {
+				v.diag(CheckSchedule, Error, t, -1, "",
+					fmt.Sprintf("derep group records owner %d but is compiled into thread %d", d.Owner, t))
+			}
+			if int(d.U) >= len(g.Vs) {
+				v.diag(CheckSchedule, Error, t, -1, "",
+					fmt.Sprintf("derep group driver vertex %d out of range (%d vertices)", d.U, len(g.Vs)))
+				continue
+			}
+			u := &g.Vs[d.U]
+			if u.Kind.IsSource() {
+				v.diag(CheckRace, Error, t, -1, u.Name,
+					"derep group driver is a source: the committed slot would hold the current cycle's value, one cycle early")
+				continue
+			}
+			if !in[d.U] {
+				v.diag(CheckClosure, Error, t, -1, u.Name,
+					"derep group driver is not computed by the owner partition: the commit would publish an undefined value")
+			}
+			uw := u.Type.Width
+			if uw > 64 {
+				v.diag(CheckSchedule, Error, t, -1, u.Name,
+					fmt.Sprintf("derep group driver is %d bits wide: the shared-read tier is narrow-only", uw))
+			}
+			slot, haveSlot := -1, false
+			var groupInit string
+			for gi, ri := range d.Regs {
+				if int(ri) >= len(g.Regs) {
+					v.diag(CheckSchedule, Error, t, -1, "",
+						fmt.Sprintf("derep group register index %d out of range (%d registers)", ri, len(g.Regs)))
+					continue
+				}
+				r := &g.Regs[ri]
+				if prev, dup := seen[ri]; dup {
+					v.diag(CheckSchedule, Error, t, -1, r.Name,
+						fmt.Sprintf("register demoted by two derep groups (threads %d and %d)", prev, t))
+				}
+				seen[ri] = t
+				w := r.Write
+				if len(g.Vs[w].Args) == 0 || g.Vs[w].Args[0].V != d.U {
+					drv := "<none>"
+					if len(g.Vs[w].Args) > 0 {
+						drv = g.Vs[g.Vs[w].Args[0].V].Name
+					}
+					v.diag(CheckRace, Error, t, -1, r.Name,
+						fmt.Sprintf("dereplicated register's next-value driver is %s, not the group driver %s: readers of the shared slot would observe a same-cycle value", drv, u.Name))
+				}
+				if r.Type.Width != uw {
+					v.diag(CheckSchedule, Error, t, -1, r.Name,
+						fmt.Sprintf("register width %d differs from group driver width %d: the uncorrected commit mis-extends", r.Type.Width, uw))
+				}
+				if init := r.Init.String(); gi == 0 {
+					groupInit = init
+				} else if init != groupInit {
+					v.diag(CheckSchedule, Error, t, -1, r.Name,
+						fmt.Sprintf("register reset value %s differs from its group's %s: one shared word cannot hold both", init, groupInit))
+				}
+				s, ok := regSlot[r.Name]
+				switch {
+				case !ok:
+					v.diag(CheckSchedule, Error, t, -1, r.Name,
+						"dereplicated register missing from the program's register table")
+				case regWide[r.Name]:
+					v.diag(CheckSchedule, Error, t, -1, r.Name,
+						"dereplicated register compiled as wide: the shared-read tier is narrow-only")
+				case !haveSlot:
+					slot, haveSlot = int(s), true
+				case int(s) != slot:
+					v.diag(CheckSchedule, Error, t, -1, r.Name,
+						fmt.Sprintf("group registers alias different slots (%d and %d): they cannot share one committed word", slot, s))
+				}
+			}
+			if haveSlot {
+				if slot < len(v.wordSeg) && v.wordSeg[slot] != t {
+					v.diag(CheckRace, Error, t, -1, v.wordDesc(uint32(slot)),
+						fmt.Sprintf("shared-read slot is committed by thread %d, not the group owner: the owner's derep copy would race", v.wordSeg[slot]))
+				}
+				if slot < th.GlobalOff || slot >= th.GlobalOff+th.ShadowWords {
+					v.diag(CheckRace, Error, t, -1, v.wordDesc(uint32(slot)),
+						fmt.Sprintf("shared-read slot outside the owner's commit segment [%d,%d)", th.GlobalOff, th.GlobalOff+th.ShadowWords))
+				}
+			}
 		}
 	}
 }

@@ -40,7 +40,8 @@ func mustGraph(t testing.TB, src string) *cgraph.Graph {
 func partSpecs(res *core.Result) []sim.PartSpec {
 	specs := make([]sim.PartSpec, len(res.Parts))
 	for i := range res.Parts {
-		specs[i] = sim.PartSpec{Vertices: res.Parts[i].Vertices, Sinks: res.Parts[i].Sinks}
+		specs[i] = sim.PartSpec{Vertices: res.Parts[i].Vertices, Sinks: res.Parts[i].Sinks,
+			Dereps: res.DerepsOf(i)}
 	}
 	return specs
 }

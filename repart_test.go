@@ -1,0 +1,112 @@
+package repcut
+
+// Repartitioning acceptance at the facade level: dereplication and k-way
+// refinement reshape which thread computes what, but architectural state
+// must be untouched — the name-keyed StateHash of a refined+dereplicated
+// simulator equals the unrefined one's, on the linked interpreter and on
+// the native compiled kernel alike.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/designs"
+)
+
+// runHash drives a simulator with a seeded input stream and returns the
+// architectural state hash after the last cycle.
+func runHash(t *testing.T, s *Simulator, cycles int, seed int64) uint64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for c := 0; c < cycles; c++ {
+		for _, in := range s.Program().Inputs {
+			if in.Wide {
+				continue
+			}
+			if err := s.PokeInput(in.Name, rng.Uint64()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Run(1)
+	}
+	return s.StateHash()
+}
+
+// TestProfileRebalanceKeepsState runs the profile-guided rebalance loop —
+// compile, measure per-thread phase times, repartition with measured
+// weights, recompile — and proves the rebalanced simulator computes the
+// same design: identical state hash to the unprofiled compile.
+func TestProfileRebalanceKeepsState(t *testing.T) {
+	g, err := designs.Build(designs.Config{Kind: designs.Rocket, Cores: 1, Scale: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &Design{Graph: g}
+	plain, err := d.CompileProgram(Options{Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pgo, err := d.CompileProgram(Options{Threads: 4, Profile: true, ProfileCycles: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pgo.Report.Profiled {
+		t.Fatal("profile compile did not record a rebalance")
+	}
+	const cycles, seed = 60, 17
+	want := runHash(t, plain.NewSimulator(), cycles, seed)
+	if got := runHash(t, pgo.NewSimulator(), cycles, seed); got != want {
+		t.Fatalf("profile-rebalanced state hash diverges: %016x vs %016x", got, want)
+	}
+}
+
+// TestRepartitionedStateHashAcrossBackends compiles RocketChip-1C at 16
+// threads four ways — {derep, no-derep} × {linked, native} — and demands
+// one state hash from all of them. The derep compile must actually demote
+// registers, or the equality proves nothing.
+func TestRepartitionedStateHashAcrossBackends(t *testing.T) {
+	cfg, err := designs.ParseName("RocketChip-1C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := designs.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &Design{Graph: g}
+
+	const cycles, seed = 100, 41
+	plain, err := d.CompileProgram(Options{Threads: 16, NoDerep: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	derep, err := d.CompileProgram(Options{Threads: 16, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if derep.Report.DerepGroups == 0 {
+		t.Fatal("derep compile demoted nothing; the hash comparison proves nothing")
+	}
+	want := runHash(t, plain.NewSimulator(), cycles, seed)
+	if got := runHash(t, derep.NewSimulator(), cycles, seed); got != want {
+		t.Fatalf("linked state hash diverges: derep %016x, plain %016x", got, want)
+	}
+
+	native, err := d.CompileProgram(Options{Threads: 16, Backend: BackendNative, Artifacts: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if native.Native == nil {
+		t.Skipf("native backend unavailable: %v", native.NativeErr)
+	}
+	if native.Report.DerepGroups == 0 {
+		t.Fatal("native derep compile demoted nothing")
+	}
+	s := native.NewSimulator()
+	if s.Backend != BackendNative {
+		t.Fatalf("simulator fell back to %s", s.Backend)
+	}
+	if got := runHash(t, s, cycles, seed); got != want {
+		t.Fatalf("native state hash diverges: derep-native %016x, plain-linked %016x", got, want)
+	}
+}

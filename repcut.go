@@ -164,6 +164,25 @@ type Options struct {
 	// only). Empty uses the per-user default under the system temp dir, so
 	// repeated runs share warm artifacts.
 	Artifacts string
+	// NoRefine disables the replication-aware k-way refinement stage that
+	// cleans up the recursive-bisection partition (set it to reproduce the
+	// pre-refinement partitioner exactly).
+	NoRefine bool
+	// NoDerep disables the dereplication post-pass. All backends reachable
+	// from this API run the two-phase protocol, so dereplication is on by
+	// default; compare against NoDerep to measure what it saves.
+	NoDerep bool
+	// Profile enables profile-guided rebalance: compile once, measure
+	// per-thread eval+commit phase times over ProfileCycles simulated
+	// cycles, and repartition with the hypergraph weights scaled by each
+	// thread's measured-vs-predicted cost ratio before the final compile.
+	// Timing-driven, so partitions may differ between hosts and runs —
+	// results stay correct (the rebalance only reshapes the proxy weights)
+	// but bit-identical partition reproducibility is deliberately traded
+	// for measured balance.
+	Profile bool
+	// ProfileCycles is the measurement run length for Profile (default 64).
+	ProfileCycles int
 }
 
 func (o *Options) defaults() {
@@ -183,10 +202,27 @@ type PartitionReport struct {
 	ImbalanceIncl      float64 // Formula 4 after replication
 	ReplicatedVertices int
 	PartWeights        []int64
+	// CutCost is the partitioner's proxy objective Σ(λ−1)·ω (Formula 2).
+	CutCost int64
+	// DerepGroups/DerepRegs count the dereplication groups applied and the
+	// registers they demoted (0 when NoDerep or nothing was profitable).
+	DerepGroups int
+	DerepRegs   int
+	// Refined is false when NoRefine skipped the k-way refinement stage.
+	Refined bool
+	// Profiled is true when the partition was rebalanced from measured
+	// phase times (Options.Profile).
+	Profiled bool
 }
 
 // Partition runs the replication-aided partitioner without compiling.
 func (d *Design) Partition(opt Options) (*core.Result, *PartitionReport, error) {
+	return d.partition(opt, nil)
+}
+
+// partition runs the partitioner, optionally with profile feedback from a
+// previous iteration.
+func (d *Design) partition(opt Options, pf *core.ProfileFeedback) (*core.Result, *PartitionReport, error) {
 	opt.defaults()
 	model := costmodel.Default()
 	if opt.Unweighted {
@@ -195,6 +231,7 @@ func (d *Design) Partition(opt Options) (*core.Result, *PartitionReport, error) 
 	res, err := core.Partition(d.Graph, core.Options{
 		K: opt.Threads, Epsilon: opt.Epsilon, Seed: opt.Seed, Model: model,
 		Workers: opt.Workers, Verify: opt.Verify,
+		NoRefine: opt.NoRefine, Derep: !opt.NoDerep, Profile: pf,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -205,11 +242,35 @@ func (d *Design) Partition(opt Options) (*core.Result, *PartitionReport, error) 
 		ImbalanceExcl:      res.ImbalanceExcl,
 		ImbalanceIncl:      res.ImbalanceIncl,
 		ReplicatedVertices: res.ReplicatedVertices,
+		CutCost:            res.CutCost,
+		DerepGroups:        len(res.Dereps),
+		DerepRegs:          res.DerepRegs,
+		Refined:            !opt.NoRefine,
+		Profiled:           pf != nil,
 	}
 	for i := range res.Parts {
 		rep.PartWeights = append(rep.PartWeights, res.Parts[i].Weight)
 	}
 	return res, rep, nil
+}
+
+// PartSpecs converts a partitioning into the compiler's per-thread specs,
+// dereplication groups included. Use it wherever a core.Result feeds
+// sim.Compile on a two-phase backend.
+func PartSpecs(res *core.Result) []sim.PartSpec {
+	return partSpecs(res)
+}
+
+func partSpecs(res *core.Result) []sim.PartSpec {
+	specs := make([]sim.PartSpec, len(res.Parts))
+	for i := range res.Parts {
+		specs[i] = sim.PartSpec{
+			Vertices: res.Parts[i].Vertices,
+			Sinks:    res.Parts[i].Sinks,
+			Dereps:   res.DerepsOf(i),
+		}
+	}
+	return specs
 }
 
 // Simulator is a ready-to-run compiled simulator.
@@ -300,23 +361,59 @@ func (d *Design) CompileProgram(opt Options) (*Compiled, error) {
 		specs []sim.PartSpec
 		rep   *PartitionReport
 	)
+	var res *core.Result
 	if opt.Threads == 1 {
 		specs = sim.SerialSpec(d.Graph)
 		rep = &PartitionReport{Threads: 1}
 	} else {
-		res, r, err := d.Partition(opt)
+		var err error
+		res, rep, err = d.partition(opt, nil)
 		if err != nil {
 			return nil, err
 		}
-		specs = make([]sim.PartSpec, len(res.Parts))
-		for i := range res.Parts {
-			specs[i] = sim.PartSpec{Vertices: res.Parts[i].Vertices, Sinks: res.Parts[i].Sinks}
-		}
-		rep = r
+		specs = partSpecs(res)
 	}
 	p, err := sim.Compile(d.Graph, specs, sim.Config{OptLevel: opt.OptLevel, Workers: opt.Workers})
 	if err != nil {
 		return nil, err
+	}
+	// Profile-guided rebalance: measure the per-thread eval+commit phase
+	// times of the program just compiled, convert them into weight scales
+	// relative to the cost model's prediction, and repartition+recompile
+	// once with the measured weights. The feedback only reshapes the
+	// partitioner's proxy weights, so the rebalanced program simulates the
+	// same design — state hashes match the unprofiled compile.
+	if opt.Profile && opt.Threads > 1 {
+		cycles := opt.ProfileCycles
+		if cycles <= 0 {
+			cycles = 64
+		}
+		samples := sim.NewEngine(p).RunProfiled(cycles)
+		measured := make([]float64, opt.Threads)
+		for _, row := range samples {
+			for t := range row {
+				measured[t] += float64(row[t].Eval + row[t].Update)
+			}
+		}
+		predicted := make([]float64, opt.Threads)
+		for t := range p.Threads {
+			measured[t] /= float64(cycles)
+			predicted[t] = float64(p.Threads[t].CostUnits)
+		}
+		pf := &core.ProfileFeedback{
+			PartOfSink: res.PartOfSink,
+			Scales:     costmodel.ProfileScales(measured, predicted),
+		}
+		res2, rep2, err := d.partition(opt, pf)
+		if err != nil {
+			return nil, err
+		}
+		specs2 := partSpecs(res2)
+		p2, err := sim.Compile(d.Graph, specs2, sim.Config{OptLevel: opt.OptLevel, Workers: opt.Workers})
+		if err != nil {
+			return nil, err
+		}
+		rep, specs, p = rep2, specs2, p2
 	}
 	// Link eagerly: the Compiled artifact is the unit the service cache
 	// shares across sessions, so building the linked execution form here
