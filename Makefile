@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint check bench bench-interp bench-batch bench-codegen bench-repart results serve loadgen loadgen-hot fuzz
+.PHONY: build test lint check bench bench-interp bench-batch bench-codegen bench-repart bench-cluster cluster results serve loadgen loadgen-hot fuzz
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,20 @@ bench-codegen:
 # hashes diverge.
 bench-repart:
 	$(GO) run ./cmd/benchall -repart-only -out results
+
+# Multi-node fleet suite under the race detector: consistent-hash compile
+# routing, peer artifact fetch, checkpoint/restore, drain migration, and
+# the fault-injection matrix (peer death, stalls, corrupted artifacts).
+cluster:
+	$(GO) test -race -count=1 ./internal/cluster/...
+
+# Regenerate the fleet measurement: a 3-node in-process cluster driven
+# through every node at once, written to results/cluster.{txt,csv} and
+# machine-readable results/BENCH_cluster.json. Fails if any design
+# compiles more than once fleet-wide, the peer fetch hit rate drops under
+# 2/3, or a drain loses a session.
+bench-cluster:
+	$(GO) run ./cmd/benchall -cluster-only -out results
 
 results:
 	$(GO) run ./cmd/benchall -out results

@@ -23,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cluster/clusterbench"
 	"repro/internal/codegen"
 	"repro/internal/designs"
 	"repro/internal/experiments"
@@ -42,6 +43,7 @@ func main() {
 		batchO  = flag.Bool("batch-only", false, "run only the lane-batching sweep and exit")
 		cgO     = flag.Bool("codegen-only", false, "run only the native-codegen backend measurement and exit")
 		repartO = flag.Bool("repart-only", false, "run only the repartitioning (refined+derep vs unrefined) measurement and exit")
+		clusO   = flag.Bool("cluster-only", false, "run only the multi-node fleet measurement and exit")
 		valO    = flag.Bool("validate", false, "run only the translation-validation overhead measurement and exit")
 		workers = flag.Int("workers", 0, "worker count for partitioning+compilation (0 = all cores, 1 = serial; results are identical)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -91,6 +93,10 @@ func main() {
 	}
 	if *repartO {
 		repartBench(s, *outDir, write)
+		return
+	}
+	if *clusO {
+		clusterBench(*outDir, write)
 		return
 	}
 	if *valO {
@@ -164,6 +170,7 @@ func main() {
 	repartBench(s, *outDir, write)
 
 	if *svcDur > 0 {
+		clusterBench(*outDir, write)
 		step("repcutd service throughput")
 		t, summary, err := serviceThroughput(*svcDur, *workers)
 		if err != nil {
@@ -269,6 +276,30 @@ func codegenBench(s *experiments.Suite, outDir string, write func(string, *repor
 	}
 	if outDir != "" {
 		if err := os.WriteFile(filepath.Join(outDir, "BENCH_codegen.json"), data, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// clusterBench boots a 3-node in-process repcutd fleet, drives it through
+// every node at once, and writes cluster.{txt,csv} plus the
+// machine-readable BENCH_cluster.json. The measurement gates on its own
+// invariants — compile-once routing, peer fetch hit rate, lossless drain
+// migration — so a regressed cluster fails the run (the CI cluster-smoke
+// job runs exactly this).
+func clusterBench(outDir string, write func(string, *report.Table)) {
+	step("multi-node fleet (compile routing, artifact fetch, drain migration)")
+	res, err := clusterbench.ClusterBench(clusterbench.ClusterOptions{})
+	if err != nil {
+		fatal(err)
+	}
+	write("cluster", clusterbench.ClusterTable(res))
+	data, err := clusterbench.ClusterJSON(res)
+	if err != nil {
+		fatal(err)
+	}
+	if outDir != "" {
+		if err := os.WriteFile(filepath.Join(outDir, "BENCH_cluster.json"), data, 0o644); err != nil {
 			fatal(err)
 		}
 	}

@@ -14,6 +14,13 @@
 //
 // With -loadgen and no -addr, repcutd boots an in-process server first
 // (self-hosted benchmark mode).
+//
+// Serve as one member of a static fleet (compile requests route by
+// consistent hash, cache misses fetch artifacts from the owning peer, and
+// SIGTERM drains every session to a peer before the listener stops):
+//
+//	repcutd -addr 10.0.0.1:8372 -self 10.0.0.1:8372 \
+//	        -peers 10.0.0.1:8372,10.0.0.2:8372,10.0.0.3:8372
 package main
 
 import (
@@ -31,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/service"
 )
 
@@ -46,6 +54,9 @@ func main() {
 		cgOn       = flag.Bool("codegen", false, "enable the native build-behind tier: compile-cache misses build plugin kernels asynchronously and sessions hot-swap onto them")
 		cgDir      = flag.String("codegen-dir", "", "native artifact store directory (empty = per-user default under the temp dir)")
 		cgBytes    = flag.Int64("codegen-bytes", 0, "native artifact store disk byte budget (0 = 1 GiB)")
+		peersF     = flag.String("peers", "", "comma-separated host:port list of every fleet member (including this node); enables cluster mode")
+		selfF      = flag.String("self", "", "this node's advertised host:port in the peer list (default: the -addr value)")
+		fetchTO    = flag.Duration("fetch-timeout", 5*time.Second, "cluster: peer artifact fetch budget before shedding with 503")
 		portFile   = flag.String("portfile", "", "write the bound host:port to this file once listening")
 		logJSON    = flag.Bool("log-json", false, "emit request logs as JSON instead of text")
 		quiet      = flag.Bool("quiet", false, "suppress per-request logs")
@@ -95,6 +106,12 @@ func main() {
 		CodegenDir:   *cgDir,
 		CodegenBytes: *cgBytes,
 		Logger:       logger,
+	}
+	if *peersF != "" {
+		if err := serveCluster(cfg, *addr, *selfF, *peersF, *fetchTO, *portFile, logger); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	if err := serve(cfg, *addr, *portFile, logger); err != nil {
 		fatal(err)
@@ -160,6 +177,75 @@ func serve(cfg service.Config, addr, portFile string, logger *slog.Logger) error
 		return err
 	}
 	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	logger.Info("shutdown complete")
+	return nil
+}
+
+// serveCluster runs one fleet member until SIGINT/SIGTERM. Shutdown order
+// matters: sessions are drained to peers while the listener is still up —
+// a migration target with a cold cache fetches the artifact back from this
+// node — and only then does the HTTP server stop.
+func serveCluster(cfg service.Config, addr, self, peers string, fetchTO time.Duration, portFile string, logger *slog.Logger) error {
+	var peerList []string
+	for _, p := range strings.Split(peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, p)
+		}
+	}
+	if self == "" {
+		self = addr
+	}
+	node, err := cluster.New(cluster.Config{
+		Service:      cfg,
+		Self:         self,
+		Peers:        peerList,
+		FetchTimeout: fetchTO,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: node.Handler()}
+
+	bound := ln.Addr().String()
+	fmt.Printf("repcutd (cluster node %s, %d peers) listening on http://%s\n",
+		self, len(node.Ring().Peers()), bound)
+	if portFile != "" {
+		if err := os.WriteFile(portFile, []byte(bound), 0o644); err != nil {
+			return err
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Info("draining", "reason", "signal")
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	moved, err := node.DrainMigrate(drainCtx)
+	if err != nil {
+		logger.Warn("drain incomplete", "migrated", moved, "err", err)
+	} else {
+		logger.Info("drained", "migrated", moved)
+	}
+	shutdownCtx, cancel2 := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel2()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := node.Server().Shutdown(shutdownCtx); err != nil {
 		return err
 	}
 	logger.Info("shutdown complete")

@@ -1,0 +1,180 @@
+package clusterbench
+
+// This file measures the multi-node repcutd fleet end to end: an
+// in-process cluster (internal/cluster/clustertest) is driven by the
+// deterministic load generator through every node at once, so each design
+// goes cold exactly once fleet-wide and every other node's first request
+// resolves by peer artifact fetch. The run doubles as a correctness gate —
+// it fails outright if any design compiled more than once, if the peer
+// fetch hit rate falls under 2/3, or if a drain loses a session — so the
+// CI cluster-smoke job can run exactly this.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cluster/clustertest"
+	"repro/internal/report"
+	"repro/internal/service"
+)
+
+// ClusterOptions configures one fleet measurement.
+type ClusterOptions struct {
+	// Nodes is the fleet size (default 3).
+	Nodes int
+	// Designs is the workload mix (default RocketChip-1C and SmallBOOM-1C
+	// at quarter scale, 2 threads).
+	Designs []service.CompileRequest
+	// Duration is the per-node load window (default 2s).
+	Duration time.Duration
+}
+
+// ClusterResult is one fleet measurement plus its invariant checks.
+type ClusterResult struct {
+	Nodes        int           `json:"nodes"`
+	Designs      int           `json:"designs"`
+	Elapsed      time.Duration `json:"-"`
+	Sessions     int64         `json:"sessions"`
+	Cycles       int64         `json:"cycles"`
+	CyclesPerSec float64       `json:"cycles_per_sec"`
+	// Compiles is the fleet-wide compile count (cache misses summed over
+	// nodes); compile-once means it equals Designs.
+	Compiles int64 `json:"compiles"`
+	// Fetches is how many cold requests resolved by peer artifact transfer.
+	Fetches int64 `json:"artifact_fetches"`
+	// FetchHitRate is Fetches over the fleet's cold requests
+	// (Nodes × Designs): with compile-once routing it is (Nodes-1)/Nodes.
+	FetchHitRate float64 `json:"fetch_hit_rate"`
+	// Migrations is how many live sessions a node drain moved to peers.
+	Migrations int64 `json:"sessions_migrated"`
+}
+
+// ClusterBench boots a fleet, pushes the load mix through every node
+// concurrently, verifies the compile-once and fetch-rate invariants, then
+// drains one node under live sessions and verifies none were lost.
+func ClusterBench(o ClusterOptions) (*ClusterResult, error) {
+	if o.Nodes <= 0 {
+		o.Nodes = 3
+	}
+	if len(o.Designs) == 0 {
+		o.Designs = []service.CompileRequest{
+			{Design: "RocketChip-1C", Scale: 0.25, Threads: 2},
+			{Design: "SmallBOOM-1C", Scale: 0.25, Threads: 2},
+		}
+	}
+	if o.Duration <= 0 {
+		o.Duration = 2 * time.Second
+	}
+	f, err := clustertest.Start(clustertest.Options{
+		Nodes:   o.Nodes,
+		Service: service.Config{BatchLanes: 8},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	res := &ClusterResult{Nodes: o.Nodes, Designs: len(o.Designs)}
+	start := time.Now()
+	results := make([]*service.LoadgenResult, o.Nodes)
+	errs := make([]error, o.Nodes)
+	var wg sync.WaitGroup
+	for i := 0; i < o.Nodes; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = service.RunLoadgen(f.URL(i), service.LoadgenConfig{
+				Designs:  o.Designs,
+				Clients:  4,
+				Duration: o.Duration,
+				Seed:     int64(1 + i),
+			})
+		}(i)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("node %d loadgen: %w", i, err)
+		}
+		if results[i].Errors > 0 {
+			return nil, fmt.Errorf("node %d loadgen hit %d errors", i, results[i].Errors)
+		}
+		res.Sessions += results[i].Sessions
+		res.Cycles += results[i].Cycles
+	}
+	res.CyclesPerSec = float64(res.Cycles) / res.Elapsed.Seconds()
+
+	var misses int64
+	for i := 0; i < o.Nodes; i++ {
+		m, err := f.Client(i).Metrics()
+		if err != nil {
+			return nil, err
+		}
+		if m.Cluster == nil {
+			return nil, fmt.Errorf("node %d reports no cluster metrics", i)
+		}
+		misses += m.Cache.Misses
+		res.Fetches += m.Cluster.ArtifactFetches
+	}
+	res.Compiles = misses
+	res.FetchHitRate = float64(res.Fetches) / float64(o.Nodes*len(o.Designs))
+	if res.Compiles != int64(len(o.Designs)) {
+		return nil, fmt.Errorf("fleet compiled %d times for %d designs — compile-once routing broken",
+			res.Compiles, len(o.Designs))
+	}
+	if min := 2.0 / 3.0; res.FetchHitRate < min-1e-9 {
+		return nil, fmt.Errorf("peer fetch hit rate %.2f below %.2f", res.FetchHitRate, min)
+	}
+
+	// Drain under live sessions: park a few sessions on node 0, drain it,
+	// and require every one to resume on a peer.
+	const parked = 3
+	handles := make([]*service.SessionHandle, parked)
+	for i := range handles {
+		h, err := f.Client(0).NewSession(o.Designs[0].Key())
+		if err != nil {
+			return nil, err
+		}
+		if _, err := h.Run(10); err != nil {
+			return nil, err
+		}
+		handles[i] = h
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	moved, err := f.Nodes[0].DrainMigrate(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("drain-migrate: %w", err)
+	}
+	if moved != parked {
+		return nil, fmt.Errorf("drain moved %d of %d live sessions", moved, parked)
+	}
+	for i, h := range handles {
+		if cyc, err := h.Run(5); err != nil {
+			return nil, fmt.Errorf("migrated session %d did not resume: %w", i, err)
+		} else if cyc != 15 {
+			return nil, fmt.Errorf("migrated session %d at cycle %d, want 15 (cycles lost)", i, cyc)
+		}
+	}
+	res.Migrations = int64(moved)
+	return res, nil
+}
+
+// ClusterTable renders the fleet measurement for cluster.{txt,csv}.
+func ClusterTable(r *ClusterResult) *report.Table {
+	t := report.NewTable("Multi-node repcutd (consistent-hash routing + peer artifact fetch)",
+		"Nodes", "Designs", "Sessions", "Cycles", "cycles/s", "Compiles", "Fetches", "Fetch rate", "Migrated")
+	t.Row(r.Nodes, r.Designs, r.Sessions, r.Cycles, report.F1(r.CyclesPerSec),
+		r.Compiles, r.Fetches, report.F2(r.FetchHitRate), r.Migrations)
+	return t
+}
+
+// ClusterJSON renders the measurement as the machine-readable
+// BENCH_cluster.json.
+func ClusterJSON(r *ClusterResult) ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

@@ -1,0 +1,255 @@
+// Package clustertest is an in-process multi-node repcutd fixture: N
+// cluster nodes on reserved loopback ports, each behind a scriptable fault
+// injector that can stall, corrupt, or kill any peer response. Tests (and
+// the cluster benchmark) drive a real fleet over real HTTP without external
+// processes or port flakes.
+package clustertest
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/par"
+	"repro/internal/service"
+)
+
+// Options configures a fleet.
+type Options struct {
+	// Nodes is the fleet size (default 3).
+	Nodes int
+	// Service is each node's server config. The logger defaults to discard
+	// (tests drown in request logs otherwise); when the codegen tier is on
+	// with no explicit directory, each node gets its own temp store so the
+	// fleet exercises real peer artifact transfer rather than sharing disk.
+	Service service.Config
+	// FetchTimeout is each node's peer-fetch budget (default 5s; tests that
+	// exercise the stall path set it much lower).
+	FetchTimeout time.Duration
+}
+
+// Fleet is a running in-process cluster.
+type Fleet struct {
+	Nodes     []*cluster.Node
+	Addrs     []string
+	Injectors []*Injector
+
+	servers []*http.Server
+	killed  []bool
+	tmpDirs []string
+	mu      sync.Mutex
+}
+
+// Start brings up the fleet: ports are reserved by bind(2) before any node
+// starts (no probe-then-bind window), every node gets the full peer list,
+// and each node's handler is wrapped in its own fault injector.
+func Start(o Options) (*Fleet, error) {
+	if o.Nodes <= 0 {
+		o.Nodes = 3
+	}
+	if o.Service.Logger == nil {
+		o.Service.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	lns, addrs, err := par.ReserveLoopback(o.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	f := &Fleet{
+		Addrs:   addrs,
+		servers: make([]*http.Server, o.Nodes),
+		killed:  make([]bool, o.Nodes),
+	}
+	for i := 0; i < o.Nodes; i++ {
+		cfg := cluster.Config{
+			Service:      o.Service,
+			Self:         addrs[i],
+			Peers:        addrs,
+			FetchTimeout: o.FetchTimeout,
+		}
+		if cfg.Service.Codegen && cfg.Service.CodegenDir == "" {
+			dir, derr := os.MkdirTemp("", "repcut-cluster-*")
+			if derr != nil {
+				f.Close()
+				return nil, derr
+			}
+			f.tmpDirs = append(f.tmpDirs, dir)
+			cfg.Service.CodegenDir = dir
+		}
+		node, nerr := cluster.New(cfg)
+		if nerr != nil {
+			f.Close()
+			return nil, nerr
+		}
+		inj := newInjector(node.Handler())
+		f.Nodes = append(f.Nodes, node)
+		f.Injectors = append(f.Injectors, inj)
+		f.servers[i] = &http.Server{Handler: inj}
+		go f.servers[i].Serve(lns[i]) //nolint:errcheck // Serve returns on Close
+	}
+	return f, nil
+}
+
+// URL returns node i's base URL.
+func (f *Fleet) URL(i int) string { return "http://" + f.Addrs[i] }
+
+// Client returns a service client pointed at node i.
+func (f *Fleet) Client(i int) *service.Client { return service.NewClient(f.URL(i)) }
+
+// Kill abruptly stops node i's HTTP server: the listener closes and every
+// open connection is dropped, as a crashed process would. The node object
+// survives (its state can still be inspected), but no peer can reach it.
+func (f *Fleet) Kill(i int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.killed[i] {
+		return
+	}
+	f.killed[i] = true
+	f.servers[i].Close()
+}
+
+// Close tears the whole fleet down.
+func (f *Fleet) Close() {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	f.mu.Lock()
+	for i, hs := range f.servers {
+		if hs != nil && !f.killed[i] {
+			f.killed[i] = true
+			hs.Close()
+		}
+	}
+	f.mu.Unlock()
+	for _, n := range f.Nodes {
+		n.Server().Shutdown(ctx) //nolint:errcheck // teardown
+	}
+	for _, d := range f.tmpDirs {
+		os.RemoveAll(d)
+	}
+}
+
+// Mode selects a fault class.
+type Mode int
+
+const (
+	// Stall delays the response past the caller's patience, then answers
+	// normally (the answer goes to a hung-up client): a wedged peer.
+	Stall Mode = iota
+	// Corrupt serves the real response with one body byte flipped, headers
+	// (including any content hash) untouched: corruption in transit.
+	Corrupt
+	// Kill drops the connection without writing a response: a peer that
+	// died mid-request.
+	Kill
+)
+
+// Rule matches requests and applies a fault a bounded number of times.
+type Rule struct {
+	// Path substring-matches r.URL.Path ("" matches everything).
+	Path string
+	// Method exact-matches when non-empty.
+	Method string
+	// Mode is the fault to apply.
+	Mode Mode
+	// StallFor is the Stall delay (default 2s).
+	StallFor time.Duration
+	// Times is how many matching requests to fault (default 1).
+	Times int
+}
+
+type rule struct {
+	Rule
+	remaining int
+}
+
+// Injector is the per-node fault middleware. Zero rules = transparent.
+type Injector struct {
+	next  http.Handler
+	mu    sync.Mutex
+	rules []*rule
+	hits  int
+}
+
+func newInjector(next http.Handler) *Injector { return &Injector{next: next} }
+
+// Fault arms a rule. Rules are consumed in arm order, first match wins.
+func (in *Injector) Fault(r Rule) {
+	if r.Times <= 0 {
+		r.Times = 1
+	}
+	if r.StallFor <= 0 {
+		r.StallFor = 2 * time.Second
+	}
+	in.mu.Lock()
+	in.rules = append(in.rules, &rule{Rule: r, remaining: r.Times})
+	in.mu.Unlock()
+}
+
+// Faulted reports how many requests have been faulted so far.
+func (in *Injector) Faulted() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.hits
+}
+
+func (in *Injector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	in.mu.Lock()
+	var hit *rule
+	for _, ru := range in.rules {
+		if ru.remaining <= 0 {
+			continue
+		}
+		if ru.Path != "" && !strings.Contains(r.URL.Path, ru.Path) {
+			continue
+		}
+		if ru.Method != "" && ru.Method != r.Method {
+			continue
+		}
+		ru.remaining--
+		in.hits++
+		hit = ru
+		break
+	}
+	in.mu.Unlock()
+	if hit == nil {
+		in.next.ServeHTTP(w, r)
+		return
+	}
+	switch hit.Mode {
+	case Stall:
+		time.Sleep(hit.StallFor)
+		in.next.ServeHTTP(w, r)
+	case Kill:
+		if hj, ok := w.(http.Hijacker); ok {
+			if conn, _, err := hj.Hijack(); err == nil {
+				conn.Close()
+				return
+			}
+		}
+		panic(http.ErrAbortHandler)
+	case Corrupt:
+		rec := httptest.NewRecorder()
+		in.next.ServeHTTP(rec, r)
+		body := rec.Body.Bytes()
+		if len(body) > 0 {
+			body[len(body)/2] ^= 0xff
+		}
+		for k, vs := range rec.Header() {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		w.WriteHeader(rec.Code)
+		w.Write(body) //nolint:errcheck
+	default:
+		panic(fmt.Sprintf("clustertest: unknown fault mode %d", hit.Mode))
+	}
+}

@@ -1,0 +1,104 @@
+// Package cluster turns independent repcutd servers into a static-membership
+// fleet: compile requests route by consistent hashing on the design's content
+// address, cache misses fetch the compiled artifact (and the native plugin,
+// when present) from the owning peer instead of recompiling, and sessions
+// migrate between nodes via checkpoint/restore, so a draining node loses
+// zero simulated cycles.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ringReplicas is the number of virtual nodes per peer. 64 points per peer
+// keeps the expected load imbalance of the ring under a few percent for
+// small fleets without making lookup tables large.
+const ringReplicas = 64
+
+// Ring is an immutable consistent-hash ring over a static peer set. Every
+// node in the fleet builds the ring from the same peer list, so all nodes
+// agree on which peer owns which key without any coordination.
+type Ring struct {
+	peers  []string
+	vnodes []vnode // sorted by hash
+}
+
+type vnode struct {
+	hash uint64
+	peer string
+}
+
+// NewRing builds the ring. The peer list is deduplicated; order does not
+// matter (placement depends only on the set).
+func NewRing(peers []string) (*Ring, error) {
+	seen := make(map[string]bool, len(peers))
+	var uniq []string
+	for _, p := range peers {
+		if p == "" {
+			return nil, fmt.Errorf("cluster: empty peer address")
+		}
+		if !seen[p] {
+			seen[p] = true
+			uniq = append(uniq, p)
+		}
+	}
+	if len(uniq) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one peer")
+	}
+	sort.Strings(uniq)
+	r := &Ring{peers: uniq}
+	r.vnodes = make([]vnode, 0, len(uniq)*ringReplicas)
+	for _, p := range uniq {
+		for i := 0; i < ringReplicas; i++ {
+			r.vnodes = append(r.vnodes, vnode{hash: ringHash(fmt.Sprintf("%s#%d", p, i)), peer: p})
+		}
+	}
+	sort.Slice(r.vnodes, func(i, j int) bool { return r.vnodes[i].hash < r.vnodes[j].hash })
+	return r, nil
+}
+
+// Peers returns the ring's (sorted, deduplicated) peer set.
+func (r *Ring) Peers() []string { return r.peers }
+
+// Owner returns the peer owning a key: the first virtual node at or after
+// the key's point on the ring.
+func (r *Ring) Owner(key string) string {
+	return r.vnodes[r.at(key)].peer
+}
+
+// Successors returns every distinct peer except exclude, ordered by ring
+// position starting from the key's point. It is the migration target order:
+// the key's owner first (unless excluded), then the peers that would own it
+// if earlier ones disappeared.
+func (r *Ring) Successors(key, exclude string) []string {
+	start := r.at(key)
+	out := make([]string, 0, len(r.peers)-1)
+	seen := map[string]bool{exclude: true}
+	for i := 0; i < len(r.vnodes) && len(out) < len(r.peers)-1; i++ {
+		p := r.vnodes[(start+i)%len(r.vnodes)].peer
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// at returns the index of the first virtual node at or after the key's
+// hash, wrapping at the top of the ring.
+func (r *Ring) at(key string) int {
+	h := ringHash(key)
+	i := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].hash >= h })
+	if i == len(r.vnodes) {
+		i = 0
+	}
+	return i
+}
+
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterminismAndAgreement(t *testing.T) {
+	peers := []string{"10.0.0.1:8372", "10.0.0.2:8372", "10.0.0.3:8372"}
+	a, err := NewRing(peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A peer list in any order builds the same ring: all nodes agree on
+	// ownership without coordination.
+	b, err := NewRing([]string{peers[2], peers[0], peers[1], peers[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("design-key-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("rings disagree on %s: %s vs %s", key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	peers := []string{"a:1", "b:1", "c:1"}
+	r, err := NewRing(peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const n = 3000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%d", i))]++
+	}
+	for _, p := range peers {
+		frac := float64(counts[p]) / n
+		if frac < 0.15 || frac > 0.55 {
+			t.Fatalf("peer %s owns %.0f%% of keys — ring badly imbalanced (%v)", p, 100*frac, counts)
+		}
+	}
+}
+
+func TestRingSuccessors(t *testing.T) {
+	peers := []string{"a:1", "b:1", "c:1", "d:1"}
+	r, err := NewRing(peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "some-design-key"
+	self := r.Owner(key)
+	succ := r.Successors(key, self)
+	if len(succ) != len(peers)-1 {
+		t.Fatalf("successors = %v, want the %d other peers", succ, len(peers)-1)
+	}
+	seen := map[string]bool{}
+	for _, p := range succ {
+		if p == self {
+			t.Fatalf("successors include the excluded peer %s", self)
+		}
+		if seen[p] {
+			t.Fatalf("peer %s listed twice in %v", p, succ)
+		}
+		seen[p] = true
+	}
+}
+
+func TestRingRejectsEmpty(t *testing.T) {
+	if _, err := NewRing(nil); err == nil {
+		t.Fatal("NewRing(nil) succeeded")
+	}
+	if _, err := NewRing([]string{""}); err == nil {
+		t.Fatal("NewRing with an empty address succeeded")
+	}
+}

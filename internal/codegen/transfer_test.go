@@ -1,0 +1,141 @@
+package codegen
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// fakeArtifact writes a synthetic artifact (arbitrary bytes + consistent
+// metadata) so the transfer paths are testable on hosts that cannot build
+// plugins at all.
+func fakeArtifact(t *testing.T, key string, payload []byte) (so, meta []byte) {
+	t.Helper()
+	sum := sha256.Sum256(payload)
+	m := artifactMeta{
+		Key: key, Design: "fake",
+		Fingerprint: "0000000000000001",
+		Emitter:     EmitterVersion, Toolchain: runtime.Version(), Race: raceEnabled,
+		SoSHA256: hex.EncodeToString(sum[:]), SoBytes: int64(len(payload)),
+	}
+	data, err := json.Marshal(&m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return payload, data
+}
+
+func TestArtifactImportExportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	src, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+
+	key := strings.Repeat("a", 24)
+	so, meta := fakeArtifact(t, key, []byte("not really a plugin, but hashed like one"))
+	if src.Has(key) {
+		t.Fatal("empty store claims to hold the key")
+	}
+	if err := src.ImportArtifact(key, so, meta); err != nil {
+		t.Fatalf("import: %v", err)
+	}
+	if !src.Has(key) {
+		t.Fatal("store does not index the imported artifact")
+	}
+	// Re-import is a no-op.
+	if err := src.ImportArtifact(key, so, meta); err != nil {
+		t.Fatalf("re-import: %v", err)
+	}
+
+	gotSo, gotMeta, err := src.ExportArtifact(key)
+	if err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	if string(gotSo) != string(so) || string(gotMeta) != string(meta) {
+		t.Fatal("export returned different bytes than were imported")
+	}
+
+	// A second store (the "peer") installs the exported bytes.
+	dst, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	if err := dst.ImportArtifact(key, gotSo, gotMeta); err != nil {
+		t.Fatalf("peer import: %v", err)
+	}
+	if !dst.Has(key) {
+		t.Fatal("peer store does not index the artifact")
+	}
+}
+
+func TestArtifactImportRejectsBadBytes(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	key := strings.Repeat("b", 24)
+	so, meta := fakeArtifact(t, key, []byte("plugin bytes"))
+
+	// Corrupted plugin body.
+	bad := append([]byte(nil), so...)
+	bad[0] ^= 0xff
+	if err := s.ImportArtifact(key, bad, meta); err == nil {
+		t.Fatal("import accepted plugin bytes that fail the content hash")
+	}
+	// Metadata naming a different key.
+	if err := s.ImportArtifact(strings.Repeat("c", 24), so, meta); err == nil {
+		t.Fatal("import accepted metadata naming a different key")
+	}
+	// Wrong toolchain.
+	var m artifactMeta
+	if err := json.Unmarshal(meta, &m); err != nil {
+		t.Fatal(err)
+	}
+	m.Toolchain = "go0.0"
+	wrongTc, _ := json.Marshal(&m)
+	if err := s.ImportArtifact(key, so, wrongTc); err == nil {
+		t.Fatal("import accepted an artifact built by a different toolchain")
+	}
+	if s.Has(key) {
+		t.Fatal("rejected imports still landed in the index")
+	}
+}
+
+func TestArtifactExportDetectsDiskCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	key := strings.Repeat("d", 24)
+	so, meta := fakeArtifact(t, key, []byte("will be corrupted on disk"))
+	if err := s.ImportArtifact(key, so, meta); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte of the on-disk .so behind the store's back.
+	path := fmt.Sprintf("%s/%s.so", dir, key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[0] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.ExportArtifact(key); err == nil {
+		t.Fatal("export shipped bytes that fail the content hash")
+	}
+	if s.Has(key) {
+		t.Fatal("corrupted artifact was not dropped from the index")
+	}
+}

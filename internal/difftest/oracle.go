@@ -81,6 +81,20 @@ type Options struct {
 	// build or load plugins. Not part of Default — plugin builds are too
 	// slow for the fuzz loop (warm artifacts make corpus reruns cheap).
 	Codegen bool
+	// Checkpoint adds the checkpoint/restore column: the linked O2 engine is
+	// snapshotted mid-run, the snapshot round-trips through the binary wire
+	// encoding, restores onto a fresh engine — and, when Codegen is on and
+	// the platform can build plugins, onto a native-kernel engine too (a
+	// cross-backend restore) — and every restored copy must match the
+	// original immediately and evolve identically under shared stimulus for
+	// the remaining cycles.
+	Checkpoint bool
+	// MutateSnapshot, when set, corrupts the decoded snapshot before it is
+	// restored (mutation testing: the checkpoint column must catch the
+	// divergence, or the restore must reject the blob). Returning false
+	// marks the mutation inapplicable and skips the column. Implies the
+	// checkpoint column.
+	MutateSnapshot func(*sim.Snapshot) bool
 	// Repart adds the repartitioned-parallel columns: the replication-aware
 	// refined + dereplicated partition at each count in Parts, state-compared
 	// against the whole matrix, plus a quality gate — when the unrefined
@@ -101,7 +115,7 @@ type Options struct {
 
 // Default returns the full-matrix options used by the corpus test and CLI.
 func Default(seed int64) Options {
-	return Options{Seed: seed, Cycles: 20, Tasks: true, Service: true, Verify: true, Validate: true, Batch: true, Repart: true}
+	return Options{Seed: seed, Cycles: 20, Tasks: true, Service: true, Verify: true, Validate: true, Batch: true, Repart: true, Checkpoint: true}
 }
 
 func (o *Options) fill() {
@@ -421,6 +435,15 @@ func Run(d *genckt.Design, opt Options) *Mismatch {
 			return m
 		}
 	}
+
+	// Checkpoint/restore column: snapshot mid-run, wire round-trip, restore,
+	// and the copies must stay bit-identical. Runs its own split-phase loop,
+	// so it lives outside the shared-input matrix above.
+	if opt.Checkpoint || opt.MutateSnapshot != nil {
+		if m := runCheckpointColumn(g, p2, opt); m != nil {
+			return m
+		}
+	}
 	return validatorCrossCheck(cert, nil)
 }
 
@@ -543,6 +566,177 @@ func runBatchColumn(g *cgraph.Graph, p2 *sim.Program, opt Options) *Mismatch {
 		for l := 0; l < lanes; l++ {
 			if m := compareBatchLane(g, be, twins[l], l, laneName(l), cyc); m != nil {
 				return m
+			}
+		}
+	}
+	return nil
+}
+
+// runCheckpointColumn proves session state survives serialization: a
+// linked-O2 engine runs the first half of the cycle budget, snapshots,
+// the snapshot round-trips through the binary wire encoding, and the
+// decoded form restores onto fresh engines — always a second interpreter
+// engine, plus a native-kernel engine when the codegen column is
+// available, so the restore is cross-backend. Every copy must match the
+// original's architectural state hash immediately after restore and stay
+// bit-identical under shared stimulus for the remaining cycles. With
+// MutateSnapshot set, the decoded snapshot is corrupted first and the
+// column must catch it (a rejection at restore time counts as a catch).
+func runCheckpointColumn(g *cgraph.Graph, p2 *sim.Program, opt Options) *Mismatch {
+	colName := "checkpoint"
+	if opt.MutateSnapshot != nil {
+		colName = "checkpoint-mutant"
+	}
+	k1 := opt.Cycles / 2
+	if k1 < 1 {
+		k1 = 1
+	}
+	k2 := opt.Cycles - k1
+	if k2 < 1 {
+		k2 = 1
+	}
+	mm := func(cyc int, got, want string) *Mismatch {
+		return &Mismatch{Engine: colName, Cycle: cyc, Kind: "checkpoint", Got: got, Want: want}
+	}
+	primary := sim.NewEngine(p2)
+	inputs := make([]*cgraph.Vertex, len(g.Inputs))
+	for i, vi := range g.Inputs {
+		inputs[i] = &g.Vs[vi]
+	}
+	rng := rand.New(rand.NewSource(opt.Seed*7_368_787 + 5))
+	drive := func(engines []*sim.Engine, cyc int) *Mismatch {
+		for _, in := range inputs {
+			w := bitvec.New(in.Type.Width)
+			for j := range w.Words {
+				w.Words[j] = rng.Uint64()
+			}
+			w = bitvec.ZeroExtend(in.Type.Width, w)
+			for _, e := range engines {
+				if err := e.PokeInputVec(in.Name, w); err != nil {
+					return mm(cyc, err.Error(), "poke "+in.Name)
+				}
+			}
+		}
+		for _, e := range engines {
+			e.Run(1)
+		}
+		return nil
+	}
+	for cyc := 0; cyc < k1; cyc++ {
+		if m := drive([]*sim.Engine{primary}, cyc); m != nil {
+			return m
+		}
+	}
+	snap, err := primary.Snapshot()
+	if err != nil {
+		return mm(k1, err.Error(), "snapshot at cycle boundary")
+	}
+	dec, err := sim.DecodeSnapshot(snap.Encode())
+	if err != nil {
+		return mm(k1, err.Error(), "wire round-trip to decode")
+	}
+	if opt.MutateSnapshot != nil && !opt.MutateSnapshot(dec) {
+		return nil // mutation inapplicable on this circuit's state
+	}
+	restored := sim.NewEngine(p2)
+	if err := restored.RestoreSnapshot(dec); err != nil {
+		if opt.MutateSnapshot != nil {
+			// The corrupted blob was rejected at the door — a catch.
+			return mm(k1, err.Error(), "mutated snapshot caught")
+		}
+		return mm(k1, err.Error(), "restore on fresh engine")
+	}
+	cohort := []*sim.Engine{restored}
+	if opt.Codegen && codegen.Supported() == nil {
+		copt := opt
+		copt.CodegenBug = codegen.BugNone
+		ne, _, m := codegenEngine(p2, copt)
+		if m != nil {
+			return m
+		}
+		if ne != nil {
+			if err := ne.RestoreSnapshot(dec); err != nil {
+				if opt.MutateSnapshot != nil {
+					return mm(k1, err.Error(), "mutated snapshot caught")
+				}
+				return mm(k1, err.Error(), "cross-backend restore on native engine")
+			}
+			cohort = append(cohort, ne)
+		}
+	}
+	want := primary.StateHash()
+	for _, e := range cohort {
+		if got := e.StateHash(); got != want {
+			return mm(k1, fmt.Sprintf("state hash %#x after restore", got), fmt.Sprintf("%#x", want))
+		}
+	}
+	all := append([]*sim.Engine{primary}, cohort...)
+	for cyc := k1; cyc < k1+k2; cyc++ {
+		if m := drive(all, cyc); m != nil {
+			return m
+		}
+		for _, e := range cohort {
+			if got := e.StateHash(); got != primary.StateHash() {
+				return mm(cyc, fmt.Sprintf("state hash %#x", got),
+					fmt.Sprintf("%#x (restored copy diverged from original)", primary.StateHash()))
+			}
+		}
+	}
+	// Full-width architectural comparison at the end, beyond the 64-bit
+	// hash: every register, output, and memory word.
+	for _, e := range cohort {
+		if m := compareEngines(g, primary, e, colName, k1+k2-1); m != nil {
+			return m
+		}
+	}
+	return nil
+}
+
+// compareEngines checks two live engines word for word: every register,
+// every output, every word of every memory, full width.
+func compareEngines(g *cgraph.Graph, want, got *sim.Engine, name string, cyc int) *Mismatch {
+	mm := func(kind, sig string, addr int, gv bitvec.Vec, gerr error, wv bitvec.Vec) *Mismatch {
+		gs := "<error>"
+		if gerr == nil {
+			gs = gv.String()
+		} else {
+			gs = gerr.Error()
+		}
+		return &Mismatch{Engine: name, Cycle: cyc, Kind: kind, Name: sig, Addr: addr,
+			Got: gs, Want: wv.String()}
+	}
+	for i := range g.Regs {
+		sig := g.Regs[i].Name
+		wv, err := want.PeekReg(sig)
+		if err != nil {
+			continue
+		}
+		gv, err := got.PeekReg(sig)
+		if err != nil || !bitvec.Eq(gv, wv) {
+			return mm("reg", sig, 0, gv, err, wv)
+		}
+	}
+	for _, o := range g.Outputs {
+		sig := g.Vs[o].Name
+		wv, err := want.PeekOutputVec(sig)
+		if err != nil {
+			continue
+		}
+		gv, err := got.PeekOutputVec(sig)
+		if err != nil || !bitvec.Eq(gv, wv) {
+			return mm("output", sig, 0, gv, err, wv)
+		}
+	}
+	for mi := range g.Mems {
+		sig := g.Mems[mi].Name
+		for a := 0; a < g.Mems[mi].Depth; a++ {
+			wv, err := want.PeekMemVec(sig, a)
+			if err != nil {
+				continue
+			}
+			gv, err := got.PeekMemVec(sig, a)
+			if err != nil || !bitvec.Eq(gv, wv) {
+				return mm("mem", sig, a, gv, err, wv)
 			}
 		}
 	}

@@ -1,0 +1,33 @@
+package par
+
+import (
+	"fmt"
+	"net"
+)
+
+// ReserveLoopback binds n TCP listeners on kernel-assigned loopback ports
+// and returns them with their addresses. Because each port is allocated by
+// bind(2) and the listener is handed to the caller still open, there is no
+// probe-then-bind window — the cluster test fixture and the CI cluster-smoke
+// job can bring up an N-node fleet with zero chance of a port collision,
+// which ad-hoc "pick a random port and hope" allocation cannot promise.
+// On any error every already-bound listener is closed.
+func ReserveLoopback(n int) ([]net.Listener, []string, error) {
+	if n < 1 {
+		return nil, nil, fmt.Errorf("par: ReserveLoopback needs n >= 1, got %d", n)
+	}
+	lns := make([]net.Listener, 0, n)
+	addrs := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, l := range lns {
+				l.Close()
+			}
+			return nil, nil, fmt.Errorf("par: reserve loopback port %d/%d: %w", i+1, n, err)
+		}
+		lns = append(lns, ln)
+		addrs = append(addrs, ln.Addr().String())
+	}
+	return lns, addrs, nil
+}

@@ -1,0 +1,34 @@
+package par
+
+import "testing"
+
+// TestReserveLoopback: n listeners come back bound, open, and all distinct —
+// the no-collision property the cluster fixture depends on.
+func TestReserveLoopback(t *testing.T) {
+	const n = 8
+	lns, addrs, err := ReserveLoopback(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, l := range lns {
+			l.Close()
+		}
+	}()
+	if len(lns) != n || len(addrs) != n {
+		t.Fatalf("got %d listeners / %d addrs, want %d", len(lns), len(addrs), n)
+	}
+	seen := map[string]bool{}
+	for i, a := range addrs {
+		if seen[a] {
+			t.Fatalf("address %s handed out twice", a)
+		}
+		seen[a] = true
+		if got := lns[i].Addr().String(); got != a {
+			t.Fatalf("listener %d addr %s, reported %s", i, got, a)
+		}
+	}
+	if _, _, err := ReserveLoopback(0); err == nil {
+		t.Fatal("ReserveLoopback(0) succeeded")
+	}
+}

@@ -195,6 +195,29 @@ func (c *Cache) GetOrCompile(req CompileRequest) (*Entry, bool, error) {
 	return e, false, nil
 }
 
+// Install inserts an externally assembled entry — a compiled artifact
+// fetched from a cluster peer — into the cache. If the key is already
+// resident the existing entry wins and is returned, so racing fetch and
+// local compile converge on one entry. The native build-behind is kicked
+// for fresh installs that did not arrive with a kernel.
+func (c *Cache) Install(e *Entry) *Entry {
+	c.mu.Lock()
+	if el, ok := c.byKey[e.Key]; ok {
+		c.lru.MoveToFront(el)
+		c.mu.Unlock()
+		return el.Value.(*Entry)
+	}
+	c.byKey[e.Key] = c.lru.PushFront(e)
+	c.bytes += e.Bytes
+	c.evictLocked()
+	cg := c.cg
+	c.mu.Unlock()
+	if cg != nil && e.Native() == nil {
+		cg.buildBehind(e)
+	}
+	return e
+}
+
 // evictLocked drops least-recently-used entries until the resident bytes
 // fit the budget, always keeping the most recent entry so a single
 // over-budget program still serves.

@@ -7,13 +7,21 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"strings"
 )
 
 // APIError is a non-2xx response from the server, preserving the status
 // code so callers can react to admission control (429/503) specifically.
+// Peer/SessionID carry the forwarding address when the server reports the
+// session migrated to a peer; RetryAfter is the Retry-After header in
+// seconds (0 when absent).
 type APIError struct {
-	Status  int
-	Message string
+	Status     int
+	Message    string
+	Peer       string
+	SessionID  string
+	RetryAfter int
 }
 
 func (e *APIError) Error() string {
@@ -68,17 +76,29 @@ func (c *Client) do(method, path string, in, out any) error {
 		return err
 	}
 	if resp.StatusCode/100 != 2 {
-		var er ErrorResponse
-		msg := string(data)
-		if json.Unmarshal(data, &er) == nil && er.Error != "" {
-			msg = er.Error
-		}
-		return &APIError{Status: resp.StatusCode, Message: msg}
+		return apiError(resp, data)
 	}
 	if out == nil {
 		return nil
 	}
 	return json.Unmarshal(data, out)
+}
+
+// apiError assembles an APIError from a non-2xx response, extracting the
+// migration forwarding address and Retry-After when present.
+func apiError(resp *http.Response, data []byte) *APIError {
+	ae := &APIError{Status: resp.StatusCode, Message: string(data)}
+	var er ErrorResponse
+	if json.Unmarshal(data, &er) == nil && er.Error != "" {
+		ae.Message = er.Error
+		ae.Peer, ae.SessionID = er.Peer, er.SessionID
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if n, err := strconv.Atoi(ra); err == nil {
+			ae.RetryAfter = n
+		}
+	}
+	return ae
 }
 
 // Health checks /healthz.
@@ -136,15 +156,35 @@ func (s *SessionHandle) path(op string) string {
 	return "/v1/sessions/" + s.ID + "/" + op
 }
 
+// do sends one session operation, following a migration forwarding address
+// once: when the server answers 503 with a peer + session ID (the session
+// moved there during a drain), the handle re-targets itself at the peer and
+// retries the operation against the migrated session.
+func (s *SessionHandle) do(method, op string, in, out any) error {
+	err := s.c.do(method, s.path(op), in, out)
+	var ae *APIError
+	if errors.As(err, &ae) && ae.Status == http.StatusServiceUnavailable &&
+		ae.Peer != "" && ae.SessionID != "" {
+		base := ae.Peer
+		if !strings.Contains(base, "://") {
+			base = "http://" + base
+		}
+		s.c = &Client{BaseURL: base, HTTP: s.c.HTTP}
+		s.ID = ae.SessionID
+		return s.c.do(method, s.path(op), in, out)
+	}
+	return err
+}
+
 // Poke sets a narrow input port.
 func (s *SessionHandle) Poke(name string, v uint64) error {
-	return s.c.do(http.MethodPost, s.path("poke"), PokeRequest{Name: name, Value: v}, nil)
+	return s.do(http.MethodPost, "poke", PokeRequest{Name: name, Value: v}, nil)
 }
 
 // Peek reads a narrow output port.
 func (s *SessionHandle) Peek(name string) (uint64, error) {
 	var resp ValueResponse
-	if err := s.c.do(http.MethodPost, s.path("peek"), PeekRequest{Name: name}, &resp); err != nil {
+	if err := s.do(http.MethodPost, "peek", PeekRequest{Name: name}, &resp); err != nil {
 		return 0, err
 	}
 	return resp.Value, nil
@@ -153,7 +193,7 @@ func (s *SessionHandle) Peek(name string) (uint64, error) {
 // PeekReg reads a narrow register.
 func (s *SessionHandle) PeekReg(name string) (uint64, error) {
 	var resp ValueResponse
-	if err := s.c.do(http.MethodPost, s.path("peek"), PeekRequest{Name: name, Reg: true}, &resp); err != nil {
+	if err := s.do(http.MethodPost, "peek", PeekRequest{Name: name, Reg: true}, &resp); err != nil {
 		return 0, err
 	}
 	return resp.Value, nil
@@ -165,16 +205,26 @@ func (s *SessionHandle) Step() (uint64, error) { return s.Run(1) }
 // Run advances n cycles and returns the session's total cycles.
 func (s *SessionHandle) Run(n int) (uint64, error) {
 	var resp StepResponse
-	if err := s.c.do(http.MethodPost, s.path("run"), StepRequest{Cycles: n}, &resp); err != nil {
+	if err := s.do(http.MethodPost, "run", StepRequest{Cycles: n}, &resp); err != nil {
 		return 0, err
 	}
 	return resp.Cycle, nil
 }
 
+// Checkpoint serializes the session's simulation state; the result restores
+// on any server whose cache holds the same key.
+func (s *SessionHandle) Checkpoint() (*CheckpointResponse, error) {
+	var resp CheckpointResponse
+	if err := s.do(http.MethodPost, "checkpoint", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // StartVCD begins waveform capture on the session (spilling it off any
 // batch lane server-side).
 func (s *SessionHandle) StartVCD() error {
-	return s.c.do(http.MethodPost, s.path("vcd"), nil, nil)
+	return s.do(http.MethodPost, "vcd", nil, nil)
 }
 
 // VCD fetches the waveform dump accumulated since StartVCD.
@@ -193,12 +243,7 @@ func (s *SessionHandle) VCD() ([]byte, error) {
 		return nil, err
 	}
 	if resp.StatusCode/100 != 2 {
-		var er ErrorResponse
-		msg := string(data)
-		if json.Unmarshal(data, &er) == nil && er.Error != "" {
-			msg = er.Error
-		}
-		return nil, &APIError{Status: resp.StatusCode, Message: msg}
+		return nil, apiError(resp, data)
 	}
 	return data, nil
 }
@@ -206,8 +251,19 @@ func (s *SessionHandle) VCD() ([]byte, error) {
 // Close tears the session down, returning its final cycle count.
 func (s *SessionHandle) Close() (uint64, error) {
 	var resp StepResponse
-	if err := s.c.do(http.MethodPost, s.path("close"), nil, &resp); err != nil {
+	if err := s.do(http.MethodPost, "close", nil, &resp); err != nil {
 		return 0, err
 	}
 	return resp.Cycle, nil
+}
+
+// RestoreSession opens a session resuming from a checkpoint taken on this
+// server or a peer. The key must already be compiled here.
+func (c *Client) RestoreSession(key string, state []byte, solo bool) (*SessionHandle, error) {
+	var resp SessionResponse
+	req := RestoreSessionRequest{Key: key, Solo: solo, State: state}
+	if err := c.do(http.MethodPost, "/v1/sessions/restore", req, &resp); err != nil {
+		return nil, err
+	}
+	return &SessionHandle{c: c, ID: resp.SessionID, Design: resp.Design, Batched: resp.Batched}, nil
 }

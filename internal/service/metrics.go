@@ -115,6 +115,9 @@ type Metrics struct {
 	sessionsReaped   atomic.Int64
 	sessionsRejected atomic.Int64
 
+	sessionsCheckpointed atomic.Int64 // snapshots taken (API + drain-migrate)
+	sessionsRestored     atomic.Int64 // sessions opened from a snapshot
+
 	cyclesTotal atomic.Int64
 	stepsTotal  atomic.Int64
 
@@ -150,14 +153,19 @@ type CacheMetrics struct {
 	ByteBudget int64   `json:"byte_budget"`
 }
 
-// SessionMetrics is the session section of /metrics.
+// SessionMetrics is the session section of /metrics. Checkpointed counts
+// snapshots taken (checkpoint API calls plus drain-time migration);
+// Restored counts sessions opened from a snapshot (local restores plus
+// migrations arriving from peers).
 type SessionMetrics struct {
-	Live     int   `json:"live"`
-	Capacity int   `json:"capacity"`
-	Created  int64 `json:"created"`
-	Closed   int64 `json:"closed"`
-	Reaped   int64 `json:"reaped"`
-	Rejected int64 `json:"rejected"`
+	Live         int   `json:"live"`
+	Capacity     int   `json:"capacity"`
+	Created      int64 `json:"created"`
+	Closed       int64 `json:"closed"`
+	Reaped       int64 `json:"reaped"`
+	Rejected     int64 `json:"rejected"`
+	Checkpointed int64 `json:"checkpointed"`
+	Restored     int64 `json:"restored"`
 }
 
 // CompileMetrics is the compile section of /metrics. Validations counts
@@ -220,15 +228,42 @@ type CodegenMetrics struct {
 	KernelsLoaded      int          `json:"kernels_loaded"`
 }
 
+// ClusterMetrics is the cluster section of /metrics, filled by the cluster
+// layer when this server is part of a multi-node fleet (absent otherwise).
+// CompilesLocal counts misses this node compiled itself (it owned the key,
+// the request was already routed, or peer fetch fell back); CompilesRouted
+// counts misses resolved by fetching the artifact from the owning peer.
+// The ArtifactFetch* counters break down the peer-fetch path: successes,
+// fallbacks to local compile after a peer died, timeouts that shed the
+// request, and corrupt bodies caught by the content hash. ArtifactsServed
+// counts fetches this node answered for peers; NativeFetches counts native
+// plugin artifacts pulled from peers instead of rebuilt.
+type ClusterMetrics struct {
+	Enabled                bool     `json:"enabled"`
+	Self                   string   `json:"self"`
+	Peers                  []string `json:"peers"`
+	CompilesLocal          int64    `json:"compiles_local"`
+	CompilesRouted         int64    `json:"compiles_routed"`
+	ArtifactFetches        int64    `json:"artifact_fetches"`
+	ArtifactFetchFallbacks int64    `json:"artifact_fetch_fallbacks"`
+	ArtifactFetchTimeouts  int64    `json:"artifact_fetch_timeouts"`
+	ArtifactFetchCorrupt   int64    `json:"artifact_fetch_corrupt"`
+	ArtifactsServed        int64    `json:"artifacts_served"`
+	NativeFetches          int64    `json:"native_fetches"`
+	SessionsMigratedOut    int64    `json:"sessions_migrated_out"`
+	SessionsMigratedIn     int64    `json:"sessions_migrated_in"`
+}
+
 // MetricsSnapshot is the full /metrics payload.
 type MetricsSnapshot struct {
-	UptimeSec float64        `json:"uptime_sec"`
-	Cache     CacheMetrics   `json:"cache"`
-	Sessions  SessionMetrics `json:"sessions"`
-	Compile   CompileMetrics `json:"compile"`
-	Sim       SimMetrics     `json:"sim"`
-	Batch     BatchMetrics   `json:"batch"`
-	Codegen   CodegenMetrics `json:"codegen"`
+	UptimeSec float64         `json:"uptime_sec"`
+	Cache     CacheMetrics    `json:"cache"`
+	Sessions  SessionMetrics  `json:"sessions"`
+	Compile   CompileMetrics  `json:"compile"`
+	Sim       SimMetrics      `json:"sim"`
+	Batch     BatchMetrics    `json:"batch"`
+	Codegen   CodegenMetrics  `json:"codegen"`
+	Cluster   *ClusterMetrics `json:"cluster,omitempty"`
 }
 
 // snapshot folds the counters into a wire snapshot; gauges (cache
@@ -254,6 +289,8 @@ func (m *Metrics) snapshot() MetricsSnapshot {
 		Sessions: SessionMetrics{
 			Created: m.sessionsCreated.Load(), Closed: m.sessionsClosed.Load(),
 			Reaped: m.sessionsReaped.Load(), Rejected: m.sessionsRejected.Load(),
+			Checkpointed: m.sessionsCheckpointed.Load(),
+			Restored:     m.sessionsRestored.Load(),
 		},
 		Compile: CompileMetrics{
 			Errors: m.compileErrors.Load(), Rejected: m.compileRejected.Load(),

@@ -1,0 +1,139 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestCheckpointRestoreRoundTrip: checkpoint a session, restore the blob
+// into a fresh session on the same server, and verify the copy is at the
+// same cycle with the same state hash.
+func TestCheckpointRestoreRoundTrip(t *testing.T) {
+	_, client := newTestServer(t, Config{Workers: 1, BatchLanes: 4})
+	cr, err := client.Compile(CompileRequest{Source: wireSrc, Threads: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := client.NewSession(cr.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Poke("in", 7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Cycle != 5 || len(cp.State) == 0 || cp.StateHash == "" {
+		t.Fatalf("bad checkpoint: %+v", cp)
+	}
+	restored, err := client.RestoreSession(cr.Key, cp.State, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp2, err := restored.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp2.Cycle != cp.Cycle || cp2.StateHash != cp.StateHash {
+		t.Fatalf("restored session diverges: %s@%d, want %s@%d",
+			cp2.StateHash, cp2.Cycle, cp.StateHash, cp.Cycle)
+	}
+	// Both copies see the same future.
+	for _, h := range []*SessionHandle{s, restored} {
+		if err := h.Poke("in", 3); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.Run(4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, err := s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := restored.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.StateHash != b.StateHash {
+		t.Fatalf("copies diverged after identical stimulus: %s vs %s", a.StateHash, b.StateHash)
+	}
+}
+
+// TestClientFollowsMigration: a server that has migrated a session away
+// answers with 503 + Retry-After + the peer address, and the client-side
+// session handle follows the forwarding address transparently.
+func TestClientFollowsMigration(t *testing.T) {
+	srvA, clientA := newTestServer(t, Config{Workers: 1})
+	_, clientB := newTestServer(t, Config{Workers: 1})
+
+	cr, err := clientB.Compile(CompileRequest{Source: wireSrc, Threads: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	real, err := clientB.NewSession(cr.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A pretends it once held the session and migrated it to B. The peer is
+	// recorded host:port (as the cluster does); the client must add the
+	// scheme itself.
+	const oldID = "s0000dead"
+	peer := strings.TrimPrefix(clientB.BaseURL, "http://")
+	srvA.Sessions().MarkMigrated(oldID, peer, real.ID)
+
+	// The raw protocol: 503, Retry-After, and a forwarding address.
+	resp, err := http.Post(clientA.BaseURL+"/v1/sessions/"+oldID+"/run",
+		"application/json", bytes.NewReader([]byte(`{"cycles":1}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var er ErrorResponse
+	decodeErr := json.NewDecoder(resp.Body).Decode(&er)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("migrated session answered HTTP %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 for a migrated session came without Retry-After")
+	}
+	if decodeErr != nil || er.Peer != peer || er.SessionID != real.ID {
+		t.Fatalf("forwarding address wrong: %+v (decode err %v)", er, decodeErr)
+	}
+
+	// The client handle follows: one op against A lands on B.
+	h := &SessionHandle{c: clientA, ID: oldID}
+	n, err := h.Run(3)
+	if err != nil {
+		t.Fatalf("handle did not follow migration: %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("followed run returned cycle %d, want 3", n)
+	}
+	if h.ID != real.ID {
+		t.Fatalf("handle ID is %s after follow, want %s", h.ID, real.ID)
+	}
+	// Subsequent ops go straight to B.
+	if _, err := h.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := real.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Cycle != 5 {
+		t.Fatalf("session on B at cycle %d, want 5", cp.Cycle)
+	}
+	// Closing through the old address follows too.
+	if _, err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

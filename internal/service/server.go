@@ -11,6 +11,9 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"repro/internal/codegen"
+	"repro/internal/sim"
 )
 
 // Config tunes a Server. The zero value gets sensible defaults.
@@ -99,6 +102,13 @@ type Server struct {
 	cg    *codegenTier // nil unless Config.Codegen is on and supported
 	cgErr error        // why the tier is off when Config.Codegen was set
 
+	// compileHook, when set (by the cluster layer), intercepts compile
+	// requests before the local cache; clusterMetrics feeds the /metrics
+	// cluster section. Both are set once at wiring time, before Handler is
+	// served.
+	compileHook    CompileHook
+	clusterMetrics func() *ClusterMetrics
+
 	reaperStop   chan struct{}
 	reaperDone   chan struct{}
 	shutdownOnce sync.Once
@@ -133,6 +143,40 @@ func New(cfg Config) *Server {
 	return s
 }
 
+// RoutedHeader marks a compile request that was already routed once by a
+// cluster peer; the receiver must compile locally rather than route again,
+// which bounds forwarding at one hop and prevents routing ping-pong when
+// peers disagree about ring membership.
+const RoutedHeader = "X-Repcut-Routed"
+
+// CompileHook intercepts compile requests before the local cache. The
+// cluster layer installs one that routes by consistent hash and fetches
+// artifacts from peers; routed reports whether the request already took a
+// routing hop (RoutedHeader present), in which case the hook must resolve
+// locally.
+type CompileHook func(req CompileRequest, routed bool) (*Entry, bool, error)
+
+// SetCompileHook installs the compile interceptor. Call before serving.
+func (s *Server) SetCompileHook(h CompileHook) { s.compileHook = h }
+
+// SetClusterMetrics installs the /metrics cluster-section provider. Call
+// before serving.
+func (s *Server) SetClusterMetrics(f func() *ClusterMetrics) { s.clusterMetrics = f }
+
+// Mount adds a handler to the server's mux (for the cluster layer's
+// peer-to-peer endpoints), inside the request-logging wrapper. Call before
+// serving.
+func (s *Server) Mount(pattern string, h http.HandlerFunc) { s.mux.HandleFunc(pattern, h) }
+
+// CodegenStore exposes the native artifact store, or nil when the codegen
+// tier is off.
+func (s *Server) CodegenStore() *codegen.Store {
+	if s.cg == nil {
+		return nil
+	}
+	return s.cg.store
+}
+
 // Cache exposes the compile cache (for tests and embedding).
 func (s *Server) Cache() *Cache { return s.cache }
 
@@ -163,6 +207,9 @@ func (s *Server) Metrics() MetricsSnapshot {
 		snap.Codegen.KernelsLoaded = st.Loaded
 	} else if s.cgErr != nil {
 		snap.Codegen.Reason = s.cgErr.Error()
+	}
+	if s.clusterMetrics != nil {
+		snap.Cluster = s.clusterMetrics()
 	}
 	return snap
 }
@@ -207,6 +254,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("POST /v1/compile", s.handleCompile)
 	s.mux.HandleFunc("POST /v1/sessions", s.handleCreateSession)
+	s.mux.HandleFunc("POST /v1/sessions/restore", s.handleRestore)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/poke", s.handlePoke)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/peek", s.handlePeek)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/step", s.handleStep)
@@ -268,19 +317,32 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // writeErr maps service errors to HTTP statuses: overload conditions get
-// 429/503 (the admission-control contract), lookups 404, everything else
-// 400 — compile and simulation failures are caused by request content.
+// 429/503 (the admission-control contract), lookups 404, fingerprint
+// conflicts 409, everything else 400 — compile and simulation failures are
+// caused by request content. Every 503 carries Retry-After so clients know
+// the condition is transient; a migrated session's 503 additionally carries
+// the forwarding address so clients can follow instead of retrying here.
 func writeErr(w http.ResponseWriter, err error) {
 	status := http.StatusBadRequest
+	resp := ErrorResponse{Error: err.Error()}
+	var mig *MigratedError
 	switch {
+	case errors.As(err, &mig):
+		status = http.StatusServiceUnavailable
+		resp.Peer, resp.SessionID = mig.Peer, mig.SessionID
 	case errors.Is(err, ErrSessionLimit):
 		status = http.StatusTooManyRequests
-	case errors.Is(err, ErrCompileBusy), errors.Is(err, ErrDraining):
+	case errors.Is(err, ErrCompileBusy), errors.Is(err, ErrDraining), errors.Is(err, ErrPeerStalled):
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, ErrNoSession), errors.Is(err, ErrSessionClosed):
 		status = http.StatusNotFound
+	case errors.Is(err, ErrSnapshotMismatch):
+		status = http.StatusConflict
 	}
-	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, resp)
 }
 
 // decode reads a bounded JSON request body.
@@ -319,7 +381,16 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	e, hit, err := s.cache.GetOrCompile(req)
+	var (
+		e   *Entry
+		hit bool
+		err error
+	)
+	if s.compileHook != nil {
+		e, hit, err = s.compileHook(req, r.Header.Get(RoutedHeader) != "")
+	} else {
+		e, hit, err = s.cache.GetOrCompile(req)
+	}
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -351,6 +422,70 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, SessionResponse{
 		SessionID: sess.ID, Design: e.Name, Cycle: 0, Batched: sess.Batched(),
+	})
+}
+
+// handleCheckpoint serializes a session's simulation state without
+// disturbing it. The response restores on this server or any peer whose
+// cache holds the same key.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	var resp CheckpointResponse
+	err := s.sessions.Do(r.PathValue("id"), func(sess *Session) error {
+		snap, err := sess.Checkpoint()
+		if err != nil {
+			return err
+		}
+		hash, err := sess.StateHash()
+		if err != nil {
+			return err
+		}
+		resp = CheckpointResponse{
+			SessionID:   sess.ID,
+			Key:         sess.Key,
+			Cycle:       snap.Cycles,
+			Version:     snap.Version,
+			Fingerprint: fmt.Sprintf("%016x", snap.Fingerprint),
+			StateHash:   fmt.Sprintf("%016x", hash),
+			State:       snap.Encode(),
+		}
+		if sess.entry != nil {
+			resp.Design = sess.entry.Name
+		}
+		return nil
+	})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	s.m.sessionsCheckpointed.Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleRestore opens a session resuming from a checkpoint.
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	var req RestoreSessionRequest
+	if err := decode(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	snap, err := sim.DecodeSnapshot(req.State)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	e, ok := s.cache.Lookup(req.Key)
+	if !ok {
+		writeJSON(w, http.StatusNotFound,
+			ErrorResponse{Error: "service: unknown key (POST /v1/compile first)"})
+		return
+	}
+	sess, err := s.sessions.Restore(e, snap, req.Solo)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SessionResponse{
+		SessionID: sess.ID, Design: e.Name, Cycle: sess.Cycles(), Batched: sess.Batched(),
 	})
 }
 

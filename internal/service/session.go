@@ -219,6 +219,9 @@ type SessionManager struct {
 	mu   sync.Mutex
 	byID map[string]*Session
 	seq  atomic.Int64
+	// migrated holds forwarding addresses for sessions that moved to a peer
+	// during DrainMigrate, keyed by their old ID (guarded by mu).
+	migrated map[string]Migrated
 
 	draining atomic.Bool
 	ops      sync.WaitGroup
@@ -233,11 +236,12 @@ func NewSessionManager(maxLive int, idleTimeout time.Duration, batchLanes int, m
 		m = NewMetrics()
 	}
 	return &SessionManager{
-		sem:   par.NewSem(maxLive),
-		idle:  idleTimeout,
-		m:     m,
-		batch: newBatchPool(batchLanes, m),
-		byID:  make(map[string]*Session),
+		sem:      par.NewSem(maxLive),
+		idle:     idleTimeout,
+		m:        m,
+		batch:    newBatchPool(batchLanes, m),
+		byID:     make(map[string]*Session),
+		migrated: make(map[string]Migrated),
 	}
 }
 
@@ -307,11 +311,21 @@ func (sm *SessionManager) Create(e *Entry, solo bool) (*Session, error) {
 func (sm *SessionManager) Do(id string, fn func(*Session) error) error {
 	sm.mu.Lock()
 	if sm.draining.Load() {
+		// A migrated session's clients get the forwarding address even while
+		// the drain is still in progress.
+		if merr := sm.migratedErr(id); merr != nil {
+			sm.mu.Unlock()
+			return merr
+		}
 		sm.mu.Unlock()
 		return ErrDraining
 	}
 	s, ok := sm.byID[id]
 	if !ok {
+		if merr := sm.migratedErr(id); merr != nil {
+			sm.mu.Unlock()
+			return merr
+		}
 		sm.mu.Unlock()
 		return ErrNoSession
 	}
@@ -339,8 +353,15 @@ func (sm *SessionManager) Close(id string) (*Session, error) {
 	if ok {
 		delete(sm.byID, id)
 	}
+	var merr error
+	if !ok {
+		merr = sm.migratedErr(id)
+	}
 	sm.mu.Unlock()
 	if !ok {
+		if merr != nil {
+			return nil, merr
+		}
 		return nil, ErrNoSession
 	}
 	sm.finish(s)

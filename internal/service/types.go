@@ -289,7 +289,38 @@ type StepResponse struct {
 	Cycle uint64 `json:"cycle"`
 }
 
-// ErrorResponse is the body of every non-2xx response.
+// CheckpointResponse is returned by POST /v1/sessions/{id}/checkpoint: the
+// session's serialized simulation state plus enough metadata to restore it
+// on any server holding the same compiled fingerprint. State is the
+// versioned, checksummed sim.Snapshot encoding (base64 over JSON);
+// StateHash is the architectural state hash at checkpoint time, so the
+// restoring side can prove bit-identical resumption.
+type CheckpointResponse struct {
+	SessionID   string `json:"session_id"`
+	Key         string `json:"key"`
+	Design      string `json:"design,omitempty"`
+	Cycle       uint64 `json:"cycle"`
+	Version     uint32 `json:"version"`
+	Fingerprint string `json:"fingerprint"`
+	StateHash   string `json:"state_hash"`
+	State       []byte `json:"state"`
+}
+
+// RestoreSessionRequest opens a session resuming from a checkpoint taken on
+// this server or a peer. Key must name a cached compile whose fingerprint
+// matches the snapshot's.
+type RestoreSessionRequest struct {
+	Key   string `json:"key"`
+	Solo  bool   `json:"solo,omitempty"`
+	State []byte `json:"state"`
+}
+
+// ErrorResponse is the body of every non-2xx response. Peer and SessionID
+// carry the forwarding address when the error is a session migration: the
+// session now lives at Peer under SessionID, and the client should retry
+// there.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	Peer      string `json:"peer,omitempty"`
+	SessionID string `json:"session_id,omitempty"`
 }

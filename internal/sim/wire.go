@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Program wire format: a compiled program serialized for peer-to-peer
+// artifact fetch in a repcutd cluster, so a design partitioned and compiled
+// on one node installs on another without recompiling. Every field that
+// execution observes is exported and travels through gob; the unexported
+// caches (name maps, the linked form) are derived and rebuilt on the
+// receiving side. The program fingerprint rides alongside and is recomputed
+// after decode — a blob that decodes to anything other than the exact
+// program that was sent is rejected, whatever mangled it.
+
+// programWire is the gob envelope: the program plus its fingerprint at
+// encode time.
+type programWire struct {
+	Program     *Program
+	Fingerprint uint64
+}
+
+// EncodeProgram serializes a compiled program (gob, gzipped) for transfer
+// to a peer.
+func EncodeProgram(p *Program) ([]byte, error) {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if err := gob.NewEncoder(zw).Encode(programWire{Program: p, Fingerprint: p.Fingerprint()}); err != nil {
+		return nil, fmt.Errorf("sim: encode program: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return nil, fmt.Errorf("sim: encode program: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeProgram reverses EncodeProgram, rebuilds the derived lookup tables,
+// and verifies the decoded program's fingerprint against the one carried in
+// the envelope.
+func DecodeProgram(data []byte) (*Program, error) {
+	zr, err := gzip.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("sim: decode program: %w", err)
+	}
+	var w programWire
+	if err := gob.NewDecoder(zr).Decode(&w); err != nil {
+		return nil, fmt.Errorf("sim: decode program: %w", err)
+	}
+	// Drain to EOF so the gzip CRC is actually verified (gob stops reading
+	// at the end of the value, before the trailer).
+	if _, err := io.Copy(io.Discard, zr); err != nil {
+		return nil, fmt.Errorf("sim: decode program: %w", err)
+	}
+	if err := zr.Close(); err != nil {
+		return nil, fmt.Errorf("sim: decode program: %w", err)
+	}
+	if w.Program == nil {
+		return nil, fmt.Errorf("sim: decode program: empty envelope")
+	}
+	p := w.Program
+	p.reindex()
+	if fp := p.Fingerprint(); fp != w.Fingerprint {
+		return nil, fmt.Errorf("sim: decoded program fingerprint %016x does not match envelope %016x",
+			fp, w.Fingerprint)
+	}
+	return p, nil
+}
+
+// reindex rebuilds the name lookup maps gob does not carry (they are
+// derived from the slot tables; compile.go builds the same maps).
+func (p *Program) reindex() {
+	p.inputByName = make(map[string]int, len(p.Inputs))
+	for i, ps := range p.Inputs {
+		p.inputByName[ps.Name] = i
+	}
+	p.outputByName = make(map[string]int, len(p.Outputs))
+	for i, ps := range p.Outputs {
+		p.outputByName[ps.Name] = i
+	}
+	p.regByName = make(map[string]int, len(p.Regs))
+	for i, r := range p.Regs {
+		p.regByName[r.Name] = i
+	}
+}
